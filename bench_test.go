@@ -1,0 +1,181 @@
+package boss
+
+// One testing.B benchmark per table and figure of the paper's evaluation.
+// Each benchmark regenerates its experiment through the harness on a small
+// deterministic workload and reports the experiment's key quantity as a
+// custom metric, so `go test -bench=.` both times the models and prints the
+// reproduced numbers. `go run ./cmd/bossbench -exp <id>` prints the full
+// tables.
+
+import (
+	"math"
+	"strconv"
+	"sync"
+	"testing"
+
+	"boss/internal/corpus"
+	"boss/internal/harness"
+)
+
+// benchCfg is small enough for -bench runs while preserving the shapes.
+var benchCfg = harness.Config{Scale: 0.012, PerType: 4, K: 50, Seed: 42}
+
+var (
+	benchCtxOnce sync.Once
+	benchCtx     *harness.Context
+)
+
+// sharedCtx builds the corpora/indexes once across benchmarks.
+func sharedCtx() *harness.Context {
+	benchCtxOnce.Do(func() {
+		benchCtx = harness.NewContext(benchCfg)
+		// Force both setups (and their metric caches) to exist so the
+		// timed loops measure experiment evaluation, not corpus building.
+		benchCtx.ClueWeb()
+		benchCtx.CCNews()
+	})
+	return benchCtx
+}
+
+// runExperiment executes one experiment b.N times and returns the last
+// tables produced.
+func runExperiment(b *testing.B, id string) []*harness.Table {
+	b.Helper()
+	ctx := sharedCtx()
+	exp, ok := harness.Find(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	var tables []*harness.Table
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tables = exp.Run(ctx)
+	}
+	b.StopTimer()
+	if len(tables) == 0 || len(tables[0].Rows) == 0 {
+		b.Fatalf("experiment %s produced no output", id)
+	}
+	return tables
+}
+
+// cell parses a numeric table cell.
+func cell(b *testing.B, t *harness.Table, row, col int) float64 {
+	b.Helper()
+	v, err := strconv.ParseFloat(t.Rows[row][col], 64)
+	if err != nil {
+		b.Fatalf("cell (%d,%d) = %q not numeric", row, col, t.Rows[row][col])
+	}
+	return v
+}
+
+func BenchmarkFig3Compression(b *testing.B) {
+	tables := runExperiment(b, "fig3")
+	// Report the hybrid ratio on the clueweb-like corpus (second-to-last
+	// column of the last rows).
+	t := tables[0]
+	last := t.Rows[len(t.Rows)-2]
+	v, err := strconv.ParseFloat(last[len(last)-2], 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(v, "hybrid-ratio")
+}
+
+func BenchmarkTable1Methodology(b *testing.B) { runExperiment(b, "table1") }
+func BenchmarkTable2QueryTypes(b *testing.B)  { runExperiment(b, "table2") }
+
+// throughputGeomean extracts the 8-core BOSS geomean from a fig9/fig10
+// table layout.
+func throughputGeomean(b *testing.B, t *harness.Table) float64 {
+	vals := make([]float64, 0, len(t.Rows))
+	lastCol := len(t.Header) - 1 // BOSS-8c
+	for r := range t.Rows {
+		vals = append(vals, cell(b, t, r, lastCol))
+	}
+	sum := 0.0
+	for _, v := range vals {
+		sum += math.Log(v)
+	}
+	return math.Exp(sum / float64(len(vals)))
+}
+
+func BenchmarkFig9ThroughputClueWeb(b *testing.B) {
+	t := runExperiment(b, "fig9")[0]
+	b.ReportMetric(throughputGeomean(b, t), "boss8c-speedup")
+}
+
+func BenchmarkFig10ThroughputCCNews(b *testing.B) {
+	t := runExperiment(b, "fig10")[0]
+	b.ReportMetric(throughputGeomean(b, t), "boss8c-speedup")
+}
+
+func BenchmarkFig11BandwidthClueWeb(b *testing.B) {
+	t := runExperiment(b, "fig11")[0]
+	b.ReportMetric(cell(b, t, 0, len(t.Header)-1), "boss8c-GBs")
+}
+
+func BenchmarkFig12BandwidthCCNews(b *testing.B) {
+	t := runExperiment(b, "fig12")[0]
+	b.ReportMetric(cell(b, t, 0, len(t.Header)-1), "boss8c-GBs")
+}
+
+func BenchmarkFig13SingleCore(b *testing.B) {
+	t := runExperiment(b, "fig13")[0]
+	b.ReportMetric(cell(b, t, 0, 4), "bossQ1-vs-lucene1c")
+}
+
+func BenchmarkFig14EvaluatedDocs(b *testing.B) {
+	t := runExperiment(b, "fig14")[0]
+	// BOSS column of the Q5 row: fraction of IIU's evaluated docs.
+	b.ReportMetric(cell(b, t, len(t.Rows)-1, 3), "bossQ5-docs-vs-iiu")
+}
+
+func BenchmarkFig15MemoryAccesses(b *testing.B) {
+	t := runExperiment(b, "fig15")[0]
+	// BOSS total column of the first query type (last column).
+	b.ReportMetric(cell(b, t, 1, len(t.Header)-1), "bossQ1-accesses-vs-iiu")
+}
+
+func BenchmarkFig16DRAMvsSCM(b *testing.B) {
+	t := runExperiment(b, "fig16")[0]
+	b.ReportMetric(cell(b, t, 0, 3), "iiuQ1-dram-speedup")
+}
+
+func BenchmarkTable3AreaPower(b *testing.B) { runExperiment(b, "table3") }
+
+func BenchmarkFig17Energy(b *testing.B) {
+	t := runExperiment(b, "fig17")[0]
+	b.ReportMetric(cell(b, t, 0, 3), "Q1-energy-ratio")
+}
+
+func BenchmarkHeadline(b *testing.B) {
+	t := runExperiment(b, "headline")[0]
+	b.ReportMetric(cell(b, t, 0, 1), "clueweb-geomean-speedup")
+}
+
+func BenchmarkScaleout(b *testing.B) {
+	t := runExperiment(b, "scaleout")[0]
+	b.ReportMetric(cell(b, t, len(t.Rows)-1, 3), "8node-hwtopk-qps")
+}
+
+func BenchmarkAblationET(b *testing.B)       { runExperiment(b, "ablation-et") }
+func BenchmarkAblationPipeline(b *testing.B) { runExperiment(b, "ablation-pipeline") }
+func BenchmarkAblationTopK(b *testing.B)     { runExperiment(b, "ablation-topk") }
+func BenchmarkAblationHybrid(b *testing.B)   { runExperiment(b, "ablation-hybrid") }
+func BenchmarkAblationBaseline(b *testing.B) { runExperiment(b, "ablation-baseline") }
+
+// BenchmarkQueryLatency times raw model execution (not experiment
+// assembly): one Q5 union on each system.
+func BenchmarkQueryLatency(b *testing.B) {
+	ctx := sharedCtx()
+	s := ctx.ClueWeb()
+	q := s.Workload[corpus.Q5][0]
+	for _, sys := range []harness.System{harness.Lucene, harness.IIU, harness.BOSS} {
+		sys := sys
+		b.Run(string(sys), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s.RunQuery(sys, q)
+			}
+		})
+	}
+}

@@ -1,0 +1,379 @@
+// Package boss is a library reproduction of "BOSS: Bandwidth-Optimized
+// Search Accelerator for Storage-Class Memory" (ISCA 2021). It provides a
+// full-text inverted-index engine — document ingestion, hybrid posting-list
+// compression, BM25 ranking, boolean queries — together with
+// transaction-level models of the paper's hardware: the BOSS near-data
+// accelerator, the IIU baseline accelerator, and an SCM/DRAM memory-pool
+// substrate. The internal packages hold the substrates; this package is the
+// stable facade a downstream user works with.
+//
+// Quick start:
+//
+//	b := boss.NewBuilder()
+//	b.Add("doc1", "the quick brown fox")
+//	b.Add("doc2", "the lazy dog")
+//	ix := b.Build()
+//	hits, _ := ix.Search(`"quick" OR "lazy"`, 10)
+//
+// To see how the same query behaves on the paper's accelerator over
+// storage-class memory:
+//
+//	acc := ix.Accelerator(boss.AccelOptions{})
+//	hits, stats, _ := acc.Search(`"quick" OR "lazy"`, 10)
+//	fmt.Println(stats.SimulatedLatency, stats.DeviceBytes)
+package boss
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+	"unicode"
+
+	"boss/internal/compress"
+	"boss/internal/core"
+	"boss/internal/corpus"
+	"boss/internal/engine"
+	"boss/internal/index"
+	"boss/internal/mem"
+	"boss/internal/perf"
+	"boss/internal/pool"
+	"boss/internal/query"
+	"boss/internal/score"
+	"boss/internal/sim"
+	"boss/internal/topk"
+)
+
+// Builder accumulates documents and produces an Index. Documents are
+// tokenized by lowercasing and splitting on non-alphanumeric runes.
+type Builder struct {
+	names   []string
+	termTFs []map[string]uint32
+	params  score.Params
+}
+
+// NewBuilder returns an empty index builder with the paper's BM25
+// parameters (k1 = 1.2, b = 0.75).
+func NewBuilder() *Builder {
+	return &Builder{params: score.DefaultParams()}
+}
+
+// SetBM25 overrides the ranking parameters.
+func (b *Builder) SetBM25(k1, bParam float64) {
+	b.params = score.Params{K1: k1, B: bParam}
+}
+
+// Add ingests one document. name identifies the document in search results;
+// docIDs are assigned in insertion order.
+func (b *Builder) Add(name, text string) {
+	tf := make(map[string]uint32)
+	for _, tok := range Tokenize(text) {
+		tf[tok]++
+	}
+	b.names = append(b.names, name)
+	b.termTFs = append(b.termTFs, tf)
+}
+
+// Len reports the number of documents added so far.
+func (b *Builder) Len() int { return len(b.names) }
+
+// Tokenize splits text into lowercase alphanumeric terms.
+func Tokenize(text string) []string {
+	return strings.FieldsFunc(strings.ToLower(text), func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+}
+
+// Build compresses the accumulated documents into a searchable index using
+// the paper's hybrid per-list compression selection.
+func (b *Builder) Build() *Index {
+	if len(b.names) == 0 {
+		panic("boss: Build on an empty Builder")
+	}
+	// Assemble posting lists in term order.
+	byTerm := make(map[string][]corpus.Posting)
+	docLens := make([]uint32, len(b.names))
+	for doc, tfs := range b.termTFs {
+		for term, tf := range tfs {
+			byTerm[term] = append(byTerm[term], corpus.Posting{DocID: uint32(doc), TF: tf})
+			docLens[doc] += tf
+		}
+	}
+	terms := make([]string, 0, len(byTerm))
+	for t := range byTerm {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+	c := &corpus.Corpus{
+		Spec:    corpus.Spec{Name: "user", NumDocs: len(b.names), NumTerms: len(terms)},
+		DocLens: docLens,
+	}
+	var total uint64
+	for _, l := range docLens {
+		total += uint64(l)
+	}
+	c.AvgDocLen = float64(total) / float64(len(docLens))
+	if c.AvgDocLen == 0 {
+		c.AvgDocLen = 1
+	}
+	for _, t := range terms {
+		ps := byTerm[t]
+		sort.Slice(ps, func(i, j int) bool { return ps[i].DocID < ps[j].DocID })
+		c.Terms = append(c.Terms, corpus.TermPostings{Term: t, Postings: ps})
+		c.TotalPostings += int64(len(ps))
+	}
+	return &Index{
+		idx:   index.Build(c, index.BuildOptions{Scheme: compress.SchemeHybrid, Params: b.params}),
+		names: b.names,
+	}
+}
+
+// Index is a searchable, compressed inverted index.
+type Index struct {
+	idx   *index.Index
+	names []string // docID -> user-facing name; nil for synthetic corpora
+}
+
+// Hit is one search result.
+type Hit struct {
+	// Doc is the document name given to Builder.Add (or "doc<N>" for
+	// synthetic corpora).
+	Doc string
+	// DocID is the internal identifier.
+	DocID uint32
+	// Score is the BM25 query score.
+	Score float64
+}
+
+func (ix *Index) docName(id uint32) string {
+	if ix.names != nil && int(id) < len(ix.names) {
+		return ix.names[id]
+	}
+	return fmt.Sprintf("doc%d", id)
+}
+
+func (ix *Index) hits(entries []topk.Entry) []Hit {
+	out := make([]Hit, len(entries))
+	for i, e := range entries {
+		out[i] = Hit{Doc: ix.docName(e.DocID), DocID: e.DocID, Score: e.Score}
+	}
+	return out
+}
+
+// NumDocs reports the number of indexed documents.
+func (ix *Index) NumDocs() int { return ix.idx.NumDocs }
+
+// NumTerms reports the vocabulary size.
+func (ix *Index) NumTerms() int { return len(ix.idx.Lists) }
+
+// HasTerm reports whether the term is indexed (after tokenization rules).
+func (ix *Index) HasTerm(term string) bool { return ix.idx.List(term) != nil }
+
+// FootprintBytes reports the simulated memory footprint of the index
+// (compressed payloads + block metadata + per-document scoring metadata).
+func (ix *Index) FootprintBytes() uint64 { return ix.idx.TotalBytes }
+
+// Search runs a boolean query expression (`"a" AND ("b" OR "c")`) on the
+// software engine and returns the top-k hits.
+func (ix *Index) Search(expr string, k int) ([]Hit, error) {
+	node, err := query.Parse(expr)
+	if err != nil {
+		return nil, err
+	}
+	res, err := engine.New(ix.idx).Run(node, k)
+	if err != nil {
+		return nil, err
+	}
+	return ix.hits(res.TopK), nil
+}
+
+// WriteTo serializes the index (document names are not serialized; a
+// re-read index reports synthetic names).
+func (ix *Index) WriteTo(w io.Writer) (int64, error) { return ix.idx.WriteTo(w) }
+
+// ReadIndex deserializes an index written with WriteTo.
+func ReadIndex(r io.Reader) (*Index, error) {
+	idx, err := index.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{idx: idx}, nil
+}
+
+// AccelOptions configures the simulated BOSS accelerator.
+type AccelOptions struct {
+	// DisableBlockET turns off the block-fetch module's score-estimation
+	// skipping (the BOSS-exhaustive/block ablations).
+	DisableBlockET bool
+	// DisableWAND turns off the union module's document-level skipping.
+	DisableWAND bool
+	// FixedPoint scores in Q16.16 like the synthesized hardware.
+	FixedPoint bool
+	// DRAM runs the accelerator against the DRAM pool configuration
+	// instead of SCM (the paper's Figure 16 comparison).
+	DRAM bool
+	// Cores sets the device's core count for throughput estimates
+	// (default 8, as in the paper).
+	Cores int
+}
+
+// Accelerator is a handle to the simulated BOSS device over one index.
+type Accelerator struct {
+	acc   *core.Accelerator
+	ix    *Index
+	dev   mem.Config
+	cores int
+}
+
+// Accelerator returns a simulated BOSS device over the index.
+func (ix *Index) Accelerator(opts AccelOptions) *Accelerator {
+	co := core.Options{
+		BlockET:    !opts.DisableBlockET,
+		DocET:      !opts.DisableWAND,
+		FixedPoint: opts.FixedPoint,
+	}
+	dev := mem.SCM()
+	if opts.DRAM {
+		dev = mem.DRAM()
+	}
+	cores := opts.Cores
+	if cores <= 0 {
+		cores = 8
+	}
+	return &Accelerator{acc: core.New(ix.idx, co), ix: ix, dev: dev, cores: cores}
+}
+
+// SimStats summarizes one simulated query execution.
+type SimStats struct {
+	// SimulatedLatency is the single-core query latency on the device.
+	SimulatedLatency time.Duration
+	// ThroughputQPS is the device throughput at the configured core count
+	// (bounded by compute, device bandwidth, and the host link).
+	ThroughputQPS float64
+	// DeviceBytes is the SCM/DRAM traffic the query generated.
+	DeviceBytes int64
+	// HostBytes crossed the shared interconnect (k results × 8 B).
+	HostBytes int64
+	// DocsEvaluated is the number of documents actually scored.
+	DocsEvaluated int64
+	// BlocksFetched and BlocksSkipped count posting blocks loaded vs
+	// skipped by early termination / overlap checking.
+	BlocksFetched int64
+	BlocksSkipped int64
+}
+
+func simStats(m *perf.Metrics, dev mem.Config, cores int) *SimStats {
+	return &SimStats{
+		SimulatedLatency: time.Duration(m.Latency(dev)/sim.Nanosecond) * time.Nanosecond,
+		ThroughputQPS:    m.Throughput(cores, dev, mem.DefaultLinkGBs),
+		DeviceBytes:      m.DeviceBytes(),
+		HostBytes:        m.HostBytes,
+		DocsEvaluated:    m.DocsEvaluated,
+		BlocksFetched:    m.BlocksFetched,
+		BlocksSkipped:    m.BlocksSkipped,
+	}
+}
+
+// Search executes a query on the simulated accelerator, returning the
+// top-k hits and the execution's simulated statistics.
+func (a *Accelerator) Search(expr string, k int) ([]Hit, *SimStats, error) {
+	node, err := query.Parse(expr)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := a.acc.Run(node, k)
+	if err != nil {
+		return nil, nil, err
+	}
+	return a.ix.hits(res.TopK), simStats(res.M, a.dev, a.cores), nil
+}
+
+// SyntheticKind selects a built-in synthetic corpus profile.
+type SyntheticKind int
+
+// Synthetic corpus profiles mimicking the paper's datasets.
+const (
+	ClueWebLike SyntheticKind = iota
+	CCNewsLike
+)
+
+// BuildSynthetic generates a synthetic corpus with realistic posting-list
+// statistics (Zipf document frequencies, clustered docIDs) and indexes it
+// with hybrid compression. scale in (0, 1] controls size; see
+// internal/corpus for the profiles. Terms are named "t<rank>" by descending
+// document frequency.
+func BuildSynthetic(kind SyntheticKind, scale float64) *Index {
+	var spec corpus.Spec
+	switch kind {
+	case ClueWebLike:
+		spec = corpus.ClueWebLike(scale)
+	case CCNewsLike:
+		spec = corpus.CCNewsLike(scale)
+	default:
+		panic("boss: unknown synthetic corpus kind")
+	}
+	c := corpus.Generate(spec)
+	return &Index{idx: index.Build(c, index.BuildOptions{Scheme: compress.SchemeHybrid})}
+}
+
+// CommonTerm returns the term at the given document-frequency rank of a
+// synthetic index ("t0" is the most common). It panics on user-built
+// indexes where ranks are not defined.
+func (ix *Index) CommonTerm(rank int) string {
+	term := fmt.Sprintf("t%d", rank)
+	if ix.idx.List(term) == nil {
+		panic(fmt.Sprintf("boss: no term at rank %d (synthetic indexes only)", rank))
+	}
+	return term
+}
+
+// ShardedIndex is the paper's pooled-memory deployment (Figure 1(b)): the
+// collection partitioned into docID-interval shards, one per memory node,
+// each with its own simulated BOSS device. Queries fan out to every node
+// and the per-node top-k lists are merged; because shards score with
+// collection-global statistics, results are identical to a single index's.
+type ShardedIndex struct {
+	cluster *pool.Cluster
+	names   []string
+}
+
+// Shard builds a sharded deployment of a synthetic corpus over the given
+// number of memory nodes.
+func Shard(kind SyntheticKind, scale float64, nodes int) *ShardedIndex {
+	var spec corpus.Spec
+	switch kind {
+	case ClueWebLike:
+		spec = corpus.ClueWebLike(scale)
+	case CCNewsLike:
+		spec = corpus.CCNewsLike(scale)
+	default:
+		panic("boss: unknown synthetic corpus kind")
+	}
+	c := corpus.Generate(spec)
+	return &ShardedIndex{cluster: pool.NewCluster(pool.DefaultConfig(), c, nodes)}
+}
+
+// Nodes reports how many memory nodes hold shards.
+func (s *ShardedIndex) Nodes() int { return s.cluster.Shards() }
+
+// Search fans the query out to every node and merges the results. The
+// returned stats aggregate all nodes' work; HostBytes is the total result
+// traffic over the shared interconnect (per-node top-k lists).
+func (s *ShardedIndex) Search(expr string, k int) ([]Hit, *SimStats, error) {
+	res, err := s.cluster.Search(expr, k)
+	if err != nil {
+		return nil, nil, err
+	}
+	agg := perf.NewMetrics()
+	for _, m := range res.PerShard {
+		if m != nil {
+			agg.Merge(m)
+		}
+	}
+	hits := make([]Hit, len(res.TopK))
+	for i, e := range res.TopK {
+		hits[i] = Hit{Doc: fmt.Sprintf("doc%d", e.DocID), DocID: e.DocID, Score: e.Score}
+	}
+	return hits, simStats(agg, mem.SCM(), 8), nil
+}

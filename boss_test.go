@@ -1,0 +1,304 @@
+package boss
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// sampleIndex builds a small hand-written document collection.
+func sampleIndex(t testing.TB) *Index {
+	t.Helper()
+	b := NewBuilder()
+	b.Add("pets", "the quick brown fox jumps over the lazy dog")
+	b.Add("news", "storage class memory changes the economics of search")
+	b.Add("paper", "a bandwidth optimized search accelerator for storage class memory")
+	b.Add("misc", "the dog days of summer bring lazy afternoons")
+	b.Add("tech", "near data processing accelerators filter memory traffic")
+	return b.Build()
+}
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("Hello, World! 42 foo-bar")
+	want := []string{"hello", "world", "42", "foo", "bar"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tokenize = %v, want %v", got, want)
+	}
+	if len(Tokenize("")) != 0 {
+		t.Fatal("empty text should produce no tokens")
+	}
+}
+
+func TestBuildAndSearch(t *testing.T) {
+	ix := sampleIndex(t)
+	if ix.NumDocs() != 5 {
+		t.Fatalf("NumDocs = %d", ix.NumDocs())
+	}
+	if !ix.HasTerm("memory") || ix.HasTerm("nonexistent") {
+		t.Fatal("HasTerm wrong")
+	}
+
+	hits, err := ix.Search(`"lazy"`, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 2 {
+		t.Fatalf("'lazy' hits = %v", hits)
+	}
+	names := map[string]bool{hits[0].Doc: true, hits[1].Doc: true}
+	if !names["pets"] || !names["misc"] {
+		t.Fatalf("'lazy' should hit pets and misc: %v", hits)
+	}
+}
+
+func TestSearchBooleanOperators(t *testing.T) {
+	ix := sampleIndex(t)
+	// AND: both terms must appear.
+	hits, err := ix.Search(`"storage" AND "search"`, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range hits {
+		if h.Doc != "news" && h.Doc != "paper" {
+			t.Fatalf("unexpected AND hit %v", h)
+		}
+	}
+	if len(hits) != 2 {
+		t.Fatalf("AND hits = %v", hits)
+	}
+	// Mixed query.
+	hits, err = ix.Search(`"memory" AND ("accelerator" OR "economics")`, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 2 {
+		t.Fatalf("mixed hits = %v", hits)
+	}
+}
+
+func TestSearchErrors(t *testing.T) {
+	ix := sampleIndex(t)
+	if _, err := ix.Search(`not quoted`, 5); err == nil {
+		t.Fatal("malformed expression should error")
+	}
+	if _, err := ix.Search(`"absentterm"`, 5); err == nil {
+		t.Fatal("unknown term should error")
+	}
+}
+
+func TestScoresRankRareTermsHigher(t *testing.T) {
+	ix := sampleIndex(t)
+	// "accelerator" appears in one doc; "the" in several. A doc matching
+	// the rare term should outrank one matching only the common term.
+	hits, err := ix.Search(`"accelerator" OR "the"`, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits[0].Doc != "paper" {
+		t.Fatalf("rare-term doc should rank first: %v", hits)
+	}
+	for i := 1; i < len(hits); i++ {
+		if hits[i].Score > hits[i-1].Score {
+			t.Fatal("hits not sorted by score")
+		}
+	}
+}
+
+func TestAcceleratorMatchesEngine(t *testing.T) {
+	ix := sampleIndex(t)
+	acc := ix.Accelerator(AccelOptions{})
+	for _, expr := range []string{
+		`"memory"`,
+		`"storage" AND "search"`,
+		`"lazy" OR "memory"`,
+		`"memory" AND ("accelerator" OR "economics")`,
+	} {
+		want, err := ix.Search(expr, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, stats, err := acc.Search(expr, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: accelerator hits differ\n got %v\nwant %v", expr, got, want)
+		}
+		if stats.SimulatedLatency <= 0 {
+			t.Fatalf("%s: no simulated latency", expr)
+		}
+		if stats.DocsEvaluated <= 0 || stats.BlocksFetched <= 0 {
+			t.Fatalf("%s: empty stats %+v", expr, stats)
+		}
+		if stats.ThroughputQPS <= 0 {
+			t.Fatalf("%s: no throughput", expr)
+		}
+	}
+}
+
+func TestAcceleratorOptionVariants(t *testing.T) {
+	ix := BuildSynthetic(CCNewsLike, 0.005)
+	expr := `"t0" OR "t1"`
+	base, bs, err := ix.Accelerator(AccelOptions{}).Search(expr, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exh, es, err := ix.Accelerator(AccelOptions{DisableBlockET: true, DisableWAND: true}).Search(expr, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base) != len(exh) {
+		t.Fatal("ET changed result count")
+	}
+	for i := range base {
+		if base[i].DocID != exh[i].DocID {
+			t.Fatal("ET changed results")
+		}
+	}
+	if es.DocsEvaluated < bs.DocsEvaluated {
+		t.Fatal("exhaustive should evaluate at least as many docs")
+	}
+	// DRAM run must be at least as fast.
+	_, ds, err := ix.Accelerator(AccelOptions{DRAM: true}).Search(expr, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.SimulatedLatency > bs.SimulatedLatency {
+		t.Fatal("DRAM latency should not exceed SCM latency")
+	}
+	// Fixed-point scoring completes and returns the same number of hits.
+	fp, _, err := ix.Accelerator(AccelOptions{FixedPoint: true}).Search(expr, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fp) != len(base) {
+		t.Fatal("fixed-point hit count differs")
+	}
+}
+
+func TestBuildSynthetic(t *testing.T) {
+	ix := BuildSynthetic(ClueWebLike, 0.002)
+	if ix.NumDocs() == 0 || ix.NumTerms() == 0 {
+		t.Fatal("synthetic index empty")
+	}
+	if ix.CommonTerm(0) != "t0" {
+		t.Fatal("CommonTerm(0) != t0")
+	}
+	if ix.FootprintBytes() == 0 {
+		t.Fatal("no footprint")
+	}
+	hits, err := ix.Search(`"t0"`, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 5 {
+		t.Fatalf("top-5 on t0 returned %d hits", len(hits))
+	}
+	if !strings.HasPrefix(hits[0].Doc, "doc") {
+		t.Fatalf("synthetic doc name %q", hits[0].Doc)
+	}
+}
+
+func TestCommonTermPanicsOnUserIndex(t *testing.T) {
+	ix := sampleIndex(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CommonTerm on user index should panic")
+		}
+	}()
+	ix.CommonTerm(0)
+}
+
+func TestIndexSerializationRoundTrip(t *testing.T) {
+	ix := sampleIndex(t)
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ix.Search(`"memory"`, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, err := got.Search(`"memory"`, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != len(want) {
+		t.Fatal("hit count differs after round trip")
+	}
+	for i := range hits {
+		if hits[i].DocID != want[i].DocID {
+			t.Fatal("results differ after round trip")
+		}
+	}
+}
+
+func TestEmptyBuilderPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Build on empty builder should panic")
+		}
+	}()
+	NewBuilder().Build()
+}
+
+func TestSetBM25(t *testing.T) {
+	b := NewBuilder()
+	b.SetBM25(2.0, 0.5)
+	b.Add("a", "x y z y")
+	b.Add("b", "x")
+	ix := b.Build()
+	hits, err := ix.Search(`"y"`, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 || hits[0].Doc != "a" {
+		t.Fatalf("hits = %v", hits)
+	}
+}
+
+func TestShardedIndexMatchesSingleNode(t *testing.T) {
+	single := BuildSynthetic(CCNewsLike, 0.006)
+	sharded := Shard(CCNewsLike, 0.006, 4)
+	if sharded.Nodes() != 4 {
+		t.Fatalf("nodes = %d", sharded.Nodes())
+	}
+	for _, expr := range []string{
+		`"t0"`,
+		`"t1" AND "t3"`,
+		`"t0" OR "t2" OR "t5"`,
+		`"t1" AND ("t4" OR "t6")`,
+	} {
+		want, err := single.Search(expr, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, stats, err := sharded.Search(expr, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d hits vs %d", expr, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].DocID != want[i].DocID {
+				t.Fatalf("%s: hit %d differs (%d vs %d)", expr, i, got[i].DocID, want[i].DocID)
+			}
+		}
+		if stats.DocsEvaluated == 0 {
+			t.Fatalf("%s: no aggregate stats", expr)
+		}
+	}
+}
+
+func TestShardedIndexErrors(t *testing.T) {
+	sharded := Shard(CCNewsLike, 0.004, 2)
+	if _, _, err := sharded.Search(`"missing"`, 5); err == nil {
+		t.Fatal("unknown term should error")
+	}
+}

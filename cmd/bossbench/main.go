@@ -1,0 +1,81 @@
+// Command bossbench regenerates the paper's tables and figures from the
+// models in this repository.
+//
+// Usage:
+//
+//	bossbench -exp fig9            # one experiment
+//	bossbench -exp all             # everything, in paper order
+//	bossbench -list                # list experiment ids
+//	bossbench -exp fig9 -full      # larger corpora/workload (slower)
+//	bossbench -scale 0.05 -k 500   # custom scope
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"boss/internal/harness"
+)
+
+func main() {
+	var (
+		expID   = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		full    = flag.Bool("full", false, "use the larger FullConfig workload")
+		scale   = flag.Float64("scale", 0, "override corpus scale (0 = config default)")
+		perType = flag.Int("queries", 0, "override queries per type (0 = config default)")
+		k       = flag.Int("k", 0, "override top-k depth (0 = config default)")
+		seed    = flag.Int64("seed", 0, "override workload seed (0 = config default)")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.Experiments() {
+			fmt.Printf("%-18s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := harness.QuickConfig()
+	if *full {
+		cfg = harness.FullConfig()
+	}
+	if *scale > 0 {
+		cfg.Scale = *scale
+	}
+	if *perType > 0 {
+		cfg.PerType = *perType
+	}
+	if *k > 0 {
+		cfg.K = *k
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	ctx := harness.NewContext(cfg)
+	run := func(e harness.Experiment) {
+		for _, t := range e.Run(ctx) {
+			if *csv {
+				fmt.Printf("# %s: %s\n%s\n", t.ID, t.Title, t.CSV())
+			} else {
+				fmt.Println(t.String())
+			}
+		}
+	}
+
+	if *expID == "all" {
+		for _, e := range harness.Experiments() {
+			run(e)
+		}
+		return
+	}
+	e, ok := harness.Find(*expID)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "bossbench: unknown experiment %q (use -list)\n", *expID)
+		os.Exit(1)
+	}
+	run(e)
+}

@@ -1,0 +1,53 @@
+// Quickstart: index a handful of documents, search them with boolean BM25
+// queries, then run the same query on the simulated BOSS accelerator and
+// look at its execution profile.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"boss"
+)
+
+func main() {
+	b := boss.NewBuilder()
+	b.Add("moby", "call me ishmael some years ago never mind how long precisely")
+	b.Add("pride", "it is a truth universally acknowledged that a single man in possession of a good fortune")
+	b.Add("kafka", "as gregor samsa awoke one morning from uneasy dreams he found himself transformed")
+	b.Add("1984", "it was a bright cold day in april and the clocks were striking thirteen")
+	b.Add("tale", "it was the best of times it was the worst of times it was the age of wisdom")
+	ix := b.Build()
+
+	fmt.Printf("indexed %d documents, %d terms, footprint %d bytes\n\n",
+		ix.NumDocs(), ix.NumTerms(), ix.FootprintBytes())
+
+	// A mixed boolean query in the paper's offloading-API syntax.
+	expr := `"it" AND ("times" OR "thirteen")`
+	hits, err := ix.Search(expr, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("software engine, query %s:\n", expr)
+	for i, h := range hits {
+		fmt.Printf("  %d. %-6s score %.3f\n", i+1, h.Doc, h.Score)
+	}
+
+	// The same query on the simulated BOSS accelerator sitting next to
+	// storage-class memory.
+	acc := ix.Accelerator(boss.AccelOptions{})
+	ahits, stats, err := acc.Search(expr, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nBOSS accelerator (same results guaranteed):\n")
+	for i, h := range ahits {
+		fmt.Printf("  %d. %-6s score %.3f\n", i+1, h.Doc, h.Score)
+	}
+	fmt.Printf("\nsimulated execution:\n")
+	fmt.Printf("  latency         %v\n", stats.SimulatedLatency)
+	fmt.Printf("  device traffic  %d bytes\n", stats.DeviceBytes)
+	fmt.Printf("  host traffic    %d bytes (top-k only)\n", stats.HostBytes)
+	fmt.Printf("  docs scored     %d\n", stats.DocsEvaluated)
+	fmt.Printf("  blocks fetched  %d, skipped %d\n", stats.BlocksFetched, stats.BlocksSkipped)
+}

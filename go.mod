@@ -1,0 +1,3 @@
+module boss
+
+go 1.22

@@ -1,0 +1,29 @@
+package compress
+
+// S16FieldWidths returns a copy of the Simple16 selector table: for each of
+// the 16 modes, the sequence of field widths within the 28 data bits. The
+// programmable decompression module (internal/decomp) uses this table to
+// configure its selector-word extractor.
+func S16FieldWidths() [][]int {
+	out := make([][]int, len(s16Modes))
+	for i, widths := range s16Modes {
+		out[i] = append([]int(nil), widths...)
+	}
+	return out
+}
+
+// S8bModeInfo describes one Simple8b selector: how many values at what
+// width (width 0 encodes a run of zeros).
+type S8bModeInfo struct {
+	Count int
+	Width int
+}
+
+// S8bModeTable returns a copy of the Simple8b selector table.
+func S8bModeTable() []S8bModeInfo {
+	out := make([]S8bModeInfo, len(s8bModes))
+	for i, m := range s8bModes {
+		out[i] = S8bModeInfo{Count: m.count, Width: m.width}
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"boss/internal/compress"
+	"boss/internal/decomp"
+	"boss/internal/index"
+	"boss/internal/query"
+	"boss/internal/topk"
+)
+
+// This file models the paper's offloading API (Section IV-D):
+//
+//	void init(file indexFile, file configFile)
+//	val  search(string qExpression, ...)
+//
+// Init loads a serialized index into the (simulated) SCM pool and parses
+// the decompression-module configuration file, whose per-scheme programs —
+// written in the Figure 8 language — are what the device's decompression
+// modules actually execute at query time. Search parses a query expression
+// and runs it on the device.
+
+// Device is an initialized BOSS device: the paper's init() output.
+type Device struct {
+	idx     *index.Index
+	opts    Options
+	configs map[compress.Scheme]*decomp.Config
+}
+
+// DefaultConfigFile renders the configuration file a deployment would ship:
+// one `[scheme X]` section per supported compression scheme, each holding
+// that scheme's Figure 8 program.
+func DefaultConfigFile() string {
+	var b strings.Builder
+	for _, s := range compress.AllSchemes() {
+		fmt.Fprintf(&b, "[scheme %s]\n%s\n", s, strings.TrimSpace(decomp.ConfigText(s)))
+	}
+	return b.String()
+}
+
+// ParseConfigFile parses a sectioned decompression configuration file:
+// `[scheme <name>]` headers, each followed by a Figure 8-style program.
+func ParseConfigFile(text string) (map[compress.Scheme]*decomp.Config, error) {
+	byName := map[string]compress.Scheme{}
+	for _, s := range compress.AllSchemes() {
+		byName[s.String()] = s
+	}
+	configs := make(map[compress.Scheme]*decomp.Config)
+	var cur string
+	var body []string
+	flush := func() error {
+		if cur == "" {
+			return nil
+		}
+		scheme, ok := byName[cur]
+		if !ok {
+			return fmt.Errorf("core: unknown scheme %q in config file", cur)
+		}
+		cfg, err := decomp.ParseConfig(strings.Join(body, "\n"))
+		if err != nil {
+			return fmt.Errorf("core: scheme %s: %w", cur, err)
+		}
+		configs[scheme] = cfg
+		return nil
+	}
+	for _, line := range strings.Split(text, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "[scheme ") && strings.HasSuffix(trimmed, "]") {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			cur = strings.TrimSuffix(strings.TrimPrefix(trimmed, "[scheme "), "]")
+			body = body[:0]
+			continue
+		}
+		if cur == "" && trimmed != "" {
+			return nil, fmt.Errorf("core: config content before any [scheme] header: %q", trimmed)
+		}
+		body = append(body, line)
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	if len(configs) == 0 {
+		return nil, fmt.Errorf("core: config file defines no schemes")
+	}
+	return configs, nil
+}
+
+// Init models the paper's init() intrinsic: it loads the inverted index
+// from indexFile into the SCM pool's address space and programs the
+// decompression modules from configFile.
+func Init(indexFile io.Reader, configFile string) (*Device, error) {
+	idx, err := index.Read(indexFile)
+	if err != nil {
+		return nil, err
+	}
+	configs, err := ParseConfigFile(configFile)
+	if err != nil {
+		return nil, err
+	}
+	return InitFromIndex(idx, configs, DefaultOptions())
+}
+
+// InitFromIndex builds a device over an already-loaded index. configs may
+// be nil, meaning the built-in per-scheme programs; when given, every
+// compression scheme the index uses must be programmed.
+func InitFromIndex(idx *index.Index, configs map[compress.Scheme]*decomp.Config, opts Options) (*Device, error) {
+	if configs != nil {
+		for _, pl := range idx.Lists {
+			if _, ok := configs[pl.Scheme]; !ok {
+				return nil, fmt.Errorf("core: index uses scheme %s but the configuration file does not program it", pl.Scheme)
+			}
+		}
+		opts.decompConfigs = configs
+	}
+	return &Device{idx: idx, opts: opts, configs: configs}, nil
+}
+
+// Search models the paper's search() intrinsic: qExpression uses the
+// quoted-term AND/OR syntax; k bounds the result list (resultSize in the
+// paper's signature).
+func (d *Device) Search(qExpression string, k int) ([]topk.Entry, error) {
+	node, err := query.Parse(qExpression)
+	if err != nil {
+		return nil, err
+	}
+	if k <= 0 {
+		k = DefaultK
+	}
+	res, err := New(d.idx, d.opts).Run(node, k)
+	if err != nil {
+		return nil, err
+	}
+	return res.TopK, nil
+}
+
+// Index exposes the device's loaded index (for inspection tools).
+func (d *Device) Index() *index.Index { return d.idx }

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"boss/internal/compress"
+	"boss/internal/engine"
+	"boss/internal/index"
+	"boss/internal/query"
+)
+
+func TestInitAndSearchRoundTrip(t *testing.T) {
+	f := newFixture(t)
+	var buf bytes.Buffer
+	if _, err := f.idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dev, err := Init(bytes.NewReader(buf.Bytes()), DefaultConfigFile())
+	if err != nil {
+		t.Fatalf("Init: %v", err)
+	}
+	expr := `"t0" AND ("t1" OR "t2")`
+	got, err := dev.Search(expr, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare against the built-in decode path and the software engine over
+	// the SAME deserialized index (serialization rounds norms to float32,
+	// so the on-disk index is the common reference).
+	reread, err := index.Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := New(reread, DefaultOptions()).Run(query.MustParse(expr), 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameResults(got, want.TopK) {
+		t.Fatal("config-file decode path changed results")
+	}
+	eng, err := engine.New(reread).Run(query.MustParse(expr), 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameResults(got, eng.TopK) {
+		t.Fatal("device disagrees with the software engine")
+	}
+	if dev.Index() == nil {
+		t.Fatal("device index not exposed")
+	}
+}
+
+func TestSearchDefaultsK(t *testing.T) {
+	f := newFixture(t)
+	dev, err := InitFromIndex(f.idx, nil, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dev.Search(`"t0"`, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	df := f.idx.MustList("t0").DF
+	wantLen := DefaultK
+	if df < wantLen {
+		wantLen = df
+	}
+	if len(got) != wantLen {
+		t.Fatalf("k=0 returned %d results, want %d (DefaultK capped by df)", len(got), wantLen)
+	}
+}
+
+func TestSearchErrors(t *testing.T) {
+	f := newFixture(t)
+	dev, err := InitFromIndex(f.idx, nil, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.Search(`unquoted`, 5); err == nil {
+		t.Fatal("malformed expression accepted")
+	}
+	if _, err := dev.Search(`"missingterm"`, 5); err == nil {
+		t.Fatal("unknown term accepted")
+	}
+}
+
+func TestParseConfigFileErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+	}{
+		{"empty", ""},
+		{"no header", "UseDelta = 1"},
+		{"unknown scheme", "[scheme Snappy]\nOutput := Input\nOutput.valid := 1"},
+		{"bad program", "[scheme VB]\nnot a program"},
+	}
+	for _, tc := range cases {
+		if _, err := ParseConfigFile(tc.text); err == nil {
+			t.Errorf("%s: accepted invalid config file", tc.name)
+		}
+	}
+}
+
+func TestDefaultConfigFileCoversAllSchemes(t *testing.T) {
+	text := DefaultConfigFile()
+	configs, err := ParseConfigFile(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range compress.AllSchemes() {
+		if _, ok := configs[s]; !ok {
+			t.Errorf("default config file misses scheme %s", s)
+		}
+		if !strings.Contains(text, "[scheme "+s.String()+"]") {
+			t.Errorf("default config file misses header for %s", s)
+		}
+	}
+}
+
+func TestInitRejectsIncompleteConfig(t *testing.T) {
+	f := newFixture(t) // hybrid index uses several schemes
+	onlyVB, err := ParseConfigFile("[scheme VB]\n" + strings.TrimSpace(vbOnlyProgram()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := InitFromIndex(f.idx, onlyVB, DefaultOptions()); err == nil {
+		t.Fatal("device accepted a config file missing schemes the index uses")
+	}
+}
+
+func vbOnlyProgram() string {
+	// Reuse the built-in VB program text through the decomp package's
+	// canonical config.
+	full := DefaultConfigFile()
+	start := strings.Index(full, "[scheme VB]")
+	end := strings.Index(full[start+1:], "[scheme ")
+	return full[start+len("[scheme VB]") : start+1+end]
+}
+
+func TestInitRejectsBadIndexBytes(t *testing.T) {
+	if _, err := Init(bytes.NewReader([]byte("garbage")), DefaultConfigFile()); err == nil {
+		t.Fatal("Init accepted a corrupt index")
+	}
+}

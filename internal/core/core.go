@@ -1,0 +1,395 @@
+// Package core implements the paper's primary contribution: the BOSS
+// accelerator model. A BOSS core executes the full first-stage search
+// pipeline — block fetch with query-condition and score-based skipping,
+// programmable decompression, pipelined multi-term intersection, a WAND
+// union module, BM25 scoring, and a hardware top-k queue — while charging
+// every byte of memory traffic and every pipeline cycle to the query's
+// metrics. The decode path runs through internal/decomp's programmable
+// decompression module, i.e. the same configurable datapath the paper
+// synthesizes.
+//
+// Three early-termination configurations reproduce the paper's ablations:
+// BOSS (block-level ET + WAND), BOSS-block-only (Figure 14), and
+// BOSS-exhaustive (Figure 13).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"boss/internal/compress"
+	"boss/internal/decomp"
+	"boss/internal/index"
+	"boss/internal/mem"
+	"boss/internal/perf"
+	"boss/internal/query"
+	"boss/internal/score"
+	"boss/internal/sim"
+	"boss/internal/topk"
+)
+
+// Hardware parameters of a BOSS core (Table I: 1 GHz, 4 decompression
+// modules, 1 intersection module with 3 units, 1 union module, 4 scoring
+// modules, 1 top-k module).
+const (
+	clockGHz         = 1.0
+	decompUnits      = 4
+	scoringUnits     = 4
+	blockFetchCycles = 2  // metadata inspection per examined block
+	fetchQueueDepth  = 16 // outstanding block requests per block-fetch module
+	// metaChunkEntries is how many 19 B block-metadata records the block
+	// fetch module prefetches per memory access (metadata is contiguous,
+	// so skip records stream in chunks rather than one record at a time).
+	metaChunkEntries = 32
+	resultEntryBytes = 8
+	pipelineDrain    = 64 // cycles to flush the pipeline per query
+)
+
+// DefaultK is the paper's default top-k depth.
+const DefaultK = 1000
+
+// MaxQueryTerms is the largest term count the device handles in hardware
+// (four BOSS cores with chained mergers, Section IV-D); wider queries are
+// split into subqueries by the host.
+const MaxQueryTerms = 16
+
+// Options selects the early-termination features, reproducing the paper's
+// ablation variants.
+type Options struct {
+	// BlockET enables the block-fetch module's score-estimation unit
+	// (BlockMaxWAND/interval-style per-block skipping for unions).
+	BlockET bool
+	// DocET enables the union module's WAND document-level skipping.
+	DocET bool
+	// FixedPoint scores in Q16.16 as the synthesized hardware does
+	// (default float64 for bit-exact parity with the software engines).
+	FixedPoint bool
+	// SpillIntermediates disables the pipelined multi-term optimization:
+	// each intersection pass round-trips its intermediate result through
+	// memory, IIU-style (the ablation for DESIGN.md's pipeline choice).
+	SpillIntermediates bool
+	// HostTopK disables the hardware top-k module: the full scored result
+	// list crosses the interconnect for host-side selection (the ablation
+	// for the top-k design choice).
+	HostTopK bool
+
+	// decompConfigs, when non-nil, programs the decompression modules from
+	// a parsed configuration file instead of the built-in per-scheme
+	// programs (set via InitFromIndex).
+	decompConfigs map[compress.Scheme]*decomp.Config
+}
+
+// DefaultOptions is full BOSS: both ET mechanisms on.
+func DefaultOptions() Options { return Options{BlockET: true, DocET: true} }
+
+// ExhaustiveOptions is the paper's BOSS-exhaustive ablation: multi-term
+// pipelining and hardware top-k, but no early termination.
+func ExhaustiveOptions() Options { return Options{} }
+
+// BlockOnlyOptions is the paper's BOSS-block-only ablation (Figure 14).
+func BlockOnlyOptions() Options { return Options{BlockET: true} }
+
+// Accelerator is a BOSS device model over one index shard.
+type Accelerator struct {
+	idx  *index.Index
+	opts Options
+}
+
+// New returns a BOSS accelerator with the given options.
+func New(idx *index.Index, opts Options) *Accelerator {
+	return &Accelerator{idx: idx, opts: opts}
+}
+
+// Result is the outcome of one query.
+type Result struct {
+	TopK []topk.Entry
+	M    *perf.Metrics
+}
+
+// blockData caches one decoded block so conjuncts sharing a term are
+// charged once.
+type blockData struct {
+	docs []uint32
+	tfs  []uint32
+}
+
+// run tracks the state of one query execution on a BOSS core.
+type run struct {
+	acc *Accelerator
+	m   *perf.Metrics
+	sel *topk.ShiftRegisterQueue
+
+	decoders  map[compress.Scheme]*decomp.Module
+	loaded    map[*index.PostingList]map[int]*blockData
+	metaSeen  map[*index.PostingList]map[int]bool
+	metaCount map[*index.PostingList]int
+
+	// Per-stream decode cycle totals; each posting-list stream owns a
+	// decompression unit (the paper's intra-query limitation).
+	decodeCycles map[*index.PostingList]float64
+
+	fetchCycles float64
+	mergeCycles float64
+	scoreOps    float64
+	topkInserts float64
+
+	nTerms int
+}
+
+func (a *Accelerator) newRun(k, nTerms int) *run {
+	return &run{
+		acc:          a,
+		m:            perf.NewMetrics(),
+		sel:          topk.NewShiftRegister(k),
+		decoders:     make(map[compress.Scheme]*decomp.Module),
+		loaded:       make(map[*index.PostingList]map[int]*blockData),
+		metaSeen:     make(map[*index.PostingList]map[int]bool),
+		metaCount:    make(map[*index.PostingList]int),
+		decodeCycles: make(map[*index.PostingList]float64),
+		nTerms:       nTerms,
+	}
+}
+
+// Run executes a query with the given top-k depth.
+func (a *Accelerator) Run(node *query.Node, k int) (Result, error) {
+	conjuncts, lists, err := a.plan(node)
+	if err != nil {
+		return Result{}, err
+	}
+	r := a.newRun(k, len(lists))
+
+	switch {
+	case allSingleTerm(conjuncts):
+		// Pure union (or a single term): the union module path with both
+		// ET levels.
+		streams := make([]*index.PostingList, len(conjuncts))
+		for i, c := range conjuncts {
+			streams[i] = c[0]
+		}
+		r.union(streams)
+	case len(conjuncts) == 1:
+		// Pure conjunction: the pipelined intersection path.
+		r.scoreAll(r.intersect(conjuncts[0]))
+	default:
+		// Mixed query: intersections first (the paper's execution order),
+		// then an on-chip union of the conjunct outputs.
+		r.mixed(conjuncts)
+	}
+
+	// The hardware top-k module hands exactly k entries to the host over
+	// the shared interconnect; nothing is staged in SCM. With the module
+	// ablated (HostTopK), every scored document crosses instead.
+	results := r.sel.Results()
+	outBytes := int64(len(results)) * resultEntryBytes
+	if a.opts.HostTopK {
+		outBytes = r.m.DocsEvaluated * resultEntryBytes
+	}
+	r.m.AddHostWrite(outBytes, mem.CatStoreResult)
+
+	r.m.AddCompute(r.computeTime())
+	return Result{TopK: results, M: r.m}, nil
+}
+
+// plan converts the AST to DNF over posting lists, checking terms exist.
+func (a *Accelerator) plan(node *query.Node) ([][]*index.PostingList, []*index.PostingList, error) {
+	if n := node.NumTerms(); n > MaxQueryTerms {
+		return nil, nil, fmt.Errorf("core: query has %d terms; hardware handles up to %d (split into subqueries on the host, Section IV-D)", n, MaxQueryTerms)
+	}
+	dnf := node.DNF()
+	var conjuncts [][]*index.PostingList
+	seen := make(map[string]*index.PostingList)
+	var lists []*index.PostingList
+	for _, conj := range dnf {
+		pls := make([]*index.PostingList, 0, len(conj))
+		for _, term := range conj {
+			pl, ok := seen[term]
+			if !ok {
+				pl = a.idx.List(term)
+				if pl == nil {
+					return nil, nil, fmt.Errorf("core: term %q not indexed", term)
+				}
+				seen[term] = pl
+				lists = append(lists, pl)
+			}
+			pls = append(pls, pl)
+		}
+		conjuncts = append(conjuncts, pls)
+	}
+	return conjuncts, lists, nil
+}
+
+func allSingleTerm(conjuncts [][]*index.PostingList) bool {
+	for _, c := range conjuncts {
+		if len(c) != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// computeTime assembles the pipeline-stage roofline: the busiest stage
+// bounds throughput because all stages overlap.
+func (r *run) computeTime() sim.Duration {
+	// Decompression: one unit per stream, at most decompUnits concurrent.
+	var decode float64
+	if len(r.decodeCycles) <= decompUnits {
+		for _, c := range r.decodeCycles {
+			if c > decode {
+				decode = c
+			}
+		}
+	} else {
+		var total, max float64
+		for _, c := range r.decodeCycles {
+			total += c
+			if c > max {
+				max = c
+			}
+		}
+		decode = math.Max(max, total/decompUnits)
+	}
+	units := r.nTerms
+	if units > scoringUnits {
+		units = scoringUnits
+	}
+	if units < 1 {
+		units = 1
+	}
+	scoreStage := r.scoreOps / float64(units)
+	stage := math.Max(decode, math.Max(r.fetchCycles, math.Max(r.mergeCycles, math.Max(scoreStage, r.topkInserts))))
+	return sim.Duration((stage + pipelineDrain) / clockGHz * float64(sim.Nanosecond))
+}
+
+// chargeMeta accounts the sequential metadata read of one examined block
+// (once per block per query).
+func (r *run) chargeMeta(pl *index.PostingList, b int) {
+	seen := r.metaSeen[pl]
+	if seen == nil {
+		seen = make(map[int]bool)
+		r.metaSeen[pl] = seen
+	}
+	if seen[b] {
+		return
+	}
+	seen[b] = true
+	// The first record of each chunk triggers one streaming prefetch of
+	// metaChunkEntries records.
+	if r.metaCount[pl]%metaChunkEntries == 0 {
+		r.m.AddSeqRead(metaChunkEntries*index.BlockMetaBytes, mem.CatLoadList)
+	}
+	r.metaCount[pl]++
+	r.fetchCycles += blockFetchCycles
+}
+
+// decoder returns the programmable decompression module configured for a
+// scheme (one per scheme per query, modeling reconfiguration at init()).
+func (r *run) decoder(s compress.Scheme) *decomp.Module {
+	d, ok := r.decoders[s]
+	if !ok {
+		if cfgs := r.acc.opts.decompConfigs; cfgs != nil {
+			cfg, ok := cfgs[s]
+			if !ok {
+				panic(fmt.Sprintf("core: configuration file programs no decoder for scheme %s", s))
+			}
+			var err error
+			d, err = decomp.NewModule(cfg)
+			if err != nil {
+				panic(fmt.Sprintf("core: bad decoder configuration for %s: %v", s, err))
+			}
+		} else {
+			d = decomp.NewModuleFor(s)
+		}
+		r.decoders[s] = d
+	}
+	return d
+}
+
+// fetchBlock loads and decodes a block through the programmable
+// decompression module, charging traffic and cycles once per query.
+func (r *run) fetchBlock(pl *index.PostingList, b int) *blockData {
+	blocks := r.loaded[pl]
+	if blocks == nil {
+		blocks = make(map[int]*blockData)
+		r.loaded[pl] = blocks
+	}
+	if bd, ok := blocks[b]; ok {
+		return bd
+	}
+	meta := pl.Blocks[b]
+	r.chargeMeta(pl, b)
+	// BOSS fetches blocks in ascending docID order with look-ahead from
+	// the metadata scan, so even post-skip fetches stream at sequential
+	// bandwidth (Section V-B contrasts this with IIU's random access).
+	r.m.AddSeqRead(int64(meta.Length), mem.CatLoadList)
+	r.m.BlocksFetched++
+	// The block-fetch module keeps a bounded number of requests in flight;
+	// each windowful exposes one device read latency on the pipeline.
+	if r.m.BlocksFetched%fetchQueueDepth == 0 {
+		r.m.SerialFetchHops++
+	}
+	r.m.PostingsDecoded += int64(meta.Count)
+
+	payload := pl.Data[meta.Offset : meta.Offset+meta.Length]
+	mod := r.decoder(pl.Scheme)
+	docs, used, cyc1, err := mod.Decode(payload, int(meta.Count), meta.FirstDoc, true)
+	if err != nil {
+		panic(fmt.Sprintf("core: decompression failed: %v", err))
+	}
+	tfs, _, cyc2, err := mod.Decode(payload[used:], int(meta.Count), 0, false)
+	if err != nil {
+		panic(fmt.Sprintf("core: tf decompression failed: %v", err))
+	}
+	r.decodeCycles[pl] += float64(cyc1 + cyc2)
+	bd := &blockData{docs: docs, tfs: tfs}
+	blocks[b] = bd
+	return bd
+}
+
+// cutoff returns the current top-k threshold (-Inf while not full).
+func (r *run) cutoff() float64 { return r.sel.Threshold() }
+
+// scoreDoc scores one document given its matched term postings, charges
+// norm traffic and scoring work, and offers it to the top-k module.
+func (r *run) scoreDoc(doc uint32, terms []termTF) {
+	r.m.DocsEvaluated++
+	// One per-document scoring-metadata access (the paper's +4 B/doc BM25
+	// normalizer). Scored docIDs ascend within a query, so the access
+	// stream is prefetch-friendly: charged at sequential bandwidth.
+	r.m.AddSeqRead(index.DocNormBytes, mem.CatLoadScore)
+	var s float64
+	for _, tt := range terms {
+		if r.acc.opts.FixedPoint {
+			p := r.acc.idx.Params
+			fs := p.FixedTermScore(
+				score.ToFixed(tt.pl.IDF),
+				tt.tf,
+				score.ToFixed(r.acc.idx.DocNorms[doc]),
+			)
+			s += fs.Float()
+		} else {
+			s += r.acc.idx.TermScore(tt.pl, doc, tt.tf)
+		}
+		r.scoreOps++
+	}
+	r.topkInserts++
+	r.sel.Insert(doc, s)
+}
+
+// termTF is one matched term's posting data for a document.
+type termTF struct {
+	pl *index.PostingList
+	tf uint32
+}
+
+// match is a matched document with all its term postings.
+type match struct {
+	doc   uint32
+	terms []termTF
+}
+
+// scoreAll scores a sorted match list.
+func (r *run) scoreAll(matches []match) {
+	for _, m := range matches {
+		r.scoreDoc(m.doc, m.terms)
+	}
+}

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"sort"
+
+	"boss/internal/index"
+	"boss/internal/mem"
+	"boss/internal/sim"
+)
+
+// Spill-stall bandwidths for the SpillIntermediates ablation (the paper's
+// Table I SCM figures; the ablation models an IIU-style design point on the
+// same device).
+const (
+	scmWriteGBs   = 9.2
+	scmSeqReadGBs = 25.6
+)
+
+// intersect runs the pipelined intersection path over a conjunction of
+// posting lists: Small-versus-Small ordering, mutual block-overlap checking
+// in the block-fetch module, and iterative passes whose intermediate
+// results stay on-chip (no memory spills — the paper's key difference from
+// IIU). Returns the matched documents with per-term postings, sorted by
+// docID.
+func (r *run) intersect(pls []*index.PostingList) []match {
+	ordered := append([]*index.PostingList(nil), pls...)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].DF < ordered[j].DF })
+
+	if len(ordered) == 1 {
+		return r.scanList(ordered[0])
+	}
+	out := r.firstPass(ordered[0], ordered[1])
+	for _, pl := range ordered[2:] {
+		if len(out) == 0 {
+			return out
+		}
+		if r.acc.opts.SpillIntermediates {
+			// Ablation: round-trip the intermediate through memory instead
+			// of feeding it back through the on-chip pipeline. The spill
+			// serializes the passes — the next pass cannot start until the
+			// store completes and the reload returns — so the round trip
+			// is charged as non-overlapped time on top of the traffic.
+			bytes := int64(len(out)) * resultEntryBytes
+			r.m.AddWrite(bytes, mem.CatStoreInter)
+			r.m.AddSeqRead(bytes, mem.CatLoadInter)
+			r.m.SerialFetchHops += 2 // store drain + reload latency
+			stall := sim.FromSeconds(float64(bytes)/(scmWriteGBs*1e9) +
+				float64(bytes)/(scmSeqReadGBs*1e9))
+			r.m.AddCompute(stall)
+		}
+		out = r.nextPass(out, pl)
+	}
+	return out
+}
+
+// scanList streams one whole posting list (a single-term conjunct inside a
+// mixed query).
+func (r *run) scanList(pl *index.PostingList) []match {
+	out := make([]match, 0, pl.DF)
+	for b := range pl.Blocks {
+		bd := r.fetchBlock(pl, b)
+		for i := range bd.docs {
+			r.mergeCycles++
+			out = append(out, match{doc: bd.docs[i], terms: []termTF{{pl, bd.tfs[i]}}})
+		}
+	}
+	return out
+}
+
+// firstPass intersects two posting lists with mutual block-overlap
+// checking: a block loads only if its docID range overlaps the other
+// list's current block (Figure 5(a)).
+func (r *run) firstPass(a, b *index.PostingList) []match {
+	var out []match
+	i, j := 0, 0
+	var A, B *blockData
+	posA, posB := 0, 0
+	for i < len(a.Blocks) && j < len(b.Blocks) {
+		am, bm := &a.Blocks[i], &b.Blocks[j]
+		r.chargeMeta(a, i)
+		r.chargeMeta(b, j)
+		if am.LastDoc < bm.FirstDoc {
+			if A == nil {
+				r.m.BlocksSkipped++
+			}
+			i++
+			A, posA = nil, 0
+			continue
+		}
+		if bm.LastDoc < am.FirstDoc {
+			if B == nil {
+				r.m.BlocksSkipped++
+			}
+			j++
+			B, posB = nil, 0
+			continue
+		}
+		if A == nil {
+			A = r.fetchBlock(a, i)
+		}
+		if B == nil {
+			B = r.fetchBlock(b, j)
+		}
+		for posA < len(A.docs) && posB < len(B.docs) {
+			r.mergeCycles++
+			da, db := A.docs[posA], B.docs[posB]
+			switch {
+			case da < db:
+				posA++
+			case da > db:
+				posB++
+			default:
+				out = append(out, match{
+					doc:   da,
+					terms: []termTF{{a, A.tfs[posA]}, {b, B.tfs[posB]}},
+				})
+				posA++
+				posB++
+			}
+		}
+		if posA >= len(A.docs) {
+			i++
+			A, posA = nil, 0
+		}
+		if posB >= len(B.docs) {
+			j++
+			B, posB = nil, 0
+		}
+	}
+	return out
+}
+
+// nextPass intersects the on-chip intermediate result with the next posting
+// list: intermediate docIDs feed the block-fetch module, which loads only
+// blocks containing at least one candidate (Figure 5(b)).
+func (r *run) nextPass(candidates []match, c *index.PostingList) []match {
+	var out []match
+	ci := 0
+	var C *blockData
+	posC := 0
+	for _, cand := range candidates {
+		for ci < len(c.Blocks) {
+			r.chargeMeta(c, ci)
+			if c.Blocks[ci].LastDoc >= cand.doc {
+				break
+			}
+			if C == nil {
+				r.m.BlocksSkipped++
+			}
+			ci++
+			C, posC = nil, 0
+		}
+		if ci >= len(c.Blocks) {
+			break
+		}
+		if c.Blocks[ci].FirstDoc > cand.doc {
+			continue // candidate falls in a gap: not in the list
+		}
+		if C == nil {
+			C = r.fetchBlock(c, ci)
+		}
+		for posC < len(C.docs) && C.docs[posC] < cand.doc {
+			posC++
+			r.mergeCycles++
+		}
+		r.mergeCycles++
+		if posC < len(C.docs) && C.docs[posC] == cand.doc {
+			terms := make([]termTF, 0, len(cand.terms)+1)
+			terms = append(terms, cand.terms...)
+			terms = append(terms, termTF{c, C.tfs[posC]})
+			out = append(out, match{doc: cand.doc, terms: terms})
+		}
+	}
+	return out
+}
+
+// mixed executes a mixed query as the paper prescribes: intersections
+// first (one pipelined intersection per DNF conjunct, all sharing the block
+// cache so common terms load once), then an on-chip union of the conjunct
+// outputs with per-term de-duplication, then scoring and top-k.
+func (r *run) mixed(conjuncts [][]*index.PostingList) {
+	lists := make([][]match, 0, len(conjuncts))
+	var maxMerge float64
+	for _, conj := range conjuncts {
+		before := r.mergeCycles
+		lists = append(lists, r.intersect(conj))
+		// The intersection module's three units run conjuncts
+		// concurrently: the slowest one bounds the stage.
+		delta := r.mergeCycles - before
+		r.mergeCycles = before
+		if delta > maxMerge {
+			maxMerge = delta
+		}
+	}
+	r.mergeCycles += maxMerge
+	r.scoreAll(r.mergeConjuncts(lists))
+}
+
+// mergeConjuncts merges sorted conjunct outputs by docID, de-duplicating
+// term contributions so a document matched by several conjuncts is scored
+// once with each distinct term.
+func (r *run) mergeConjuncts(lists [][]match) []match {
+	pos := make([]int, len(lists))
+	var out []match
+	for {
+		best := -1
+		var bestDoc uint32
+		for i, l := range lists {
+			if pos[i] >= len(l) {
+				continue
+			}
+			if d := l[pos[i]].doc; best < 0 || d < bestDoc {
+				best, bestDoc = i, d
+			}
+		}
+		if best < 0 {
+			return out
+		}
+		merged := match{doc: bestDoc}
+		for i, l := range lists {
+			if pos[i] < len(l) && l[pos[i]].doc == bestDoc {
+				for _, tt := range l[pos[i]].terms {
+					if !hasTerm(merged.terms, tt.pl) {
+						merged.terms = append(merged.terms, tt)
+					}
+				}
+				pos[i]++
+				r.mergeCycles++
+			}
+		}
+		out = append(out, merged)
+	}
+}
+
+func hasTerm(terms []termTF, pl *index.PostingList) bool {
+	for _, t := range terms {
+		if t.pl == pl {
+			return true
+		}
+	}
+	return false
+}

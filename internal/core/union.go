@@ -1,0 +1,267 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"boss/internal/index"
+)
+
+// ustream is one term's posting-list stream inside the union path.
+type ustream struct {
+	pl    *index.PostingList
+	ord   int        // position in the query (keeps score-sum order stable)
+	bi    int        // current block index
+	bd    *blockData // decoded block, nil when not (yet) loaded
+	pos   int        // cursor within bd
+	floor uint32     // docIDs below floor were pruned by interval skipping
+}
+
+// curBlock returns the stream's current block metadata, or nil at the end.
+func (s *ustream) curBlock() *index.BlockMeta {
+	if s.bi >= len(s.pl.Blocks) {
+		return nil
+	}
+	return &s.pl.Blocks[s.bi]
+}
+
+// advanceBlock moves to the next block, counting a skip if the current one
+// was never loaded.
+func (r *run) advanceBlock(s *ustream) {
+	if s.bd == nil {
+		r.m.BlocksSkipped++
+	}
+	s.bi++
+	s.bd = nil
+	s.pos = 0
+}
+
+// normalize discards blocks wholly below the stream's floor and positions
+// the cursor at the first un-pruned posting. Returns false when exhausted.
+func (r *run) normalize(s *ustream) bool {
+	for {
+		blk := s.curBlock()
+		if blk == nil {
+			return false
+		}
+		r.chargeMeta(s.pl, s.bi)
+		if s.floor > blk.LastDoc {
+			r.advanceBlock(s)
+			continue
+		}
+		if s.bd != nil {
+			for s.pos < len(s.bd.docs) && s.bd.docs[s.pos] < s.floor {
+				s.pos++
+			}
+			if s.pos >= len(s.bd.docs) {
+				r.advanceBlock(s)
+				continue
+			}
+		}
+		return true
+	}
+}
+
+// nextDoc reports the smallest docID the stream might produce next.
+func (s *ustream) nextDoc() uint32 {
+	if s.bd != nil {
+		return s.bd.docs[s.pos]
+	}
+	first := s.curBlock().FirstDoc
+	if s.floor > first {
+		return s.floor
+	}
+	return first
+}
+
+// union runs the union path: an interval sweep with block-level early
+// termination (the block-fetch module's score-estimation unit) feeding the
+// WAND union module, scoring, and top-k.
+func (r *run) union(pls []*index.PostingList) {
+	streams := make([]*ustream, len(pls))
+	for i, pl := range pls {
+		streams[i] = &ustream{pl: pl, ord: i}
+	}
+	for {
+		// Keep only live streams, positioned past their floors.
+		live := streams[:0]
+		for _, s := range streams {
+			if r.normalize(s) {
+				live = append(live, s)
+			}
+		}
+		streams = live
+		if len(streams) == 0 {
+			return
+		}
+
+		// The interval starts at the smallest upcoming docID.
+		lo := streams[0].nextDoc()
+		for _, s := range streams[1:] {
+			if d := s.nextDoc(); d < lo {
+				lo = d
+			}
+		}
+		// It ends where the covering-block set changes.
+		hi := uint32(math.MaxUint32)
+		var covering []*ustream
+		var ub float64
+		for _, s := range streams {
+			blk := s.curBlock()
+			if blk.FirstDoc <= lo {
+				covering = append(covering, s)
+				ub += blk.MaxScore
+				if blk.LastDoc < hi {
+					hi = blk.LastDoc
+				}
+			} else if blk.FirstDoc-1 < hi {
+				hi = blk.FirstDoc - 1
+			}
+		}
+
+		// Block-level ET: if even the sum of the covering blocks' maximum
+		// term-scores cannot beat the cutoff, no document in the interval
+		// can enter the top-k — skip without loading. The comparison is
+		// strict so score ties (resolved toward smaller docIDs by the
+		// top-k module) are never pruned.
+		if r.acc.opts.BlockET && r.sel.Full() && ub < r.cutoff() {
+			for _, s := range covering {
+				if s.curBlock().LastDoc <= hi {
+					r.advanceBlock(s)
+				} else {
+					s.floor = hi + 1
+				}
+			}
+			continue
+		}
+
+		r.scanInterval(covering, lo, hi)
+
+		// Streams whose block ended inside the interval move on.
+		for _, s := range covering {
+			if s.bd != nil && s.pos >= len(s.bd.docs) {
+				r.advanceBlock(s)
+			}
+		}
+	}
+}
+
+// scanInterval loads the covering blocks and runs the union module's
+// document loop over [lo, hi]: WAND pivoting when DocET is enabled, a plain
+// k-way merge otherwise.
+func (r *run) scanInterval(covering []*ustream, lo, hi uint32) {
+	for _, s := range covering {
+		if s.bd == nil {
+			s.bd = r.fetchBlock(s.pl, s.bi)
+			s.pos = 0
+			for s.pos < len(s.bd.docs) && s.bd.docs[s.pos] < s.floor {
+				s.pos++
+			}
+		}
+	}
+
+	active := make([]*ustream, 0, len(covering))
+	for {
+		active = active[:0]
+		for _, s := range covering {
+			if s.pos < len(s.bd.docs) && s.bd.docs[s.pos] <= hi {
+				active = append(active, s)
+			}
+		}
+		if len(active) == 0 {
+			return
+		}
+		// One union-module decision per iteration: the sorter orders sIDs,
+		// then the pivot selector / merger issues its verdict.
+		r.mergeCycles += 1.5
+
+		if r.acc.opts.DocET && r.sel.Full() {
+			if !r.wandStep(active, hi) {
+				return
+			}
+			continue
+		}
+		r.mergeStep(active)
+	}
+}
+
+// mergeStep performs one plain k-way merge step: score the smallest
+// document across active streams.
+func (r *run) mergeStep(active []*ustream) {
+	minDoc := active[0].bd.docs[active[0].pos]
+	for _, s := range active[1:] {
+		if d := s.bd.docs[s.pos]; d < minDoc {
+			minDoc = d
+		}
+	}
+	var terms []termTF
+	for _, s := range active {
+		if s.bd.docs[s.pos] == minDoc {
+			terms = append(terms, termTF{s.pl, s.bd.tfs[s.pos]})
+			s.pos++
+		}
+	}
+	r.scoreDoc(minDoc, terms)
+}
+
+// wandStep performs one WAND decision: pick the pivot by accumulating
+// list-level maximum scores in docID order; documents before the pivot
+// cannot beat the cutoff and are popped without scoring. Returns false when
+// the whole remaining interval is hopeless.
+func (r *run) wandStep(active []*ustream, hi uint32) bool {
+	sort.Slice(active, func(i, j int) bool {
+		return active[i].bd.docs[active[i].pos] < active[j].bd.docs[active[j].pos]
+	})
+	cutoff := r.cutoff()
+	acc := 0.0
+	pivot := -1
+	for i, s := range active {
+		acc += s.pl.MaxScore
+		// >= rather than >: documents tying the cutoff must still be
+		// scored so tie-breaking stays identical to exhaustive execution.
+		if acc >= cutoff {
+			pivot = i
+			break
+		}
+	}
+	if pivot < 0 {
+		// Even all lists together cannot beat the cutoff: drain the
+		// interval without scoring anything.
+		for _, s := range active {
+			for s.pos < len(s.bd.docs) && s.bd.docs[s.pos] <= hi {
+				s.pos++
+				r.mergeCycles++
+			}
+		}
+		return false
+	}
+	pivotDoc := active[pivot].bd.docs[active[pivot].pos]
+	if active[0].bd.docs[active[0].pos] == pivotDoc {
+		// Every stream before the pivot sits on the pivot document: score
+		// it with all matching streams. Matching streams are collected in
+		// query order so floating-point summation matches the exhaustive
+		// path bit for bit.
+		matched := make([]*ustream, 0, len(active))
+		for _, s := range active {
+			if s.pos < len(s.bd.docs) && s.bd.docs[s.pos] == pivotDoc {
+				matched = append(matched, s)
+			}
+		}
+		sort.Slice(matched, func(i, j int) bool { return matched[i].ord < matched[j].ord })
+		terms := make([]termTF, 0, len(matched))
+		for _, s := range matched {
+			terms = append(terms, termTF{s.pl, s.bd.tfs[s.pos]})
+			s.pos++
+		}
+		r.scoreDoc(pivotDoc, terms)
+		return true
+	}
+	// Otherwise pop documents below the pivot — they cannot win.
+	for _, s := range active[:pivot] {
+		for s.pos < len(s.bd.docs) && s.bd.docs[s.pos] < pivotDoc {
+			s.pos++
+			r.mergeCycles++
+		}
+	}
+	return true
+}

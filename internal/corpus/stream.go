@@ -1,0 +1,197 @@
+// Package corpus generates the synthetic workloads used throughout the
+// reproduction: the seven integer streams of Figure 3, document corpora that
+// stand in for ClueWeb12 and CC-News (the real corpora act on the results
+// only through their posting-list statistics, which we model directly), and
+// TREC-style query workloads typed per Table II.
+package corpus
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// StreamKind identifies one of the Figure 3 synthetic integer streams.
+type StreamKind int
+
+// The seven synthetic stream kinds of Figure 3.
+const (
+	UniformSparse StreamKind = iota // uniform docIDs over [0, 2^28)
+	UniformDense                    // uniform docIDs over [0, 2^26)
+	ClusterSparse                   // clustered docIDs over [0, 2^28)
+	ClusterDense                    // clustered docIDs over [0, 2^26)
+	Outlier10                       // normal(32, 20) deltas with 10% outliers
+	Outlier30                       // normal(32, 20) deltas with 30% outliers
+	ZipfStream                      // Zipf-distributed deltas
+)
+
+// String returns the stream kind's display name (as used in Figure 3).
+func (k StreamKind) String() string {
+	switch k {
+	case UniformSparse:
+		return "uniform-sparse"
+	case UniformDense:
+		return "uniform-dense"
+	case ClusterSparse:
+		return "cluster-sparse"
+	case ClusterDense:
+		return "cluster-dense"
+	case Outlier10:
+		return "outlier-10%"
+	case Outlier30:
+		return "outlier-30%"
+	case ZipfStream:
+		return "zipf"
+	default:
+		return fmt.Sprintf("StreamKind(%d)", int(k))
+	}
+}
+
+// AllStreamKinds lists the Figure 3 streams in display order.
+func AllStreamKinds() []StreamKind {
+	return []StreamKind{
+		UniformSparse, UniformDense, ClusterSparse, ClusterDense,
+		Outlier10, Outlier30, ZipfStream,
+	}
+}
+
+// GenerateStream produces n delta values (d-gaps) of the given kind. For the
+// docID-style kinds (uniform, cluster) it generates sorted distinct IDs over
+// the kind's range and returns consecutive differences, exactly the values an
+// inverted index compresses. For the delta-style kinds (outlier, zipf) the
+// values are the deltas themselves.
+func GenerateStream(kind StreamKind, n int, seed int64) []uint32 {
+	rng := rand.New(rand.NewSource(seed))
+	switch kind {
+	case UniformSparse:
+		return deltasOf(sortedDistinct(rng, n, 1<<28))
+	case UniformDense:
+		return deltasOf(sortedDistinct(rng, n, 1<<26))
+	case ClusterSparse:
+		return deltasOf(clusteredDistinct(rng, n, 1<<28))
+	case ClusterDense:
+		return deltasOf(clusteredDistinct(rng, n, 1<<26))
+	case Outlier10:
+		return outlierDeltas(rng, n, 0.10)
+	case Outlier30:
+		return outlierDeltas(rng, n, 0.30)
+	case ZipfStream:
+		return zipfDeltas(rng, n)
+	default:
+		panic("corpus: unknown stream kind")
+	}
+}
+
+// sortedDistinct returns n distinct sorted uint32 values uniform over
+// [0, max). It requires n <= max/2 to terminate quickly.
+func sortedDistinct(rng *rand.Rand, n int, max int64) []uint32 {
+	if int64(n) > max/2 {
+		panic("corpus: stream too dense for range")
+	}
+	seen := make(map[uint32]struct{}, n)
+	out := make([]uint32, 0, n)
+	for len(out) < n {
+		v := uint32(rng.Int63n(max))
+		if _, dup := seen[v]; dup {
+			continue
+		}
+		seen[v] = struct{}{}
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// clusteredDistinct returns n distinct sorted values drawn from randomly
+// placed clusters within [0, max), mimicking docID locality.
+func clusteredDistinct(rng *rand.Rand, n int, max int64) []uint32 {
+	numClusters := n / 256
+	if numClusters < 1 {
+		numClusters = 1
+	}
+	centers := make([]int64, numClusters)
+	for i := range centers {
+		centers[i] = rng.Int63n(max)
+	}
+	width := float64(max) / float64(numClusters) / 16
+	if width < 4 {
+		width = 4
+	}
+	seen := make(map[uint32]struct{}, n)
+	out := make([]uint32, 0, n)
+	for len(out) < n {
+		c := centers[rng.Intn(numClusters)]
+		v := c + int64(rng.NormFloat64()*width)
+		if v < 0 || v >= max {
+			continue
+		}
+		u := uint32(v)
+		if _, dup := seen[u]; dup {
+			continue
+		}
+		seen[u] = struct{}{}
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// deltasOf converts sorted distinct values to d-gaps (first value kept
+// as-is relative to zero).
+func deltasOf(sorted []uint32) []uint32 {
+	prev := uint32(0)
+	out := make([]uint32, len(sorted))
+	for i, v := range sorted {
+		out[i] = v - prev
+		prev = v
+	}
+	return out
+}
+
+// outlierDeltas draws deltas from |normal(mean=32, sd=20)| with the given
+// fraction replaced by large uniform outliers, matching the paper's outlier
+// streams.
+func outlierDeltas(rng *rand.Rand, n int, outlierFrac float64) []uint32 {
+	out := make([]uint32, n)
+	for i := range out {
+		if rng.Float64() < outlierFrac {
+			out[i] = uint32(rng.Int63n(1 << 27))
+			continue
+		}
+		v := rng.NormFloat64()*20 + 32
+		if v < 0 {
+			v = -v
+		}
+		out[i] = uint32(v)
+	}
+	return out
+}
+
+// zipfDeltas draws deltas from a Zipf distribution (s=1.2), producing the
+// heavy-tailed gap pattern of the paper's zipf stream.
+func zipfDeltas(rng *rand.Rand, n int) []uint32 {
+	z := rand.NewZipf(rng, 1.2, 1, 1<<24)
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = uint32(z.Uint64())
+	}
+	return out
+}
+
+// logUniformInt returns an integer in [1, max] distributed log-uniformly,
+// used for sampling query-term ranks across frequency decades.
+func logUniformInt(rng *rand.Rand, max int) int {
+	if max <= 1 {
+		return 1
+	}
+	v := math.Exp(rng.Float64() * math.Log(float64(max)))
+	r := int(v)
+	if r < 1 {
+		r = 1
+	}
+	if r > max {
+		r = max
+	}
+	return r
+}

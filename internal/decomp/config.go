@@ -1,0 +1,285 @@
+package decomp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"boss/internal/compress"
+)
+
+// ExtractorKind selects which stage-1 extractor unit a configuration
+// enables.
+type ExtractorKind int
+
+// Stage-1 extractor units (Figure 6's "Extractor[0..2]").
+const (
+	ExtractFixedWidth ExtractorKind = iota // bit fields at a header-encoded width
+	ExtractByte                            // one byte per cycle (VariableByte)
+	ExtractSelector                        // selector-tagged words (Simple16/Simple8b)
+)
+
+// Config is a parsed decompression-module configuration: which extractor
+// stage 1 uses and how, the stage-2 netlist, and the stage-3/4 switches.
+type Config struct {
+	// Extractor selects the stage-1 unit.
+	Extractor ExtractorKind
+	// HeaderLength is the bit length of the per-block width header consumed
+	// by the fixed-width extractor (8 for the BP layout).
+	HeaderLength int
+	// PFDHeader enables PForDelta framing in the fixed-width extractor:
+	// the (b, exception count, exception positions) header is parsed and
+	// exceptions are forwarded to stage 3.
+	PFDHeader bool
+	// SelectorTable names the field-width table for the selector extractor
+	// ("s16" or "s8b").
+	SelectorTable string
+	// Netlist is the stage-2 program.
+	Netlist *Netlist
+	// UseExceptions enables stage 3 (exception patching).
+	UseExceptions bool
+	// UseDelta enables stage 4 (delta accumulation) by default.
+	UseDelta bool
+}
+
+// ParseConfig parses a configuration file in the paper's Figure 8 syntax:
+// `//`-comments, `Extractor[i].key = value` extractor settings,
+// `RegInit(...)` and `name := OP(...)` netlist statements, and scalar
+// parameter assignments (`UseDelta = 1`, chained `A = B = 0` accepted).
+func ParseConfig(src string) (*Config, error) {
+	cfg := &Config{Netlist: &Netlist{}}
+	extractorUse := map[int]bool{}
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		err := cfg.parseLine(line, extractorUse)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
+		}
+	}
+	// Resolve which extractor is in use.
+	n := 0
+	for k, used := range extractorUse {
+		if used {
+			cfg.Extractor = ExtractorKind(k)
+			n++
+		}
+	}
+	if n != 1 {
+		return nil, fmt.Errorf("decomp: exactly one extractor must be enabled, got %d", n)
+	}
+	if cfg.Extractor == ExtractSelector && cfg.SelectorTable == "" {
+		return nil, fmt.Errorf("decomp: selector extractor requires a table")
+	}
+	if len(cfg.Netlist.assigns) == 0 {
+		return nil, fmt.Errorf("decomp: stage 2 netlist is empty")
+	}
+	return cfg, nil
+}
+
+func (cfg *Config) parseLine(line string, extractorUse map[int]bool) error {
+	switch {
+	case strings.HasPrefix(line, "RegInit"):
+		reg, err := parseRegInit(line)
+		if err != nil {
+			return err
+		}
+		cfg.Netlist.regs = append(cfg.Netlist.regs, reg)
+		return nil
+	case strings.Contains(line, ":="):
+		a, err := parseAssignment(line)
+		if err != nil {
+			return err
+		}
+		cfg.Netlist.assigns = append(cfg.Netlist.assigns, a)
+		return nil
+	case strings.HasPrefix(line, "Extractor["):
+		return cfg.parseExtractorLine(line, extractorUse)
+	case strings.Contains(line, "="):
+		return cfg.parseScalarLine(line)
+	default:
+		return fmt.Errorf("decomp: cannot parse %q", line)
+	}
+}
+
+func (cfg *Config) parseExtractorLine(line string, extractorUse map[int]bool) error {
+	// Extractor[i].key = value
+	open := strings.IndexByte(line, '[')
+	closeB := strings.IndexByte(line, ']')
+	if open < 0 || closeB < open+1 || closeB+1 >= len(line) || line[closeB+1] != '.' {
+		return fmt.Errorf("decomp: malformed extractor line %q", line)
+	}
+	idx, err := strconv.Atoi(line[open+1 : closeB])
+	if err != nil || idx < 0 || idx > 2 {
+		return fmt.Errorf("decomp: bad extractor index in %q", line)
+	}
+	kv := strings.SplitN(line[closeB+2:], "=", 2)
+	if len(kv) != 2 {
+		return fmt.Errorf("decomp: expected key = value in %q", line)
+	}
+	key := strings.TrimSpace(kv[0])
+	val := strings.TrimSpace(kv[1])
+	switch key {
+	case "use":
+		b, err := strconv.Atoi(val)
+		if err != nil {
+			return fmt.Errorf("decomp: bad use value %q", val)
+		}
+		extractorUse[idx] = b != 0
+	case "headerLength":
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return fmt.Errorf("decomp: bad headerLength %q", val)
+		}
+		cfg.HeaderLength = n
+	case "pfdHeader":
+		cfg.PFDHeader = val != "0"
+	case "table":
+		cfg.SelectorTable = val
+	default:
+		return fmt.Errorf("decomp: unknown extractor key %q", key)
+	}
+	return nil
+}
+
+func (cfg *Config) parseScalarLine(line string) error {
+	// Possibly chained: A = B = 0. The final element is the value; all
+	// earlier elements are keys.
+	parts := strings.Split(line, "=")
+	valText := strings.TrimSpace(parts[len(parts)-1])
+	val, err := strconv.ParseInt(valText, 0, 64)
+	if err != nil {
+		return fmt.Errorf("decomp: bad scalar value %q", valText)
+	}
+	for _, rawKey := range parts[:len(parts)-1] {
+		key := strings.TrimSpace(rawKey)
+		switch key {
+		case "UseDelta":
+			cfg.UseDelta = val != 0
+		case "UseExceptions":
+			cfg.UseExceptions = val != 0
+		case "ExceptionValue", "ExceptionIndex":
+			// The paper's VB example writes `ExceptionValue =
+			// ExceptionIndex = 0` to disable stage 3.
+			if val != 0 {
+				cfg.UseExceptions = true
+			}
+		default:
+			return fmt.Errorf("decomp: unknown parameter %q", key)
+		}
+	}
+	return nil
+}
+
+// identityNetlist is the stage-2 program for schemes whose payloads need no
+// per-token manipulation (extraction already yields final values).
+const identityNetlist = `
+Output := Input
+Output.valid := 1
+`
+
+// ConfigText returns the canonical configuration-file text for a scheme, in
+// the Figure 8 language. ParseConfig(ConfigText(s)) yields a module that
+// decodes payloads produced by compress.ForScheme(s) bit-exactly.
+func ConfigText(s compress.Scheme) string {
+	switch s {
+	case compress.BP:
+		return `
+// Stage 1: fixed bit-width fields behind a 1-byte width header
+Extractor[0].use = 1
+Extractor[1].use = 0
+Extractor[2].use = 0
+Extractor[0].headerLength = 8
+// Stage 2: payloads are final values
+` + identityNetlist + `
+// Stage 3
+ExceptionValue = ExceptionIndex = 0
+// Stage 4
+UseDelta = 1
+`
+	case compress.VB:
+		// This is the paper's Figure 8 program.
+		return `
+// Stage 1: byte stream
+Extractor[0].use = 0
+Extractor[1].use = 1
+Extractor[2].use = 0
+Extractor[1].headerLength = 0
+// Stage 2: accumulate 7-bit groups; MSB terminates a value
+RegInit( Reg, 0, reset )
+reset := SHR(Input, 0x7)
+wire1 := AND(Input, 0x7F)
+wire2 := SHL(Reg, 7)
+wire3 := ADD(wire1, wire2)
+Reg := wire3
+Output := wire3
+Output.valid := SHR(Input, 0x7)
+// Stage 3
+ExceptionValue = ExceptionIndex = 0
+// Stage 4
+UseDelta = 1
+`
+	case compress.PFD, compress.OptPFD:
+		return `
+// Stage 1: PForDelta framing (b, exception count, positions)
+Extractor[0].use = 1
+Extractor[1].use = 0
+Extractor[2].use = 0
+Extractor[0].pfdHeader = 1
+// Stage 2: low bits are final values (exceptions patched in stage 3)
+` + identityNetlist + `
+// Stage 3: patch exception values at their recorded positions
+UseExceptions = 1
+// Stage 4
+UseDelta = 1
+`
+	case compress.S16:
+		return `
+// Stage 1: 32-bit words with 4-bit mode selectors
+Extractor[0].use = 0
+Extractor[1].use = 0
+Extractor[2].use = 1
+Extractor[2].table = s16
+// Stage 2
+` + identityNetlist + `
+// Stage 3
+ExceptionValue = ExceptionIndex = 0
+// Stage 4
+UseDelta = 1
+`
+	case compress.S8b:
+		return `
+// Stage 1: 64-bit words with 4-bit selectors
+Extractor[0].use = 0
+Extractor[1].use = 0
+Extractor[2].use = 1
+Extractor[2].table = s8b
+// Stage 2
+` + identityNetlist + `
+// Stage 3
+ExceptionValue = ExceptionIndex = 0
+// Stage 4
+UseDelta = 1
+`
+	default:
+		panic("decomp: no config for scheme " + s.String())
+	}
+}
+
+// ConfigFor parses the canonical configuration for a scheme.
+func ConfigFor(s compress.Scheme) *Config {
+	cfg, err := ParseConfig(ConfigText(s))
+	if err != nil {
+		panic("decomp: built-in config failed to parse: " + err.Error())
+	}
+	return cfg
+}

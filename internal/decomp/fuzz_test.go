@@ -1,0 +1,50 @@
+package decomp
+
+import (
+	"testing"
+
+	"boss/internal/compress"
+)
+
+// FuzzParseConfig checks the configuration-language parser never panics on
+// arbitrary text.
+func FuzzParseConfig(f *testing.F) {
+	for _, s := range compress.AllSchemes() {
+		f.Add(ConfigText(s))
+	}
+	f.Add("Extractor[1].use = 1\nOutput := Input\nOutput.valid := 1")
+	f.Add("RegInit(R, 0, x)\nx := SHR(Input, 99999999999999999999)")
+	f.Add("Extractor[-1].use = 1")
+	f.Add("a := MUX(b, c, d, e)")
+	f.Add("= = = =")
+	f.Fuzz(func(t *testing.T, src string) {
+		cfg, err := ParseConfig(src)
+		if err != nil {
+			return
+		}
+		// Anything accepted must be runnable without panicking (errors are
+		// acceptable: undefined wires surface at run time).
+		cfg.Netlist.Run([]uint64{0, 1, 0x80, 0xFF}, 8)
+	})
+}
+
+// FuzzModuleDecode checks that decoding arbitrary (often corrupt) payloads
+// returns errors rather than panicking, for every scheme.
+func FuzzModuleDecode(f *testing.F) {
+	codec := compress.ForScheme(compress.BP)
+	f.Add(uint8(0), codec.Encode(nil, []uint32{1, 2, 3}), uint8(3))
+	f.Add(uint8(4), []byte{0xFF, 0x01}, uint8(10))
+	f.Add(uint8(2), []byte{}, uint8(1))
+	f.Fuzz(func(t *testing.T, schemeSeed uint8, payload []byte, nSeed uint8) {
+		scheme := compress.AllSchemes()[int(schemeSeed)%len(compress.AllSchemes())]
+		mod := NewModuleFor(scheme)
+		n := int(nSeed)%128 + 1
+		// Must not panic; error or success are both acceptable.
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("%s: Decode panicked on corrupt payload: %v", scheme, r)
+			}
+		}()
+		mod.Decode(payload, n, 0, true)
+	})
+}

@@ -1,0 +1,312 @@
+package decomp
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"boss/internal/compress"
+)
+
+// pipelineDepth is the module's four stages; a block's last value drains
+// through this many extra cycles.
+const pipelineDepth = 4
+
+// extractLanes is the number of payloads stage 1 extracts per cycle for
+// field-structured schemes (Figure 6 shows multiple parallel extractor
+// units). The byte-serial VariableByte netlist cannot use the lanes: its
+// stage-2 register carries a dependency from one byte to the next.
+const extractLanes = 2
+
+// exception is a stage-3 patch produced by the PFD extractor: value at
+// position pos gets high OR-ed in (already shifted to its final position).
+type exception struct {
+	pos  int
+	high uint64
+}
+
+// Module is one instance of the programmable decompression module,
+// configured for a concrete scheme. It is not safe for concurrent use; each
+// hardware decompression unit owns one instance.
+type Module struct {
+	cfg *Config
+
+	// selector tables resolved at configuration time
+	s16 [][]int
+	s8b []compress.S8bModeInfo
+
+	// statistics
+	cycles int64
+	blocks int64
+	values int64
+}
+
+// NewModule builds a module from a parsed configuration.
+func NewModule(cfg *Config) (*Module, error) {
+	m := &Module{cfg: cfg}
+	if cfg.Extractor == ExtractSelector {
+		switch cfg.SelectorTable {
+		case "s16":
+			m.s16 = compress.S16FieldWidths()
+		case "s8b":
+			m.s8b = compress.S8bModeTable()
+		default:
+			return nil, fmt.Errorf("decomp: unknown selector table %q", cfg.SelectorTable)
+		}
+	}
+	return m, nil
+}
+
+// NewModuleFor builds a module from the built-in configuration of a scheme.
+func NewModuleFor(s compress.Scheme) *Module {
+	m, err := NewModule(ConfigFor(s))
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Cycles reports total datapath cycles consumed since creation.
+func (m *Module) Cycles() int64 { return m.cycles }
+
+// Blocks reports how many block payloads were decoded.
+func (m *Module) Blocks() int64 { return m.blocks }
+
+// Values reports how many values were produced.
+func (m *Module) Values() int64 { return m.values }
+
+// Decode runs the four-stage datapath over a block payload, producing n
+// values. base and applyDelta drive stage 4 (docID streams use delta with
+// the block's first docID as base; tf streams do not). It returns the
+// decoded values, the number of payload bytes consumed, and the cycles the
+// block occupied the datapath.
+func (m *Module) Decode(payload []byte, n int, base uint32, applyDelta bool) (values []uint32, bytesConsumed int, cycles int, err error) {
+	// Stage 1: extraction.
+	tokens, exceptions, used, extractCycles, err := m.extract(payload, n)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+
+	// Stage 2: programmable manipulation.
+	outs, netCycles, err := m.cfg.Netlist.Run(tokens, n)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if len(outs) != n {
+		return nil, 0, 0, fmt.Errorf("decomp: produced %d values, want %d", len(outs), n)
+	}
+	if m.cfg.Extractor == ExtractByte {
+		// The byte extractor's consumption is known only once stage 2 has
+		// terminated n values: one byte per netlist cycle.
+		used = netCycles
+	}
+
+	// Stage 3: exception patching.
+	if m.cfg.UseExceptions {
+		for _, e := range exceptions {
+			if e.pos >= len(outs) {
+				return nil, 0, 0, fmt.Errorf("decomp: exception position %d out of range", e.pos)
+			}
+			outs[e.pos] |= e.high
+		}
+	}
+
+	// Stage 4: delta accumulation.
+	values = make([]uint32, n)
+	if applyDelta {
+		acc := uint64(base)
+		for i, v := range outs {
+			acc += v
+			values[i] = uint32(acc)
+		}
+	} else {
+		for i, v := range outs {
+			values[i] = uint32(v)
+		}
+	}
+
+	// Field-structured schemes flow through the lanes end to end (stage 2
+	// is stateless for them); the byte-serial VB netlist is bound by its
+	// one-byte-per-cycle register dependency.
+	if m.cfg.Extractor == ExtractByte {
+		cycles = netCycles
+	} else {
+		cycles = extractCycles
+	}
+	cycles += pipelineDepth
+	m.cycles += int64(cycles)
+	m.blocks++
+	m.values += int64(n)
+	return values, used, cycles, nil
+}
+
+// extract runs the configured stage-1 unit.
+func (m *Module) extract(payload []byte, n int) (tokens []uint64, exceptions []exception, used, cycles int, err error) {
+	switch m.cfg.Extractor {
+	case ExtractFixedWidth:
+		if m.cfg.PFDHeader {
+			return extractPFD(payload, n)
+		}
+		return extractFixedWidth(payload, n, m.cfg.HeaderLength)
+	case ExtractByte:
+		return extractBytes(payload, n)
+	case ExtractSelector:
+		if m.s16 != nil {
+			return extractS16(payload, n, m.s16)
+		}
+		return extractS8b(payload, n, m.s8b)
+	default:
+		return nil, nil, 0, 0, fmt.Errorf("decomp: unknown extractor")
+	}
+}
+
+// extractFixedWidth handles the BP layout: a width header of headerLength
+// bits (rounded up to whole bytes) followed by n packed fields.
+func extractFixedWidth(payload []byte, n, headerLength int) ([]uint64, []exception, int, int, error) {
+	headerBytes := (headerLength + 7) / 8
+	if headerBytes < 1 {
+		return nil, nil, 0, 0, fmt.Errorf("decomp: fixed-width extractor needs a width header")
+	}
+	if len(payload) < headerBytes {
+		return nil, nil, 0, 0, fmt.Errorf("decomp: payload shorter than header")
+	}
+	width := int(payload[0])
+	if width > 32 {
+		return nil, nil, 0, 0, fmt.Errorf("decomp: width %d out of range", width)
+	}
+	tokens, used, err := unpackFields(payload[headerBytes:], n, width)
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	return tokens, nil, headerBytes + used, (n + extractLanes - 1) / extractLanes, nil
+}
+
+// extractPFD handles the PForDelta layout (see internal/compress/pfd.go):
+// [b][nExc][positions][low bits][VB-coded exception highs]. The exception
+// highs are pre-shifted so stage 3 only ORs them in.
+func extractPFD(payload []byte, n int) ([]uint64, []exception, int, int, error) {
+	if len(payload) < 2 {
+		return nil, nil, 0, 0, fmt.Errorf("decomp: PFD payload too short")
+	}
+	b := int(payload[0])
+	nExc := int(payload[1])
+	pos := 2
+	if len(payload) < pos+nExc {
+		return nil, nil, 0, 0, fmt.Errorf("decomp: PFD exception header truncated")
+	}
+	excPos := payload[pos : pos+nExc]
+	pos += nExc
+	tokens, used, err := unpackFields(payload[pos:], n, b)
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	pos += used
+	exceptions := make([]exception, nExc)
+	for i := 0; i < nExc; i++ {
+		var hv uint64
+		for {
+			if pos >= len(payload) {
+				return nil, nil, 0, 0, fmt.Errorf("decomp: PFD exception stream truncated")
+			}
+			by := payload[pos]
+			pos++
+			hv = hv<<7 | uint64(by&0x7F)
+			if by&0x80 != 0 {
+				break
+			}
+		}
+		exceptions[i] = exception{pos: int(excPos[i]), high: hv << uint(b)}
+	}
+	return tokens, exceptions, pos, (n+extractLanes-1)/extractLanes + nExc, nil
+}
+
+// extractBytes feeds the raw byte stream (VariableByte). The byte count
+// actually consumed is only known after stage 2 terminates values, so the
+// extractor hands over the full payload; Decode trims consumption by cycle
+// count (one byte per cycle).
+func extractBytes(payload []byte, n int) ([]uint64, []exception, int, int, error) {
+	tokens := make([]uint64, len(payload))
+	for i, b := range payload {
+		tokens[i] = uint64(b)
+	}
+	// Consumption is refined by the caller via cycle count; here report
+	// the worst case so callers that ignore VB trimming stay safe.
+	return tokens, nil, len(payload), len(payload), nil
+}
+
+// extractS16 walks Simple16 words, emitting fields as tokens.
+func extractS16(payload []byte, n int, table [][]int) ([]uint64, []exception, int, int, error) {
+	tokens := make([]uint64, 0, n)
+	pos := 0
+	for len(tokens) < n {
+		if pos+4 > len(payload) {
+			return nil, nil, 0, 0, fmt.Errorf("decomp: S16 payload truncated")
+		}
+		word := binary.LittleEndian.Uint32(payload[pos:])
+		pos += 4
+		widths := table[word>>28]
+		shift := 0
+		for _, w := range widths {
+			if len(tokens) >= n {
+				break
+			}
+			tokens = append(tokens, uint64((word>>uint(shift))&(1<<uint(w)-1)))
+			shift += w
+		}
+	}
+	return tokens, nil, pos, (n + extractLanes - 1) / extractLanes, nil
+}
+
+// extractS8b walks Simple8b words, emitting fields as tokens.
+func extractS8b(payload []byte, n int, table []compress.S8bModeInfo) ([]uint64, []exception, int, int, error) {
+	tokens := make([]uint64, 0, n)
+	pos := 0
+	for len(tokens) < n {
+		if pos+8 > len(payload) {
+			return nil, nil, 0, 0, fmt.Errorf("decomp: S8b payload truncated")
+		}
+		word := binary.LittleEndian.Uint64(payload[pos:])
+		pos += 8
+		m := table[word>>60]
+		if m.Width == 0 {
+			for i := 0; i < m.Count && len(tokens) < n; i++ {
+				tokens = append(tokens, 0)
+			}
+			continue
+		}
+		mask := uint64(1)<<uint(m.Width) - 1
+		shift := 0
+		for i := 0; i < m.Count && len(tokens) < n; i++ {
+			tokens = append(tokens, (word>>uint(shift))&mask)
+			shift += m.Width
+		}
+	}
+	return tokens, nil, pos, (n + extractLanes - 1) / extractLanes, nil
+}
+
+// unpackFields reads n fields of width bits from src (LSB-first bit
+// stream), as uint64 tokens.
+func unpackFields(src []byte, n, width int) ([]uint64, int, error) {
+	if width == 0 {
+		return make([]uint64, n), 0, nil
+	}
+	need := (n*width + 7) / 8
+	if len(src) < need {
+		return nil, 0, fmt.Errorf("decomp: packed fields truncated (%d < %d bytes)", len(src), need)
+	}
+	mask := uint64(1)<<uint(width) - 1
+	tokens := make([]uint64, 0, n)
+	var acc uint64
+	accBits := 0
+	pos := 0
+	for i := 0; i < n; i++ {
+		for accBits < width {
+			acc |= uint64(src[pos]) << uint(accBits)
+			pos++
+			accBits += 8
+		}
+		tokens = append(tokens, acc&mask)
+		acc >>= uint(width)
+		accBits -= width
+	}
+	return tokens, pos, nil
+}

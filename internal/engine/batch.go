@@ -1,0 +1,68 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+
+	"boss/internal/perf"
+	"boss/internal/query"
+)
+
+// BatchResult is the outcome of a concurrently executed query batch.
+type BatchResult struct {
+	// Results holds one Result per input query, in input order.
+	Results []Result
+	// Err is the first error encountered (remaining queries still run).
+	Err error
+	// Aggregate merges every query's work metrics.
+	Aggregate *perf.Metrics
+}
+
+// RunBatch executes queries concurrently on the given number of worker
+// goroutines (0 = GOMAXPROCS), modeling the paper's 8-thread Lucene
+// deployment where each in-flight query owns one core. Results preserve
+// input order and are deterministic: each query's execution is independent
+// and the engine itself is stateless.
+func (e *Engine) RunBatch(nodes []*query.Node, k, workers int) *BatchResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(nodes) {
+		workers = len(nodes)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	br := &BatchResult{Results: make([]Result, len(nodes)), Aggregate: perf.NewMetrics()}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		next = make(chan int)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				res, err := e.Run(nodes[i], k)
+				mu.Lock()
+				if err != nil && br.Err == nil {
+					br.Err = err
+				}
+				br.Results[i] = res
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := range nodes {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, r := range br.Results {
+		if r.M != nil {
+			br.Aggregate.Merge(r.M)
+		}
+	}
+	return br
+}

@@ -1,0 +1,86 @@
+package engine
+
+import (
+	"testing"
+
+	"boss/internal/corpus"
+	"boss/internal/query"
+)
+
+func batchNodes(f *testFixture) []*query.Node {
+	var nodes []*query.Node
+	for _, qt := range corpus.AllQueryTypes() {
+		for _, q := range corpus.SampleQueries(f.c, qt, 4, 9) {
+			nodes = append(nodes, query.MustParse(q.Expr))
+		}
+	}
+	return nodes
+}
+
+func TestRunBatchMatchesSequential(t *testing.T) {
+	f := newFixture(t)
+	nodes := batchNodes(f)
+	br := f.eng.RunBatch(nodes, 25, 8)
+	if br.Err != nil {
+		t.Fatal(br.Err)
+	}
+	if len(br.Results) != len(nodes) {
+		t.Fatalf("got %d results for %d queries", len(br.Results), len(nodes))
+	}
+	for i, node := range nodes {
+		want, err := f.eng.Run(node, 25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameEntries(br.Results[i].TopK, want.TopK) {
+			t.Fatalf("query %d: batch result differs from sequential", i)
+		}
+		if br.Results[i].M.ComputeTime != want.M.ComputeTime {
+			t.Fatalf("query %d: batch metrics differ from sequential", i)
+		}
+	}
+}
+
+func TestRunBatchAggregates(t *testing.T) {
+	f := newFixture(t)
+	nodes := batchNodes(f)[:6]
+	br := f.eng.RunBatch(nodes, 10, 3)
+	if br.Err != nil {
+		t.Fatal(br.Err)
+	}
+	var wantDocs int64
+	for _, r := range br.Results {
+		wantDocs += r.M.DocsEvaluated
+	}
+	if br.Aggregate.DocsEvaluated != wantDocs {
+		t.Fatalf("aggregate docs = %d, sum = %d", br.Aggregate.DocsEvaluated, wantDocs)
+	}
+}
+
+func TestRunBatchPropagatesErrors(t *testing.T) {
+	f := newFixture(t)
+	nodes := []*query.Node{
+		query.MustParse(`"t0"`),
+		query.MustParse(`"notaterm"`),
+		query.MustParse(`"t1"`),
+	}
+	br := f.eng.RunBatch(nodes, 10, 2)
+	if br.Err == nil {
+		t.Fatal("batch should report the unknown-term error")
+	}
+	// The valid queries still produced results.
+	if len(br.Results[0].TopK) == 0 || len(br.Results[2].TopK) == 0 {
+		t.Fatal("valid queries in a failing batch should still complete")
+	}
+}
+
+func TestRunBatchWorkerClamping(t *testing.T) {
+	f := newFixture(t)
+	nodes := batchNodes(f)[:2]
+	for _, workers := range []int{0, 1, 100} {
+		br := f.eng.RunBatch(nodes, 5, workers)
+		if br.Err != nil || len(br.Results) != 2 {
+			t.Fatalf("workers=%d: batch failed", workers)
+		}
+	}
+}

@@ -1,0 +1,342 @@
+package engine
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"boss/internal/compress"
+	"boss/internal/corpus"
+	"boss/internal/index"
+	"boss/internal/mem"
+	"boss/internal/query"
+	"boss/internal/topk"
+)
+
+// testFixture builds a small corpus + index shared across tests.
+type testFixture struct {
+	c   *corpus.Corpus
+	idx *index.Index
+	eng *Engine
+}
+
+func newFixture(t testing.TB) *testFixture {
+	t.Helper()
+	c := corpus.Generate(corpus.CCNewsLike(0.004))
+	idx := index.Build(c, index.BuildOptions{Scheme: compress.SchemeHybrid})
+	return &testFixture{c: c, idx: idx, eng: New(idx)}
+}
+
+// refEval evaluates a query AST by brute force directly over the corpus
+// postings, returning the exact top-k. This is the ground truth every
+// engine model in the repository is tested against.
+func refEval(c *corpus.Corpus, idx *index.Index, node *query.Node, k int) []topk.Entry {
+	scores := refScores(c, idx, node)
+	entries := make([]topk.Entry, 0, len(scores))
+	for doc, s := range scores {
+		entries = append(entries, topk.Entry{DocID: doc, Score: s})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Score != entries[j].Score {
+			return entries[i].Score > entries[j].Score
+		}
+		return entries[i].DocID < entries[j].DocID
+	})
+	if len(entries) > k {
+		entries = entries[:k]
+	}
+	return entries
+}
+
+// refScores returns docID -> query score for all matching documents.
+func refScores(c *corpus.Corpus, idx *index.Index, node *query.Node) map[uint32]float64 {
+	switch node.Op {
+	case query.OpTerm:
+		pl := idx.MustList(node.Term)
+		out := make(map[uint32]float64)
+		for _, p := range c.Term(node.Term) {
+			out[p.DocID] = idx.TermScore(pl, p.DocID, p.TF)
+		}
+		return out
+	case query.OpAnd:
+		result := refScores(c, idx, node.Children[0])
+		for _, child := range node.Children[1:] {
+			cs := refScores(c, idx, child)
+			for doc := range result {
+				if add, ok := cs[doc]; ok {
+					result[doc] += add
+				} else {
+					delete(result, doc)
+				}
+			}
+		}
+		return result
+	case query.OpOr:
+		result := make(map[uint32]float64)
+		for _, child := range node.Children {
+			for doc, s := range refScores(c, idx, child) {
+				result[doc] += s
+			}
+		}
+		return result
+	default:
+		panic("unknown op")
+	}
+}
+
+// sameEntries compares two top-k lists allowing tiny float drift.
+func sameEntries(a, b []topk.Entry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].DocID != b[i].DocID {
+			return false
+		}
+		if math.Abs(a[i].Score-b[i].Score) > 1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+func queryExprsForTests(c *corpus.Corpus) []string {
+	var exprs []string
+	for _, qt := range corpus.AllQueryTypes() {
+		for _, q := range corpus.SampleQueries(c, qt, 6, 31) {
+			exprs = append(exprs, q.Expr)
+		}
+	}
+	return exprs
+}
+
+func TestEngineMatchesBruteForce(t *testing.T) {
+	f := newFixture(t)
+	for _, expr := range queryExprsForTests(f.c) {
+		node := query.MustParse(expr)
+		res, err := f.eng.Run(node, 50)
+		if err != nil {
+			t.Fatalf("%s: %v", expr, err)
+		}
+		want := refEval(f.c, f.idx, node, 50)
+		if !sameEntries(res.TopK, want) {
+			t.Fatalf("query %s: engine disagrees with brute force\n got %v\nwant %v",
+				expr, res.TopK[:min(5, len(res.TopK))], want[:min(5, len(want))])
+		}
+	}
+}
+
+func TestEngineUnknownTerm(t *testing.T) {
+	f := newFixture(t)
+	if _, err := f.eng.Run(query.MustParse(`"nosuchterm"`), 10); err == nil {
+		t.Fatal("unknown term should error")
+	}
+}
+
+func TestUnionEvaluatesEveryMatchingDoc(t *testing.T) {
+	// The software baseline is exhaustive for unions: DocsEvaluated equals
+	// the exact union size.
+	f := newFixture(t)
+	node := query.MustParse(`"t3" OR "t15"`)
+	res, err := f.eng.Run(node, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(refScores(f.c, f.idx, node))
+	if res.M.DocsEvaluated != int64(want) {
+		t.Fatalf("evaluated %d docs, union has %d", res.M.DocsEvaluated, want)
+	}
+}
+
+func TestIntersectionSkipsBlocks(t *testing.T) {
+	f := newFixture(t)
+	// Intersect a huge list with a rare one: the engine must not decode
+	// every block of the huge list.
+	rare := f.c.Terms[len(f.c.Terms)-1].Term
+	common := f.c.Terms[0].Term
+	node := query.MustParse(`"` + common + `" AND "` + rare + `"`)
+	res, err := f.eng.Run(node, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	commonBlocks := int64(len(f.idx.MustList(common).Blocks))
+	if res.M.BlocksFetched >= commonBlocks {
+		t.Fatalf("fetched %d blocks; SvS skipping should beat the %d-block full scan",
+			res.M.BlocksFetched, commonBlocks)
+	}
+}
+
+func TestIntersectionCheaperThanUnion(t *testing.T) {
+	// Use lists of very different sizes: SvS drives from the rare list, so
+	// the conjunction does far less work than the exhaustive union.
+	f := newFixture(t)
+	a, b := f.c.Terms[1].Term, f.c.Terms[40].Term
+	and, err := f.eng.Run(query.MustParse(`"`+a+`" AND "`+b+`"`), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	or, err := f.eng.Run(query.MustParse(`"`+a+`" OR "`+b+`"`), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if and.M.DocsEvaluated >= or.M.DocsEvaluated {
+		t.Fatal("AND must evaluate fewer docs than OR on the same terms")
+	}
+	if and.M.ComputeTime >= or.M.ComputeTime {
+		t.Fatal("AND should be cheaper in compute than OR on the same terms")
+	}
+}
+
+func TestMetricsAccounting(t *testing.T) {
+	f := newFixture(t)
+	res, err := f.eng.Run(query.MustParse(`"t5"`), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := f.idx.MustList("t5")
+	wantBlocks := int64(len(pl.Blocks))
+	if res.M.BlocksFetched != wantBlocks {
+		t.Fatalf("single-term scan fetched %d blocks, list has %d", res.M.BlocksFetched, wantBlocks)
+	}
+	if res.M.PostingsDecoded != int64(pl.DF) {
+		t.Fatalf("decoded %d postings, df is %d", res.M.PostingsDecoded, pl.DF)
+	}
+	wantBytes := int64(len(pl.Data)) + wantBlocks*index.BlockMetaBytes
+	if res.M.Cat[mem.CatLoadList] != wantBytes {
+		t.Fatalf("LD List = %d bytes, want %d", res.M.Cat[mem.CatLoadList], wantBytes)
+	}
+	if res.M.ComputeTime <= 0 {
+		t.Fatal("no compute time charged")
+	}
+	// The software baseline materializes nothing.
+	if res.M.Cat[mem.CatStoreInter] != 0 || res.M.Cat[mem.CatLoadInter] != 0 {
+		t.Fatal("software DAAT should not spill intermediates")
+	}
+}
+
+func TestEngineIsComputeBound(t *testing.T) {
+	// The defining property of the baseline (Figure 16): latency barely
+	// changes between SCM and DRAM because compute dominates.
+	f := newFixture(t)
+	var exprs = queryExprsForTests(f.c)
+	for _, expr := range exprs[:12] {
+		res, err := f.eng.Run(query.MustParse(expr), 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scm := res.M.Latency(mem.HostSCM())
+		dram := res.M.Latency(mem.HostDRAM())
+		gain := float64(scm) / float64(dram)
+		if gain > 1.2 {
+			t.Fatalf("query %s: DRAM speeds the software baseline by %.2fx; it should be compute-bound", expr, gain)
+		}
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	f := newFixture(t)
+	node := query.MustParse(`"t2" AND ("t7" OR "t9" OR "t11")`)
+	r1, err := f.eng.Run(node, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := f.eng.Run(node, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameEntries(r1.TopK, r2.TopK) {
+		t.Fatal("same query produced different results")
+	}
+	if r1.M.ComputeTime != r2.M.ComputeTime || r1.M.SeqReadBytes != r2.M.SeqReadBytes {
+		t.Fatal("same query produced different metrics")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func BenchmarkEngineQ3(b *testing.B) {
+	f := newFixture(b)
+	node := query.MustParse(`"t1" OR "t4"`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.eng.Run(node, 1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestWANDEngineMatchesExhaustive(t *testing.T) {
+	f := newFixture(t)
+	wand := New(f.idx)
+	wand.EnableWAND()
+	for _, qt := range []corpus.QueryType{corpus.Q1, corpus.Q3, corpus.Q5} {
+		for _, q := range corpus.SampleQueries(f.c, qt, 8, 55) {
+			node := query.MustParse(q.Expr)
+			for _, k := range []int{1, 5, 40} {
+				a, err := wand.Run(node, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := f.eng.Run(node, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !sameEntries(a.TopK, b.TopK) {
+					t.Fatalf("%s k=%d: WAND engine changed the result set", q.Expr, k)
+				}
+			}
+		}
+	}
+}
+
+func TestWANDEngineEvaluatesFewerDocs(t *testing.T) {
+	f := newFixture(t)
+	wand := New(f.idx)
+	wand.EnableWAND()
+	node := query.MustParse(`"t0" OR "t1" OR "t2" OR "t3"`)
+	a, err := wand.Run(node, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := f.eng.Run(node, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.M.DocsEvaluated >= b.M.DocsEvaluated {
+		t.Fatalf("WAND evaluated %d docs, exhaustive %d", a.M.DocsEvaluated, b.M.DocsEvaluated)
+	}
+}
+
+func TestWANDEngineFallsBackOnNonUnions(t *testing.T) {
+	f := newFixture(t)
+	wand := New(f.idx)
+	wand.EnableWAND()
+	for _, expr := range []string{`"t0" AND "t1"`, `"t0" AND ("t1" OR "t2")`} {
+		node := query.MustParse(expr)
+		a, err := wand.Run(node, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := f.eng.Run(node, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameEntries(a.TopK, b.TopK) {
+			t.Fatalf("%s: WAND mode changed non-union results", expr)
+		}
+	}
+}
+
+func TestWANDEngineUnknownTerm(t *testing.T) {
+	f := newFixture(t)
+	wand := New(f.idx)
+	wand.EnableWAND()
+	if _, err := wand.Run(query.MustParse(`"t0" OR "missing"`), 5); err == nil {
+		t.Fatal("unknown term should error in WAND mode")
+	}
+}

@@ -1,0 +1,134 @@
+package index
+
+// Cursor iterates a posting list block by block, decoding lazily and using
+// block metadata to skip (the software analogue of the hardware block-fetch
+// path). Models charge memory traffic through the OnBlock callback, which
+// fires once per block actually decoded.
+type Cursor struct {
+	idx *Index
+	pl  *PostingList
+
+	// OnBlock, if non-nil, is called with the block number each time a
+	// block's payload is decoded (i.e. fetched from memory).
+	OnBlock func(b int)
+
+	block int // next block to decode
+	docs  []uint32
+	tfs   []uint32
+	pos   int
+	done  bool
+}
+
+// NewCursor returns a cursor positioned at the first posting of pl.
+func NewCursor(idx *Index, pl *PostingList) *Cursor {
+	c := &Cursor{idx: idx, pl: pl}
+	c.loadNextBlock()
+	return c
+}
+
+// loadNextBlock decodes block c.block and advances the block pointer. Sets
+// done when the list is exhausted.
+func (c *Cursor) loadNextBlock() {
+	if c.block >= len(c.pl.Blocks) {
+		c.done = true
+		return
+	}
+	if c.OnBlock != nil {
+		c.OnBlock(c.block)
+	}
+	c.docs, c.tfs = c.idx.DecodeBlock(c.pl, c.block, c.docs[:0], c.tfs[:0])
+	c.block++
+	c.pos = 0
+}
+
+// Valid reports whether the cursor points at a posting.
+func (c *Cursor) Valid() bool { return !c.done }
+
+// Doc returns the current docID. Only valid when Valid().
+func (c *Cursor) Doc() uint32 { return c.docs[c.pos] }
+
+// TF returns the current term frequency. Only valid when Valid().
+func (c *Cursor) TF() uint32 { return c.tfs[c.pos] }
+
+// Score returns the current posting's BM25 term score.
+func (c *Cursor) Score() float64 {
+	return c.idx.TermScore(c.pl, c.Doc(), c.TF())
+}
+
+// Next advances to the following posting.
+func (c *Cursor) Next() {
+	if c.done {
+		return
+	}
+	c.pos++
+	if c.pos >= len(c.docs) {
+		c.loadNextBlock()
+	}
+}
+
+// SeekGEQ advances the cursor to the first posting with docID >= target,
+// skipping whole blocks via metadata without decoding them. It reports
+// whether such a posting exists.
+func (c *Cursor) SeekGEQ(target uint32) bool {
+	if c.done {
+		return false
+	}
+	// Already positioned at or past target?
+	if c.docs[c.pos] >= target {
+		return true
+	}
+	// If the target lies beyond the current block, skip via metadata.
+	// c.block is the *next* block to decode; current block is c.block-1.
+	if c.pl.Blocks[c.block-1].LastDoc < target {
+		nb := c.findBlockGEQ(target)
+		if nb < 0 {
+			c.done = true
+			return false
+		}
+		c.block = nb
+		c.loadNextBlock()
+		if c.done {
+			return false
+		}
+	}
+	// Scan within the block.
+	for c.pos < len(c.docs) && c.docs[c.pos] < target {
+		c.pos++
+	}
+	if c.pos >= len(c.docs) {
+		// Target beyond this block's decoded span but within LastDoc range
+		// cannot happen; move on defensively.
+		c.loadNextBlock()
+		if c.done {
+			return false
+		}
+		return c.SeekGEQ(target)
+	}
+	return true
+}
+
+// findBlockGEQ returns the index of the first block whose LastDoc >= target,
+// searching from the current position, or -1 if none.
+func (c *Cursor) findBlockGEQ(target uint32) int {
+	lo, hi := c.block, len(c.pl.Blocks)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.pl.Blocks[mid].LastDoc < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= len(c.pl.Blocks) {
+		return -1
+	}
+	return lo
+}
+
+// BlocksDecoded reports how many blocks have been decoded so far.
+func (c *Cursor) BlocksDecoded() int {
+	if c.done {
+		return c.block
+	}
+	return c.block // block counts decoded blocks because it post-increments
+}

@@ -1,0 +1,357 @@
+// Package index implements the inverted index as organized by the BOSS
+// paper (Section IV-A): per-term posting lists divided into blocks of 128
+// (docID, tf) postings, docIDs delta-encoded and compressed per-list with
+// the best ("hybrid") scheme, and per-block metadata carrying the first and
+// last docID, the block's maximum term-score, the compressed-data offset,
+// and decompression parameters — 19 bytes per block. Per-document BM25
+// normalizers are precomputed at build time (+4 bytes per document) so a
+// term score costs three arithmetic operations at query time.
+package index
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"boss/internal/compress"
+	"boss/internal/corpus"
+	"boss/internal/score"
+)
+
+// DefaultBlockSize is the paper's block length (128 values).
+const DefaultBlockSize = 128
+
+// BlockMetaBytes is the serialized metadata size per block (Section IV-A:
+// 4B first docID + 4B last docID + 4B max term-score + 4B offset + 3B of
+// packed count/bit-width/exception fields).
+const BlockMetaBytes = 19
+
+// DocNormBytes is the per-document scoring metadata size (Section IV-C,
+// Scoring Module).
+const DocNormBytes = 4
+
+// BlockMeta is the per-block skip/decompression record.
+type BlockMeta struct {
+	FirstDoc uint32  // first docID in the block (uncompressed)
+	LastDoc  uint32  // last docID in the block (uncompressed)
+	MaxScore float64 // maximum term-score of any posting in the block
+	Offset   uint32  // byte offset of the compressed payload within the list
+	Length   uint32  // byte length of the compressed payload
+	Count    uint16  // number of postings in the block (≤ block size)
+}
+
+// PostingList is one term's compressed posting list.
+type PostingList struct {
+	Term     string
+	Scheme   compress.Scheme // concrete scheme chosen for this list
+	DF       int             // document frequency
+	IDF      float64         // BM25 idf, precomputed at build time
+	MaxScore float64         // list-wide maximum term-score (WAND bound)
+	Blocks   []BlockMeta
+	Data     []byte // concatenated compressed block payloads
+
+	// BaseAddr is the list's placement in the simulated memory node's
+	// address space, assigned by the builder.
+	BaseAddr uint64
+}
+
+// BlockAddr reports the simulated memory address of block b's payload.
+func (pl *PostingList) BlockAddr(b int) uint64 {
+	return pl.BaseAddr + uint64(pl.Blocks[b].Offset)
+}
+
+// CompressedBytes reports the total payload size of the list.
+func (pl *PostingList) CompressedBytes() int { return len(pl.Data) }
+
+// MetadataBytes reports the size of the list's block metadata as laid out
+// by the paper (19 B per block).
+func (pl *PostingList) MetadataBytes() int { return BlockMetaBytes * len(pl.Blocks) }
+
+// Index is a searchable inverted index over one shard.
+type Index struct {
+	Params    score.Params
+	NumDocs   int
+	AvgDocLen float64
+	// DocNorms[d] is the precomputed BM25 normalizer of document d.
+	DocNorms []float64
+	// Lists maps term -> posting list.
+	Lists map[string]*PostingList
+	// NormBaseAddr is the placement of the per-document norm array in the
+	// simulated address space.
+	NormBaseAddr uint64
+	// TotalBytes is the total simulated footprint (payloads + metadata +
+	// norms).
+	TotalBytes uint64
+
+	// statsDocs and globalDF override collection statistics for sharded
+	// indexes (zero/nil means use the local shard's own statistics).
+	statsDocs int
+	globalDF  map[string]int
+}
+
+// GlobalStats carries collection-wide statistics for sharded deployments:
+// each leaf node indexes only its docID interval but must score with global
+// document counts so merged top-k results rank exactly as a single index
+// would (Section II-B's root/leaf architecture).
+type GlobalStats struct {
+	// NumDocs is the collection-wide document count.
+	NumDocs int
+	// AvgDocLen is the collection-wide average document length.
+	AvgDocLen float64
+	// DF maps each term to its collection-wide document frequency.
+	DF map[string]int
+}
+
+// BuildOptions configures index construction.
+type BuildOptions struct {
+	// Scheme selects the compression scheme; compress.SchemeHybrid (the
+	// default zero value is BP, so set explicitly) picks the best scheme
+	// per posting list as the paper's hybrid approach does.
+	Scheme compress.Scheme
+	// BlockSize overrides the posting-block length (default 128).
+	BlockSize int
+	// Params are the BM25 parameters (default k1=1.2, b=0.75 if zero).
+	Params score.Params
+	// Global, when non-nil, supplies collection-wide statistics for IDF
+	// and length normalization (sharded indexes).
+	Global *GlobalStats
+}
+
+// Build constructs an index from a generated corpus.
+func Build(c *corpus.Corpus, opts BuildOptions) *Index {
+	if opts.BlockSize <= 0 {
+		opts.BlockSize = DefaultBlockSize
+	}
+	if opts.BlockSize > 1<<16 {
+		panic("index: block size exceeds metadata range")
+	}
+	if opts.Params == (score.Params{}) {
+		opts.Params = score.DefaultParams()
+	}
+	statsDocs := c.Spec.NumDocs
+	avgdl := c.AvgDocLen
+	if opts.Global != nil {
+		statsDocs = opts.Global.NumDocs
+		avgdl = opts.Global.AvgDocLen
+	}
+	idx := &Index{
+		Params:    opts.Params,
+		NumDocs:   c.Spec.NumDocs,
+		AvgDocLen: avgdl,
+		statsDocs: statsDocs,
+		globalDF:  nil,
+		DocNorms:  make([]float64, c.Spec.NumDocs),
+		Lists:     make(map[string]*PostingList, len(c.Terms)),
+	}
+	if opts.Global != nil {
+		idx.globalDF = opts.Global.DF
+	}
+	for d, l := range c.DocLens {
+		dl := l
+		if dl == 0 {
+			dl = 1 // empty docs still need a sane norm
+		}
+		idx.DocNorms[d] = opts.Params.DocNorm(dl, avgdl)
+	}
+
+	// Posting lists are independent once the document norms exist; build
+	// them in parallel, then lay out addresses deterministically in term
+	// order.
+	built := make([]*PostingList, len(c.Terms))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(c.Terms) {
+		workers = len(c.Terms)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				tp := &c.Terms[i]
+				built[i] = buildList(idx, tp.Term, tp.Postings, opts)
+			}
+		}()
+	}
+	for i := range c.Terms {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	var addr uint64
+	for i, pl := range built {
+		pl.BaseAddr = addr
+		addr += uint64(len(pl.Data)) + uint64(pl.MetadataBytes())
+		idx.Lists[c.Terms[i].Term] = pl
+	}
+	idx.NormBaseAddr = addr
+	idx.TotalBytes = addr + uint64(idx.NumDocs*DocNormBytes)
+	return idx
+}
+
+// buildList compresses one posting list into blocks.
+func buildList(idx *Index, term string, postings []corpus.Posting, opts BuildOptions) *PostingList {
+	df := len(postings)
+	if idx.globalDF != nil {
+		if g, ok := idx.globalDF[term]; ok {
+			df = g
+		}
+	}
+	statsDocs := idx.statsDocs
+	if statsDocs == 0 {
+		statsDocs = idx.NumDocs
+	}
+	pl := &PostingList{
+		Term: term,
+		DF:   len(postings),
+		IDF:  score.IDF(statsDocs, df),
+	}
+
+	// Hybrid selection considers the whole list's delta stream.
+	scheme := opts.Scheme
+	if scheme == compress.SchemeHybrid {
+		deltas := make([]uint32, 0, len(postings)*2)
+		prev := uint32(0)
+		for _, p := range postings {
+			deltas = append(deltas, p.DocID-prev, p.TF)
+			prev = p.DocID
+		}
+		scheme, _ = compress.ChooseBest(deltas, nil)
+	}
+	pl.Scheme = scheme
+	codec := compress.ForScheme(scheme)
+
+	bs := opts.BlockSize
+	docBuf := make([]uint32, 0, bs)
+	tfBuf := make([]uint32, 0, bs)
+	for start := 0; start < len(postings); start += bs {
+		end := start + bs
+		if end > len(postings) {
+			end = len(postings)
+		}
+		blk := postings[start:end]
+		docBuf = docBuf[:0]
+		tfBuf = tfBuf[:0]
+		first := blk[0].DocID
+		prev := first
+		maxScore := 0.0
+		for _, p := range blk {
+			docBuf = append(docBuf, p.DocID-prev) // first delta is 0
+			prev = p.DocID
+			tfBuf = append(tfBuf, p.TF)
+			s := idx.Params.TermScore(pl.IDF, p.TF, idx.DocNorms[p.DocID])
+			if s > maxScore {
+				maxScore = s
+			}
+		}
+		offset := uint32(len(pl.Data))
+		pl.Data = codec.Encode(pl.Data, docBuf)
+		pl.Data = codec.Encode(pl.Data, tfBuf)
+		pl.Blocks = append(pl.Blocks, BlockMeta{
+			FirstDoc: first,
+			LastDoc:  blk[len(blk)-1].DocID,
+			MaxScore: maxScore,
+			Offset:   offset,
+			Length:   uint32(len(pl.Data)) - offset,
+			Count:    uint16(len(blk)),
+		})
+		if maxScore > pl.MaxScore {
+			pl.MaxScore = maxScore
+		}
+	}
+	return pl
+}
+
+// List returns the posting list for term, or nil if the term is not
+// indexed.
+func (idx *Index) List(term string) *PostingList { return idx.Lists[term] }
+
+// MustList returns the posting list for term, panicking if absent.
+func (idx *Index) MustList(term string) *PostingList {
+	pl := idx.Lists[term]
+	if pl == nil {
+		panic(fmt.Sprintf("index: term %q not indexed", term))
+	}
+	return pl
+}
+
+// DecodeBlock decodes block b of list pl, appending docIDs and term
+// frequencies to the provided buffers (which may be nil) and returning the
+// extended slices.
+func (idx *Index) DecodeBlock(pl *PostingList, b int, docs, tfs []uint32) ([]uint32, []uint32) {
+	meta := pl.Blocks[b]
+	codec := compress.ForScheme(pl.Scheme)
+	payload := pl.Data[meta.Offset : meta.Offset+meta.Length]
+	n := int(meta.Count)
+	startDocs := len(docs)
+	docs, used := codec.Decode(docs, payload, n)
+	tfs, _ = codec.Decode(tfs, payload[used:], n)
+	compress.DeltaDecode(docs[startDocs:], meta.FirstDoc)
+	return docs, tfs
+}
+
+// TermScore computes the BM25 term score of (docID, tf) under list pl.
+func (idx *Index) TermScore(pl *PostingList, docID, tf uint32) float64 {
+	return idx.Params.TermScore(pl.IDF, tf, idx.DocNorms[docID])
+}
+
+// Terms returns all indexed terms in sorted order.
+func (idx *Index) Terms() []string {
+	terms := make([]string, 0, len(idx.Lists))
+	for t := range idx.Lists {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+	return terms
+}
+
+// SchemeHistogram reports how many posting lists use each concrete scheme —
+// the "hybrid" choice distribution (cmd/indexstat prints this).
+func (idx *Index) SchemeHistogram() map[compress.Scheme]int {
+	h := make(map[compress.Scheme]int)
+	for _, pl := range idx.Lists {
+		h[pl.Scheme]++
+	}
+	return h
+}
+
+// Stats summarizes the index footprint.
+type Stats struct {
+	NumDocs         int
+	NumTerms        int
+	TotalPostings   int64
+	PayloadBytes    int64
+	MetadataBytes   int64
+	NormBytes       int64
+	RawPostingBytes int64 // 8 B per posting (docID + tf uncompressed)
+}
+
+// ComputeStats walks the index and reports its footprint.
+func (idx *Index) ComputeStats() Stats {
+	s := Stats{
+		NumDocs:   idx.NumDocs,
+		NumTerms:  len(idx.Lists),
+		NormBytes: int64(idx.NumDocs * DocNormBytes),
+	}
+	for _, pl := range idx.Lists {
+		s.TotalPostings += int64(pl.DF)
+		s.PayloadBytes += int64(len(pl.Data))
+		s.MetadataBytes += int64(pl.MetadataBytes())
+	}
+	s.RawPostingBytes = s.TotalPostings * 8
+	return s
+}
+
+// CompressionRatio reports raw posting bytes over compressed payload bytes.
+func (s Stats) CompressionRatio() float64 {
+	if s.PayloadBytes == 0 {
+		return 0
+	}
+	return float64(s.RawPostingBytes) / float64(s.PayloadBytes)
+}

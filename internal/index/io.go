@@ -1,0 +1,184 @@
+package index
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"boss/internal/compress"
+)
+
+// Binary index format:
+//
+//	magic "BOSSIDX1"
+//	numDocs u32 | avgDocLen f64 | k1 f64 | b f64 | numLists u32
+//	per list:
+//	  termLen u16 | term bytes | scheme u8 | df u32 | idf f64 |
+//	  maxScore f64 | baseAddr u64 | numBlocks u32 |
+//	  per block: first u32 | last u32 | maxScore f32 | offset u32 |
+//	             length u32 | count u16
+//	  dataLen u32 | data bytes
+//	normBaseAddr u64
+//	docNorms: numDocs × f32
+const indexMagic = "BOSSIDX1"
+
+// WriteTo serializes the index. It implements io.WriterTo.
+func (idx *Index) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: bufio.NewWriter(w)}
+	write := func(v interface{}) {
+		if cw.err == nil {
+			cw.err = binary.Write(cw, binary.LittleEndian, v)
+		}
+	}
+	cw.WriteString(indexMagic)
+	write(uint32(idx.NumDocs))
+	write(idx.AvgDocLen)
+	write(idx.Params.K1)
+	write(idx.Params.B)
+	write(uint32(len(idx.Lists)))
+	for _, term := range idx.Terms() {
+		pl := idx.Lists[term]
+		write(uint16(len(term)))
+		cw.WriteString(term)
+		write(uint8(pl.Scheme))
+		write(uint32(pl.DF))
+		write(pl.IDF)
+		write(pl.MaxScore)
+		write(pl.BaseAddr)
+		write(uint32(len(pl.Blocks)))
+		for _, b := range pl.Blocks {
+			write(b.FirstDoc)
+			write(b.LastDoc)
+			write(float32(b.MaxScore))
+			write(b.Offset)
+			write(b.Length)
+			write(b.Count)
+		}
+		write(uint32(len(pl.Data)))
+		cw.Write(pl.Data)
+	}
+	write(idx.NormBaseAddr)
+	for _, n := range idx.DocNorms {
+		write(float32(n))
+	}
+	if cw.err == nil {
+		cw.err = cw.w.(*bufio.Writer).Flush()
+	}
+	return cw.n, cw.err
+}
+
+// Read deserializes an index written by WriteTo.
+func Read(r io.Reader) (*Index, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(indexMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("index: reading magic: %w", err)
+	}
+	if string(magic) != indexMagic {
+		return nil, fmt.Errorf("index: bad magic %q", magic)
+	}
+	var err error
+	read := func(v interface{}) {
+		if err == nil {
+			err = binary.Read(br, binary.LittleEndian, v)
+		}
+	}
+	idx := &Index{Lists: make(map[string]*PostingList)}
+	var numDocs, numLists uint32
+	read(&numDocs)
+	read(&idx.AvgDocLen)
+	read(&idx.Params.K1)
+	read(&idx.Params.B)
+	read(&numLists)
+	if err != nil {
+		return nil, fmt.Errorf("index: reading header: %w", err)
+	}
+	idx.NumDocs = int(numDocs)
+	for i := uint32(0); i < numLists; i++ {
+		var termLen uint16
+		read(&termLen)
+		if err != nil {
+			return nil, fmt.Errorf("index: list %d: %w", i, err)
+		}
+		termBytes := make([]byte, termLen)
+		if _, err = io.ReadFull(br, termBytes); err != nil {
+			return nil, fmt.Errorf("index: list %d term: %w", i, err)
+		}
+		pl := &PostingList{Term: string(termBytes)}
+		var scheme uint8
+		var df, numBlocks, dataLen uint32
+		read(&scheme)
+		read(&df)
+		read(&pl.IDF)
+		read(&pl.MaxScore)
+		read(&pl.BaseAddr)
+		read(&numBlocks)
+		if err != nil {
+			return nil, fmt.Errorf("index: list %q header: %w", pl.Term, err)
+		}
+		pl.Scheme = compress.Scheme(scheme)
+		pl.DF = int(df)
+		pl.Blocks = make([]BlockMeta, numBlocks)
+		for bi := range pl.Blocks {
+			b := &pl.Blocks[bi]
+			var ms float32
+			read(&b.FirstDoc)
+			read(&b.LastDoc)
+			read(&ms)
+			read(&b.Offset)
+			read(&b.Length)
+			read(&b.Count)
+			b.MaxScore = float64(ms)
+		}
+		read(&dataLen)
+		if err != nil {
+			return nil, fmt.Errorf("index: list %q blocks: %w", pl.Term, err)
+		}
+		pl.Data = make([]byte, dataLen)
+		if _, err = io.ReadFull(br, pl.Data); err != nil {
+			return nil, fmt.Errorf("index: list %q data: %w", pl.Term, err)
+		}
+		idx.Lists[pl.Term] = pl
+	}
+	read(&idx.NormBaseAddr)
+	idx.DocNorms = make([]float64, idx.NumDocs)
+	for d := range idx.DocNorms {
+		var n float32
+		read(&n)
+		idx.DocNorms[d] = float64(n)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("index: reading norms: %w", err)
+	}
+	idx.TotalBytes = idx.NormBaseAddr + uint64(idx.NumDocs*DocNormBytes)
+	return idx, nil
+}
+
+// countingWriter tracks bytes written and the first error.
+type countingWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	if cw.err != nil {
+		return 0, cw.err
+	}
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	cw.err = err
+	return n, err
+}
+
+func (cw *countingWriter) WriteString(s string) {
+	cw.Write([]byte(s))
+}
+
+// approxEqual allows for float32 rounding introduced by serialization.
+func approxEqual(a, b float64) bool {
+	diff := math.Abs(a - b)
+	return diff <= 1e-6*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}

@@ -1,0 +1,180 @@
+package perf
+
+import (
+	"testing"
+
+	"boss/internal/mem"
+	"boss/internal/sim"
+)
+
+func TestAccumulationAndCategories(t *testing.T) {
+	m := NewMetrics()
+	m.AddSeqRead(1000, mem.CatLoadList)
+	m.AddRandRead(4, mem.CatLoadScore, false)
+	m.AddRandRead(256, mem.CatLoadList, true)
+	m.AddWrite(100, mem.CatStoreInter)
+	m.AddHost(80, mem.CatStoreResult)
+	m.AddCompute(5 * sim.Microsecond)
+
+	if m.SeqReadBytes != 1000 || m.RandReadBytes != 260 || m.WriteBytes != 100 {
+		t.Fatalf("bytes wrong: %+v", m)
+	}
+	if m.RandAccesses != 2 || m.DependentRandAccesses != 1 {
+		t.Fatalf("access counts wrong: %+v", m)
+	}
+	if m.Cat[mem.CatLoadList] != 1256 {
+		t.Fatalf("LD List category = %d", m.Cat[mem.CatLoadList])
+	}
+	if m.DeviceBytes() != 1360 {
+		t.Fatalf("device bytes = %d", m.DeviceBytes())
+	}
+	if m.HostBytes != 80 {
+		t.Fatalf("host bytes = %d", m.HostBytes)
+	}
+}
+
+func TestMergeAndScale(t *testing.T) {
+	a := NewMetrics()
+	a.AddSeqRead(100, mem.CatLoadList)
+	a.AddCompute(sim.Microsecond)
+	a.DocsEvaluated = 10
+	b := NewMetrics()
+	b.AddSeqRead(300, mem.CatLoadList)
+	b.AddCompute(3 * sim.Microsecond)
+	b.DocsEvaluated = 30
+
+	sum := NewMetrics()
+	sum.Merge(a)
+	sum.Merge(b)
+	if sum.SeqReadBytes != 400 || sum.DocsEvaluated != 40 {
+		t.Fatalf("merge wrong: %+v", sum)
+	}
+	sum.Scale(2)
+	if sum.SeqReadBytes != 200 || sum.DocsEvaluated != 20 || sum.ComputeTime != 2*sim.Microsecond {
+		t.Fatalf("scale wrong: %+v", sum)
+	}
+	if sum.Cat[mem.CatLoadList] != 200 {
+		t.Fatalf("scaled category = %d", sum.Cat[mem.CatLoadList])
+	}
+}
+
+func TestMemOccupancyPatterns(t *testing.T) {
+	cfg := mem.SCM()
+	seq := NewMetrics()
+	seq.AddSeqRead(1<<20, mem.CatLoadList)
+	rnd := NewMetrics()
+	for i := 0; i < 4096; i++ {
+		rnd.AddRandRead(256, mem.CatLoadList, false)
+	}
+	// Same byte volume; random must take ~25.6/6.6x longer.
+	ratio := float64(rnd.MemOccupancy(cfg)) / float64(seq.MemOccupancy(cfg))
+	if ratio < 3.5 || ratio > 4.3 {
+		t.Fatalf("rand/seq occupancy ratio = %.2f, want ~3.9", ratio)
+	}
+}
+
+func TestMemOccupancyRoundsRandomReads(t *testing.T) {
+	cfg := mem.SCM()
+	tiny := NewMetrics()
+	tiny.AddRandRead(4, mem.CatLoadScore, false)
+	full := NewMetrics()
+	full.AddRandRead(256, mem.CatLoadScore, false)
+	if tiny.MemOccupancy(cfg) != full.MemOccupancy(cfg) {
+		t.Fatal("4B random read should cost a full 256B line")
+	}
+}
+
+func TestLatencyRoofline(t *testing.T) {
+	cfg := mem.SCM()
+	m := NewMetrics()
+	m.AddCompute(10 * sim.Microsecond)
+	m.AddSeqRead(1000, mem.CatLoadList) // far below 10µs of traffic
+	if m.Latency(cfg) != 10*sim.Microsecond {
+		t.Fatalf("compute-bound latency = %v", m.Latency(cfg))
+	}
+	// Now make memory dominate.
+	m.AddSeqRead(10<<20, mem.CatLoadList)
+	if m.Latency(cfg) <= 10*sim.Microsecond {
+		t.Fatal("memory-bound latency should exceed compute time")
+	}
+}
+
+func TestLatencyChargesDependentAccesses(t *testing.T) {
+	cfg := mem.SCM()
+	m := NewMetrics()
+	m.AddCompute(sim.Microsecond)
+	base := m.Latency(cfg)
+	for i := 0; i < 100; i++ {
+		m.AddRandRead(256, mem.CatLoadList, true)
+	}
+	withDeps := m.Latency(cfg)
+	if withDeps-base < 100*cfg.ReadLatency {
+		t.Fatalf("dependent accesses under-charged: %v -> %v", base, withDeps)
+	}
+}
+
+func TestThroughputComputeCeiling(t *testing.T) {
+	cfg := mem.SCM()
+	m := NewMetrics()
+	m.AddCompute(sim.Millisecond) // 1 ms/query, negligible memory
+	qps1 := m.Throughput(1, cfg, mem.DefaultLinkGBs)
+	qps8 := m.Throughput(8, cfg, mem.DefaultLinkGBs)
+	if qps1 < 990 || qps1 > 1010 {
+		t.Fatalf("1-core QPS = %v, want ~1000", qps1)
+	}
+	if qps8 < 7900 || qps8 > 8100 {
+		t.Fatalf("8-core QPS = %v, want ~8000 (compute-bound scales linearly)", qps8)
+	}
+}
+
+func TestThroughputMemoryCeiling(t *testing.T) {
+	cfg := mem.SCM()
+	m := NewMetrics()
+	m.AddCompute(10 * sim.Microsecond)
+	m.AddSeqRead(25_600_000, mem.CatLoadList) // 1 ms of node bandwidth per query
+	// Regardless of cores, the node caps throughput at ~1000 QPS.
+	qps8 := m.Throughput(8, cfg, mem.DefaultLinkGBs)
+	qps16 := m.Throughput(16, cfg, mem.DefaultLinkGBs)
+	if qps8 < 990 || qps8 > 1010 {
+		t.Fatalf("bandwidth-bound QPS = %v, want ~1000", qps8)
+	}
+	if qps16 > qps8*1.01 {
+		t.Fatal("adding cores must not beat the bandwidth ceiling")
+	}
+}
+
+func TestThroughputLinkCeiling(t *testing.T) {
+	cfg := mem.SCM()
+	m := NewMetrics()
+	m.AddCompute(sim.Microsecond)
+	m.AddHost(64_000_000, mem.CatStoreResult) // 1 ms of link time per query
+	qps := m.Throughput(64, cfg, mem.DefaultLinkGBs)
+	if qps < 990 || qps > 1010 {
+		t.Fatalf("link-bound QPS = %v, want ~1000", qps)
+	}
+	// A tiny result (hardware top-k) lifts the ceiling.
+	m2 := NewMetrics()
+	m2.AddCompute(sim.Microsecond)
+	m2.AddHost(8000, mem.CatStoreResult)
+	if m2.Throughput(64, cfg, mem.DefaultLinkGBs) <= qps {
+		t.Fatal("smaller host traffic should allow higher throughput")
+	}
+}
+
+func TestBandwidth(t *testing.T) {
+	m := NewMetrics()
+	m.AddSeqRead(1_000_000, mem.CatLoadList)
+	if got := m.Bandwidth(1000); got != 1.0 {
+		t.Fatalf("bandwidth = %v GB/s, want 1", got)
+	}
+}
+
+func TestZeroMetrics(t *testing.T) {
+	m := NewMetrics()
+	if m.Latency(mem.SCM()) != 0 {
+		t.Fatal("empty metrics should have zero latency")
+	}
+	if m.Throughput(8, mem.SCM(), mem.DefaultLinkGBs) != 0 {
+		t.Fatal("empty metrics throughput should be zero, not Inf")
+	}
+}

@@ -1,0 +1,234 @@
+package pool
+
+import (
+	"fmt"
+	"sort"
+
+	"boss/internal/compress"
+	"boss/internal/core"
+	"boss/internal/corpus"
+	"boss/internal/index"
+	"boss/internal/perf"
+	"boss/internal/query"
+	"boss/internal/sim"
+	"boss/internal/topk"
+)
+
+// Cluster is the paper's Figure 1(b)/Figure 2 deployment: the inverted
+// index partitioned into disjoint docID-interval shards, one per memory
+// node, each with its own BOSS device. A query fans out to every node,
+// which returns only its local top-k over the shared interconnect; the root
+// merges them. Shard indexes are built with collection-global statistics,
+// so the merged ranking is exactly what one giant index would produce.
+type Cluster struct {
+	cfg     Config
+	shards  []*index.Index
+	offsets []uint32 // global docID of each shard's local doc 0
+	accs    []*core.Accelerator
+}
+
+// NewCluster partitions the corpus into `shards` docID intervals and builds
+// one globally-consistent index per node.
+func NewCluster(cfg Config, c *corpus.Corpus, shards int) *Cluster {
+	if shards <= 0 {
+		panic("pool: need at least one shard")
+	}
+	gs := &index.GlobalStats{
+		NumDocs:   c.Spec.NumDocs,
+		AvgDocLen: c.AvgDocLen,
+		DF:        make(map[string]int, len(c.Terms)),
+	}
+	for i := range c.Terms {
+		gs.DF[c.Terms[i].Term] = len(c.Terms[i].Postings)
+	}
+
+	cl := &Cluster{cfg: cfg}
+	per := (c.Spec.NumDocs + shards - 1) / shards
+	for s := 0; s < shards; s++ {
+		lo := s * per
+		hi := lo + per
+		if hi > c.Spec.NumDocs {
+			hi = c.Spec.NumDocs
+		}
+		if lo >= hi {
+			break
+		}
+		sc := shardCorpus(c, uint32(lo), uint32(hi))
+		idx := index.Build(sc, index.BuildOptions{Scheme: compress.SchemeHybrid, Global: gs})
+		cl.shards = append(cl.shards, idx)
+		cl.offsets = append(cl.offsets, uint32(lo))
+		cl.accs = append(cl.accs, core.New(idx, cfg.Opts))
+	}
+	return cl
+}
+
+// shardCorpus extracts the docID interval [lo, hi) with docIDs remapped to
+// shard-local space.
+func shardCorpus(c *corpus.Corpus, lo, hi uint32) *corpus.Corpus {
+	sc := &corpus.Corpus{
+		Spec:      c.Spec,
+		DocLens:   append([]uint32(nil), c.DocLens[lo:hi]...),
+		AvgDocLen: c.AvgDocLen, // preserved; scoring uses global stats anyway
+	}
+	sc.Spec.NumDocs = int(hi - lo)
+	for i := range c.Terms {
+		tp := &c.Terms[i]
+		start := sort.Search(len(tp.Postings), func(j int) bool { return tp.Postings[j].DocID >= lo })
+		end := sort.Search(len(tp.Postings), func(j int) bool { return tp.Postings[j].DocID >= hi })
+		if start == end {
+			continue // term absent in this shard
+		}
+		local := make([]corpus.Posting, end-start)
+		for j, p := range tp.Postings[start:end] {
+			local[j] = corpus.Posting{DocID: p.DocID - lo, TF: p.TF}
+		}
+		sc.Terms = append(sc.Terms, corpus.TermPostings{Term: tp.Term, Postings: local})
+		sc.TotalPostings += int64(len(local))
+	}
+	sc.Spec.NumTerms = len(sc.Terms)
+	return sc
+}
+
+// Shards reports the number of populated memory nodes.
+func (cl *Cluster) Shards() int { return len(cl.shards) }
+
+// pruneForShard rewrites a query for a shard where some terms may be
+// absent: a conjunction containing an absent term matches nothing; a
+// disjunction drops absent branches. Returns nil when the shard cannot
+// match anything.
+func pruneForShard(node *query.Node, has func(string) bool) *query.Node {
+	switch node.Op {
+	case query.OpTerm:
+		if has(node.Term) {
+			return node
+		}
+		return nil
+	case query.OpAnd:
+		kept := make([]*query.Node, 0, len(node.Children))
+		for _, c := range node.Children {
+			p := pruneForShard(c, has)
+			if p == nil {
+				return nil // one empty operand empties the conjunction
+			}
+			kept = append(kept, p)
+		}
+		return query.And(kept...)
+	case query.OpOr:
+		kept := make([]*query.Node, 0, len(node.Children))
+		for _, c := range node.Children {
+			if p := pruneForShard(c, has); p != nil {
+				kept = append(kept, p)
+			}
+		}
+		if len(kept) == 0 {
+			return nil
+		}
+		return query.Or(kept...)
+	default:
+		return nil
+	}
+}
+
+// ClusterResult is a fanned-out query's outcome.
+type ClusterResult struct {
+	// TopK is the root-merged global ranking.
+	TopK []topk.Entry
+	// PerShard holds each node's work metrics (nil for nodes the query
+	// could not match).
+	PerShard []*perf.Metrics
+	// LinkBytes is the total result traffic all nodes pushed over the
+	// shared interconnect for this query.
+	LinkBytes int64
+}
+
+// Search fans a query out to every node and merges the local top-k lists.
+// Terms entirely absent from the collection are an error, matching the
+// single-node engines.
+func (cl *Cluster) Search(expr string, k int) (*ClusterResult, error) {
+	node, err := query.Parse(expr)
+	if err != nil {
+		return nil, err
+	}
+	for _, term := range node.Terms() {
+		found := false
+		for _, idx := range cl.shards {
+			if idx.List(term) != nil {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("pool: term %q not indexed on any shard", term)
+		}
+	}
+
+	res := &ClusterResult{PerShard: make([]*perf.Metrics, len(cl.shards))}
+	merged := topk.NewHeap(k)
+	for si, idx := range cl.shards {
+		pruned := pruneForShard(node, func(t string) bool { return idx.List(t) != nil })
+		if pruned == nil {
+			continue
+		}
+		out, err := cl.accs[si].Run(pruned, k)
+		if err != nil {
+			return nil, fmt.Errorf("pool: shard %d: %w", si, err)
+		}
+		res.PerShard[si] = out.M
+		res.LinkBytes += out.M.HostBytes
+		for _, e := range out.TopK {
+			merged.Insert(e.DocID+cl.offsets[si], e.Score)
+		}
+	}
+	res.TopK = merged.Results()
+	return res, nil
+}
+
+// ClusterReport summarizes an event-driven batch run across all nodes.
+type ClusterReport struct {
+	// PerNode holds each node's device report.
+	PerNode []*Report
+	// QPS is the batch throughput gated by the slowest node (every query
+	// fans out to every node, so the pool finishes when the last node
+	// does).
+	QPS float64
+}
+
+// RunBatch executes a query batch event-driven on every node's device:
+// each query is submitted to all nodes at its arrival time, nodes schedule
+// their own cores and contend on their own SCM channels, and the pool's
+// completion is gated by the slowest node.
+func (cl *Cluster) RunBatch(exprs []string, gap sim.Duration, cfg Config) (*ClusterReport, error) {
+	devices := make([]*Device, len(cl.shards))
+	for i, idx := range cl.shards {
+		devices[i] = New(cfg, idx)
+	}
+	for qi, expr := range exprs {
+		node, err := query.Parse(expr)
+		if err != nil {
+			return nil, err
+		}
+		at := sim.Time(qi) * gap
+		for si, d := range devices {
+			pruned := pruneForShard(node, func(t string) bool { return cl.shards[si].List(t) != nil })
+			if pruned == nil {
+				continue
+			}
+			if err := d.Submit(pruned.String(), at); err != nil {
+				return nil, fmt.Errorf("pool: node %d: %w", si, err)
+			}
+		}
+	}
+	rep := &ClusterReport{}
+	var slowest sim.Duration
+	for _, d := range devices {
+		r := d.Run()
+		rep.PerNode = append(rep.PerNode, r)
+		if r.Makespan > slowest {
+			slowest = r.Makespan
+		}
+	}
+	if slowest > 0 {
+		rep.QPS = float64(len(exprs)) / sim.Seconds(slowest)
+	}
+	return rep, nil
+}

@@ -1,0 +1,275 @@
+// Package pool is the device-level, event-driven simulation of the paper's
+// Figure 4 system: a memory node holding an index shard, several BOSS cores
+// fed by a command queue and query scheduler, the node's SCM channels (with
+// real queueing contention between cores), and the shared host
+// interconnect. Where internal/perf composes per-query metrics analytically
+// into a throughput roofline, this package replays each query's traffic
+// through sim.Engine resources and measures throughput, latency percentiles
+// and utilization directly — the two views cross-validate each other (see
+// the package tests).
+package pool
+
+import (
+	"fmt"
+	"sort"
+
+	"boss/internal/core"
+	"boss/internal/index"
+	"boss/internal/mem"
+	"boss/internal/perf"
+	"boss/internal/query"
+	"boss/internal/sim"
+)
+
+// Config describes one simulated memory node.
+type Config struct {
+	// Cores is the number of BOSS cores on the node (the paper uses 8).
+	Cores int
+	// Mem is the node's device configuration (mem.SCM() or mem.DRAM()).
+	Mem mem.Config
+	// LinkGBs is the shared host-interconnect bandwidth.
+	LinkGBs float64
+	// K is the top-k depth used for all queries.
+	K int
+	// Opts configures the cores' early-termination features.
+	Opts core.Options
+}
+
+// DefaultConfig is the paper's node: 8 cores over SCM, one CXL-class link.
+func DefaultConfig() Config {
+	return Config{
+		Cores:   8,
+		Mem:     mem.SCM(),
+		LinkGBs: mem.DefaultLinkGBs,
+		K:       core.DefaultK,
+		Opts:    core.DefaultOptions(),
+	}
+}
+
+// Job is one query flowing through the device.
+type Job struct {
+	Expr   string
+	node   *query.Node
+	m      *perf.Metrics
+	Submit sim.Time
+	Start  sim.Time
+	Done   sim.Time
+}
+
+// Latency reports the job's queueing + execution time.
+func (j *Job) Latency() sim.Duration { return j.Done - j.Submit }
+
+// ServiceTime reports execution time excluding command-queue wait.
+func (j *Job) ServiceTime() sim.Duration { return j.Done - j.Start }
+
+// Device is one simulated memory node with its BOSS accelerator.
+type Device struct {
+	cfg  Config
+	idx  *index.Index
+	eng  *sim.Engine
+	node *mem.Node
+	mai  *mem.MAI
+	link *mem.Link
+	acc  *core.Accelerator
+
+	// command queue (Figure 4's front end)
+	queue []*Job
+	// per-core busy-until times; the query scheduler dispatches to the
+	// first free core
+	coreFree []sim.Time
+
+	jobs []*Job
+}
+
+// New builds a device over an index shard.
+func New(cfg Config, idx *index.Index) *Device {
+	if cfg.Cores <= 0 {
+		panic("pool: need at least one core")
+	}
+	node := mem.NewNode(cfg.Mem)
+	return &Device{
+		cfg:      cfg,
+		idx:      idx,
+		eng:      sim.NewEngine(),
+		node:     node,
+		mai:      mem.NewMAI(node),
+		link:     mem.NewLink(cfg.LinkGBs),
+		acc:      core.New(idx, cfg.Opts),
+		coreFree: make([]sim.Time, cfg.Cores),
+	}
+}
+
+// Submit enqueues a query at the given simulated arrival time. It returns
+// an error if the expression does not parse or references unknown terms.
+func (d *Device) Submit(expr string, at sim.Time) error {
+	node, err := query.Parse(expr)
+	if err != nil {
+		return err
+	}
+	// Pre-flight the query on the core model: this yields the work metrics
+	// whose traffic the event simulation replays under contention.
+	res, err := d.acc.Run(node, d.cfg.K)
+	if err != nil {
+		return err
+	}
+	j := &Job{Expr: expr, node: node, m: res.M, Submit: at}
+	d.jobs = append(d.jobs, j)
+	d.queue = append(d.queue, j)
+	return nil
+}
+
+// chunkBytes is the unit in which sequential traffic is replayed against
+// the node (one address-interleaving stripe).
+const chunkBytes = 4096
+
+// Run executes all submitted queries and returns the report. The scheduler
+// dispatches queued jobs to cores as they become free; each job's memory
+// traffic is replayed through the shared node channels, so cores contend
+// for bandwidth exactly as the paper's cycle-level simulation has them do.
+func (d *Device) Run() *Report {
+	// Sort by arrival; the command queue is FIFO.
+	sort.SliceStable(d.queue, func(i, j int) bool { return d.queue[i].Submit < d.queue[j].Submit })
+	for _, j := range d.queue {
+		coreID := d.nextFreeCore(j.Submit)
+		start := maxTime(j.Submit, d.coreFree[coreID])
+		j.Start = start
+		j.Done = d.execute(j, start)
+		d.coreFree[coreID] = j.Done
+	}
+	d.queue = d.queue[:0]
+	return d.report()
+}
+
+// nextFreeCore picks the core that frees up earliest (ties toward lower
+// index: the scheduler scans in order).
+func (d *Device) nextFreeCore(at sim.Time) int {
+	best := 0
+	for i, f := range d.coreFree {
+		if f < d.coreFree[best] {
+			best = i
+		}
+	}
+	_ = at
+	return best
+}
+
+// execute replays one job's traffic against the shared node starting at
+// start and returns its completion time.
+func (d *Device) execute(j *Job, start sim.Time) sim.Time {
+	m := j.m
+	// Memory traffic: sequential bytes stream in stripe-sized chunks,
+	// random accesses go one device line at a time, writes in chunks.
+	// Addresses rotate across stripes so channel interleaving engages.
+	var memDone sim.Time
+	addr := uint64(j.Submit) // deterministic per-job placement seed
+	issue := start
+	charge := func(done sim.Time) {
+		if done > memDone {
+			memDone = done
+		}
+	}
+	for remaining := m.SeqReadBytes; remaining > 0; remaining -= chunkBytes {
+		size := int64(chunkBytes)
+		if remaining < size {
+			size = remaining
+		}
+		charge(d.mai.Read(issue, addr, int(size), mem.Sequential, mem.CatLoadList))
+		addr += chunkBytes
+	}
+	if m.RandAccesses > 0 {
+		per := m.RandReadBytes / m.RandAccesses
+		if per <= 0 {
+			per = 1
+		}
+		for i := int64(0); i < m.RandAccesses; i++ {
+			addr = addr*6364136223846793005 + 1442695040888963407 // LCG scatter
+			charge(d.mai.Read(issue, addr%(1<<41), int(per), mem.Random, mem.CatLoadList))
+		}
+	}
+	for remaining := m.WriteBytes; remaining > 0; remaining -= chunkBytes {
+		size := int64(chunkBytes)
+		if remaining < size {
+			size = remaining
+		}
+		charge(d.mai.Write(issue, addr, int(size), mem.CatStoreResult))
+		addr += chunkBytes
+	}
+
+	// Results cross the shared link.
+	linkDone := d.link.Transfer(issue, int(m.HostBytes), mem.CatStoreResult)
+	charge(linkDone)
+
+	// Pipeline: compute overlaps memory; serialized fetch hops and
+	// dependent random accesses extend the critical path.
+	computeDone := start + m.ComputeTime
+	done := maxTime(computeDone, memDone)
+	done += sim.Duration(m.DependentRandAccesses+m.SerialFetchHops) * d.cfg.Mem.ReadLatency
+	return done
+}
+
+func maxTime(a, b sim.Time) sim.Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TLBStats reports the device MAI's translation counters.
+func (d *Device) TLBStats() (hits, misses int64) {
+	return d.mai.TLB().Hits(), d.mai.TLB().Misses()
+}
+
+// Report summarizes a Run.
+type Report struct {
+	Jobs        int
+	Makespan    sim.Duration
+	QPS         float64
+	MeanLatency sim.Duration
+	P50Latency  sim.Duration
+	P99Latency  sim.Duration
+	// NodeBandwidthGBs is the achieved device bandwidth over the makespan.
+	NodeBandwidthGBs float64
+	// LinkUtilization is the shared interconnect's busy fraction.
+	LinkUtilization float64
+	// PeakChannelUtilization is the busiest channel's utilization.
+	PeakChannelUtilization float64
+}
+
+func (d *Device) report() *Report {
+	r := &Report{Jobs: len(d.jobs)}
+	if len(d.jobs) == 0 {
+		return r
+	}
+	lats := make([]sim.Duration, 0, len(d.jobs))
+	var sumLat sim.Duration
+	var makespan sim.Time
+	for _, j := range d.jobs {
+		l := j.Latency()
+		lats = append(lats, l)
+		sumLat += l
+		if j.Done > makespan {
+			makespan = j.Done
+		}
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	r.Makespan = makespan
+	r.MeanLatency = sumLat / sim.Duration(len(lats))
+	r.P50Latency = lats[len(lats)/2]
+	r.P99Latency = lats[len(lats)*99/100]
+	if makespan > 0 {
+		r.QPS = float64(len(d.jobs)) / sim.Seconds(makespan)
+		r.NodeBandwidthGBs = d.node.Bandwidth(makespan)
+		r.LinkUtilization = d.link.Utilization(makespan)
+		r.PeakChannelUtilization = float64(d.node.BusyTime()) / float64(makespan)
+	}
+	return r
+}
+
+// String renders the report.
+func (r *Report) String() string {
+	return fmt.Sprintf(
+		"jobs=%d makespan=%.3fms qps=%.0f latency(mean/p50/p99)=%.1f/%.1f/%.1fus node=%.2fGB/s link=%.1f%% peak-channel=%.1f%%",
+		r.Jobs, sim.Seconds(r.Makespan)*1e3, r.QPS,
+		sim.Seconds(r.MeanLatency)*1e6, sim.Seconds(r.P50Latency)*1e6, sim.Seconds(r.P99Latency)*1e6,
+		r.NodeBandwidthGBs, 100*r.LinkUtilization, 100*r.PeakChannelUtilization)
+}

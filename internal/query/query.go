@@ -1,0 +1,356 @@
+// Package query parses the boolean query expressions accepted by the
+// paper's offloading API (Section IV-D): quoted terms combined with AND/OR
+// and round brackets, e.g. `"A" AND ("B" OR "C")`. It also normalizes mixed
+// queries to the disjunctive form BOSS executes ("intersections first":
+// A AND (B OR C) becomes (A AND B) OR (A AND C)).
+package query
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Op is a node operator.
+type Op int
+
+// Node operators.
+const (
+	OpTerm Op = iota // leaf: a single query term
+	OpAnd            // intersection of children
+	OpOr             // union of children
+)
+
+// Node is a parsed query expression node. Term is set only for OpTerm;
+// Children only for OpAnd/OpOr (always ≥ 2 children, same-op children are
+// flattened).
+type Node struct {
+	Op       Op
+	Term     string
+	Children []*Node
+}
+
+// Term returns a leaf node.
+func Term(name string) *Node { return &Node{Op: OpTerm, Term: name} }
+
+// And returns the intersection of nodes, flattening nested ANDs.
+func And(nodes ...*Node) *Node { return combine(OpAnd, nodes) }
+
+// Or returns the union of nodes, flattening nested ORs.
+func Or(nodes ...*Node) *Node { return combine(OpOr, nodes) }
+
+func combine(op Op, nodes []*Node) *Node {
+	var flat []*Node
+	for _, n := range nodes {
+		if n.Op == op {
+			flat = append(flat, n.Children...)
+		} else {
+			flat = append(flat, n)
+		}
+	}
+	if len(flat) == 1 {
+		return flat[0]
+	}
+	return &Node{Op: op, Children: flat}
+}
+
+// Terms returns every term in the expression, in appearance order, with
+// duplicates preserved.
+func (n *Node) Terms() []string {
+	var out []string
+	n.walk(func(m *Node) {
+		if m.Op == OpTerm {
+			out = append(out, m.Term)
+		}
+	})
+	return out
+}
+
+func (n *Node) walk(fn func(*Node)) {
+	fn(n)
+	for _, c := range n.Children {
+		c.walk(fn)
+	}
+}
+
+// NumTerms reports the number of term occurrences.
+func (n *Node) NumTerms() int { return len(n.Terms()) }
+
+// String renders the expression in the API syntax with minimal parentheses
+// (AND binds tighter than OR).
+func (n *Node) String() string {
+	switch n.Op {
+	case OpTerm:
+		return `"` + n.Term + `"`
+	case OpAnd:
+		parts := make([]string, len(n.Children))
+		for i, c := range n.Children {
+			s := c.String()
+			if c.Op == OpOr {
+				s = "(" + s + ")"
+			}
+			parts[i] = s
+		}
+		return strings.Join(parts, " AND ")
+	case OpOr:
+		parts := make([]string, len(n.Children))
+		for i, c := range n.Children {
+			parts[i] = c.String()
+		}
+		return strings.Join(parts, " OR ")
+	default:
+		return "?"
+	}
+}
+
+// IsPureAnd reports whether the expression is a single term or a conjunction
+// of terms only.
+func (n *Node) IsPureAnd() bool {
+	if n.Op == OpTerm {
+		return true
+	}
+	if n.Op != OpAnd {
+		return false
+	}
+	for _, c := range n.Children {
+		if c.Op != OpTerm {
+			return false
+		}
+	}
+	return true
+}
+
+// IsPureOr reports whether the expression is a single term or a disjunction
+// of terms only.
+func (n *Node) IsPureOr() bool {
+	if n.Op == OpTerm {
+		return true
+	}
+	if n.Op != OpOr {
+		return false
+	}
+	for _, c := range n.Children {
+		if c.Op != OpTerm {
+			return false
+		}
+	}
+	return true
+}
+
+// DNF normalizes the expression into disjunctive normal form: a union of
+// conjunctions, each a list of terms. This is exactly the paper's mixed-
+// query execution order ("BOSS performs intersections first"): A AND (B OR
+// C) becomes [[A B] [A C]]. A pure term yields one single-term conjunct.
+func (n *Node) DNF() [][]string {
+	switch n.Op {
+	case OpTerm:
+		return [][]string{{n.Term}}
+	case OpOr:
+		var out [][]string
+		for _, c := range n.Children {
+			out = append(out, c.DNF()...)
+		}
+		return out
+	case OpAnd:
+		// Cross product of the children's DNFs.
+		out := [][]string{{}}
+		for _, c := range n.Children {
+			cd := c.DNF()
+			next := make([][]string, 0, len(out)*len(cd))
+			for _, a := range out {
+				for _, b := range cd {
+					conj := make([]string, 0, len(a)+len(b))
+					conj = append(conj, a...)
+					conj = append(conj, b...)
+					next = append(next, conj)
+				}
+			}
+			out = next
+		}
+		return out
+	default:
+		panic("query: unknown op")
+	}
+}
+
+// --- parser ---
+
+type tokenKind int
+
+const (
+	tokTerm tokenKind = iota
+	tokAnd
+	tokOr
+	tokLParen
+	tokRParen
+	tokEOF
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	src string
+	pos int
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) && (l.src[l.pos] == ' ' || l.src[l.pos] == '\t') {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	switch c := l.src[l.pos]; {
+	case c == '(':
+		l.pos++
+		return token{kind: tokLParen, pos: start}, nil
+	case c == ')':
+		l.pos++
+		return token{kind: tokRParen, pos: start}, nil
+	case c == '"':
+		l.pos++
+		termStart := l.pos
+		for l.pos < len(l.src) && l.src[l.pos] != '"' {
+			l.pos++
+		}
+		if l.pos >= len(l.src) {
+			return token{}, fmt.Errorf("query: unterminated quote at %d", start)
+		}
+		term := l.src[termStart:l.pos]
+		l.pos++ // closing quote
+		if term == "" {
+			return token{}, fmt.Errorf("query: empty term at %d", start)
+		}
+		return token{kind: tokTerm, text: term, pos: start}, nil
+	default:
+		for l.pos < len(l.src) && isWordByte(l.src[l.pos]) {
+			l.pos++
+		}
+		word := l.src[start:l.pos]
+		switch strings.ToUpper(word) {
+		case "AND":
+			return token{kind: tokAnd, pos: start}, nil
+		case "OR":
+			return token{kind: tokOr, pos: start}, nil
+		case "":
+			return token{}, fmt.Errorf("query: unexpected character %q at %d", c, start)
+		default:
+			return token{}, fmt.Errorf("query: unexpected word %q at %d (terms must be quoted)", word, start)
+		}
+	}
+}
+
+func isWordByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+type parser struct {
+	lex lexer
+	tok token
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+// Parse parses an expression in the offloading-API syntax.
+func Parse(src string) (*Node, error) {
+	p := &parser{lex: lexer{src: src}}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	n, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, fmt.Errorf("query: trailing input at %d", p.tok.pos)
+	}
+	return n, nil
+}
+
+// MustParse is Parse that panics on error, for tests and examples.
+func MustParse(src string) *Node {
+	n, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+func (p *parser) parseOr() (*Node, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	nodes := []*Node{left}
+	for p.tok.kind == tokOr {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		nodes = append(nodes, right)
+	}
+	return Or(nodes...), nil
+}
+
+func (p *parser) parseAnd() (*Node, error) {
+	left, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	nodes := []*Node{left}
+	for p.tok.kind == tokAnd {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		nodes = append(nodes, right)
+	}
+	return And(nodes...), nil
+}
+
+func (p *parser) parsePrimary() (*Node, error) {
+	switch p.tok.kind {
+	case tokTerm:
+		n := Term(p.tok.text)
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return n, nil
+	case tokLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		n, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokRParen {
+			return nil, fmt.Errorf("query: missing ')' at %d", p.tok.pos)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return n, nil
+	case tokEOF:
+		return nil, fmt.Errorf("query: unexpected end of expression")
+	default:
+		return nil, fmt.Errorf("query: unexpected token at %d", p.tok.pos)
+	}
+}

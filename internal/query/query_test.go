@@ -1,0 +1,184 @@
+package query
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseSingleTerm(t *testing.T) {
+	n := MustParse(`"cat"`)
+	if n.Op != OpTerm || n.Term != "cat" {
+		t.Fatalf("parsed %+v", n)
+	}
+}
+
+func TestParseAndOrPrecedence(t *testing.T) {
+	// AND binds tighter than OR: A OR B AND C == A OR (B AND C).
+	n := MustParse(`"a" OR "b" AND "c"`)
+	if n.Op != OpOr || len(n.Children) != 2 {
+		t.Fatalf("root = %+v", n)
+	}
+	if n.Children[0].Term != "a" {
+		t.Fatalf("left child = %+v", n.Children[0])
+	}
+	right := n.Children[1]
+	if right.Op != OpAnd || right.Children[0].Term != "b" || right.Children[1].Term != "c" {
+		t.Fatalf("right child = %+v", right)
+	}
+}
+
+func TestParseParens(t *testing.T) {
+	n := MustParse(`("a" OR "b") AND "c"`)
+	if n.Op != OpAnd {
+		t.Fatalf("root op = %v", n.Op)
+	}
+	if n.Children[0].Op != OpOr {
+		t.Fatalf("grouped child = %+v", n.Children[0])
+	}
+}
+
+func TestParseFlattensChains(t *testing.T) {
+	n := MustParse(`"a" AND "b" AND "c" AND "d"`)
+	if n.Op != OpAnd || len(n.Children) != 4 {
+		t.Fatalf("4-term AND should flatten: %+v", n)
+	}
+	n = MustParse(`"a" OR "b" OR "c" OR "d"`)
+	if n.Op != OpOr || len(n.Children) != 4 {
+		t.Fatalf("4-term OR should flatten: %+v", n)
+	}
+}
+
+func TestParseCaseInsensitiveOperators(t *testing.T) {
+	n := MustParse(`"a" and "b" oR "c"`)
+	if n.Op != OpOr {
+		t.Fatalf("mixed-case operators: %+v", n)
+	}
+}
+
+func TestParseTermsWithSpaces(t *testing.T) {
+	n := MustParse(`"new york" AND "food truck"`)
+	terms := n.Terms()
+	if !reflect.DeepEqual(terms, []string{"new york", "food truck"}) {
+		t.Fatalf("terms = %v", terms)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		``,
+		`"a" AND`,
+		`AND "a"`,
+		`"a" "b"`,
+		`("a" OR "b"`,
+		`"a")`,
+		`"unterminated`,
+		`""`,
+		`cat`,
+		`"a" XOR "b"`,
+		`"a" & "b"`,
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	cases := []string{
+		`"a"`,
+		`"a" AND "b"`,
+		`"a" OR "b"`,
+		`"a" AND "b" AND "c" AND "d"`,
+		`"a" AND ("b" OR "c" OR "d")`,
+		`("a" OR "b") AND ("c" OR "d")`,
+	}
+	for _, src := range cases {
+		n := MustParse(src)
+		rendered := n.String()
+		n2 := MustParse(rendered)
+		if n2.String() != rendered {
+			t.Errorf("String round trip: %q -> %q -> %q", src, rendered, n2.String())
+		}
+	}
+}
+
+func TestPurityPredicates(t *testing.T) {
+	if !MustParse(`"a" AND "b"`).IsPureAnd() {
+		t.Error("pure AND not detected")
+	}
+	if MustParse(`"a" AND ("b" OR "c")`).IsPureAnd() {
+		t.Error("mixed query wrongly pure AND")
+	}
+	if !MustParse(`"a" OR "b"`).IsPureOr() {
+		t.Error("pure OR not detected")
+	}
+	if !MustParse(`"a"`).IsPureAnd() || !MustParse(`"a"`).IsPureOr() {
+		t.Error("single term should be both pure AND and pure OR")
+	}
+}
+
+func TestDNFQ6(t *testing.T) {
+	// The paper's running example: A AND (B OR C OR D) executes as
+	// (A AND B) OR (A AND C) OR (A AND D).
+	n := MustParse(`"a" AND ("b" OR "c" OR "d")`)
+	got := n.DNF()
+	want := [][]string{{"a", "b"}, {"a", "c"}, {"a", "d"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("DNF = %v, want %v", got, want)
+	}
+}
+
+func TestDNFShapes(t *testing.T) {
+	cases := []struct {
+		src  string
+		want [][]string
+	}{
+		{`"a"`, [][]string{{"a"}}},
+		{`"a" AND "b"`, [][]string{{"a", "b"}}},
+		{`"a" OR "b"`, [][]string{{"a"}, {"b"}}},
+		{`("a" OR "b") AND ("c" OR "d")`,
+			[][]string{{"a", "c"}, {"a", "d"}, {"b", "c"}, {"b", "d"}}},
+		{`"a" AND "b" AND "c" AND "d"`, [][]string{{"a", "b", "c", "d"}}},
+	}
+	for _, tc := range cases {
+		got := MustParse(tc.src).DNF()
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("DNF(%q) = %v, want %v", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestNumTerms(t *testing.T) {
+	if got := MustParse(`"a" AND ("b" OR "c" OR "d")`).NumTerms(); got != 4 {
+		t.Fatalf("NumTerms = %d, want 4", got)
+	}
+}
+
+func TestBuilderHelpers(t *testing.T) {
+	n := And(Term("a"), Or(Term("b"), Term("c")))
+	if n.String() != `"a" AND ("b" OR "c")` {
+		t.Fatalf("built expr = %q", n.String())
+	}
+	// Single-node combination collapses.
+	if And(Term("x")).Op != OpTerm {
+		t.Fatal("And of one node should collapse to the node")
+	}
+	// Nested same-op flattens.
+	n = Or(Or(Term("a"), Term("b")), Term("c"))
+	if len(n.Children) != 3 {
+		t.Fatalf("nested OR should flatten: %+v", n)
+	}
+}
+
+func TestMustParsePanicsOnError(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("MustParse should panic on invalid input")
+		} else if !strings.Contains(r.(error).Error(), "query:") {
+			t.Fatalf("unexpected panic value: %v", r)
+		}
+	}()
+	MustParse(`bogus`)
+}

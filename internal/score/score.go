@@ -1,0 +1,103 @@
+// Package score implements Okapi BM25 scoring as used by BOSS: a float64
+// reference implementation, the per-document precomputation the paper stores
+// as index metadata (so that a term score costs one divide, one multiply and
+// one add at query time), and the Q16.16 fixed-point arithmetic the hardware
+// scoring module uses.
+package score
+
+import "math"
+
+// Params holds the BM25 free parameters.
+type Params struct {
+	K1 float64 // term-frequency saturation, usually in [1.2, 2.0]
+	B  float64 // length normalization, usually 0.75
+}
+
+// DefaultParams returns the parameters used throughout the paper's
+// evaluation (k1 = 1.2, b = 0.75).
+func DefaultParams() Params { return Params{K1: 1.2, B: 0.75} }
+
+// IDF computes the BM25 inverse document frequency of a term appearing in n
+// of N documents: ln((N - n + 0.5)/(n + 0.5) + 1).
+func IDF(totalDocs, docFreq int) float64 {
+	n := float64(docFreq)
+	N := float64(totalDocs)
+	return math.Log((N-n+0.5)/(n+0.5) + 1)
+}
+
+// DocNorm computes the per-document invariant sub-expression
+// k1 * (1 - b + b*|D|/avgdl). BOSS precomputes this at indexing time and
+// stores it as 4 bytes of per-document metadata.
+func (p Params) DocNorm(docLen uint32, avgDocLen float64) float64 {
+	return p.K1 * (1 - p.B + p.B*float64(docLen)/avgDocLen)
+}
+
+// TermScore computes one term's BM25 contribution from the precomputed
+// parts: idf * tf*(k1+1) / (tf + norm). This is the paper's 3-operation
+// runtime form.
+func (p Params) TermScore(idf float64, tf uint32, norm float64) float64 {
+	f := float64(tf)
+	return idf * (f * (p.K1 + 1)) / (f + norm)
+}
+
+// MaxTermScore computes the largest possible contribution of a term for any
+// document: the limit of TermScore as tf grows with the smallest norm. Used
+// as a conservative upper bound when a true per-list maximum is not yet
+// known.
+func (p Params) MaxTermScore(idf float64) float64 {
+	return idf * (p.K1 + 1)
+}
+
+// Fixed is a Q16.16 signed fixed-point value, the representation used by
+// BOSS's hardware scoring and top-k modules. BM25 scores for realistic
+// corpora stay well below 2^15, so Q16.16 has ample headroom.
+type Fixed int32
+
+// One is the fixed-point representation of 1.0.
+const One Fixed = 1 << 16
+
+// ToFixed converts a float64 to Q16.16, rounding to nearest.
+func ToFixed(f float64) Fixed {
+	return Fixed(math.Round(f * 65536))
+}
+
+// Float converts a Q16.16 value back to float64.
+func (x Fixed) Float() float64 { return float64(x) / 65536 }
+
+// Mul multiplies two Q16.16 values, saturating on overflow.
+func (x Fixed) Mul(y Fixed) Fixed {
+	p := (int64(x) * int64(y)) >> 16
+	if p > math.MaxInt32 {
+		return Fixed(math.MaxInt32)
+	}
+	if p < math.MinInt32 {
+		return Fixed(math.MinInt32)
+	}
+	return Fixed(p)
+}
+
+// Div divides x by y in Q16.16. Division by zero or quotient overflow
+// saturates, mirroring a hardware divider's saturation behavior.
+func (x Fixed) Div(y Fixed) Fixed {
+	if y == 0 {
+		return Fixed(math.MaxInt32)
+	}
+	q := (int64(x) << 16) / int64(y)
+	if q > math.MaxInt32 {
+		return Fixed(math.MaxInt32)
+	}
+	if q < math.MinInt32 {
+		return Fixed(math.MinInt32)
+	}
+	return Fixed(q)
+}
+
+// FixedTermScore computes a term score entirely in Q16.16, as the hardware
+// scoring module does: one divide, one multiply (plus the constant-folded
+// tf*(k1+1) term), matching TermScore to within fixed-point rounding.
+func (p Params) FixedTermScore(idf Fixed, tf uint32, norm Fixed) Fixed {
+	f := Fixed(tf) * One // exact: tf is a small integer
+	num := f.Mul(ToFixed(p.K1 + 1))
+	den := f + norm
+	return idf.Mul(num.Div(den))
+}

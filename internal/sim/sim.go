@@ -1,0 +1,187 @@
+// Package sim provides a small transaction-level discrete-event simulation
+// kernel used by the memory-system and accelerator models.
+//
+// The kernel is deliberately simple: a virtual clock measured in picoseconds,
+// an event queue, and "resources" that serialize access with a given service
+// time (bandwidth servers). Models advance virtual time by requesting service
+// from resources; the kernel tracks utilization so harness code can report
+// bandwidth figures.
+//
+// All times are expressed as sim.Time (picoseconds) so that both a 1 GHz
+// accelerator clock (1000 ps/cycle) and sub-nanosecond DRAM events can be
+// represented exactly with integers.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in virtual time, in picoseconds.
+type Time int64
+
+// Duration is a span of virtual time, in picoseconds.
+type Duration = Time
+
+// Common durations.
+const (
+	Picosecond  Duration = 1
+	Nanosecond  Duration = 1000
+	Microsecond Duration = 1000 * Nanosecond
+	Millisecond Duration = 1000 * Microsecond
+	Second      Duration = 1000 * Millisecond
+)
+
+// Seconds converts a Duration to floating-point seconds.
+func Seconds(d Duration) float64 { return float64(d) / float64(Second) }
+
+// FromSeconds converts floating-point seconds to a Duration.
+func FromSeconds(s float64) Duration { return Duration(s * float64(Second)) }
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // tie-break to keep FIFO order for equal times
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulation engine. The zero value is not ready
+// for use; call NewEngine.
+type Engine struct {
+	now   Time
+	queue eventQueue
+	seq   uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Schedule arranges for fn to run at time at. Scheduling in the past panics:
+// that is always a model bug.
+func (e *Engine) Schedule(at Time, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", at, e.now))
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: at, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d Duration, fn func()) {
+	e.Schedule(e.now+d, fn)
+}
+
+// Run drains the event queue, advancing the clock, until no events remain.
+func (e *Engine) Run() {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		e.now = ev.at
+		ev.fn()
+	}
+}
+
+// RunUntil drains events with timestamps <= deadline. Events beyond the
+// deadline remain queued; the clock is left at the deadline or at the last
+// executed event, whichever is later.
+func (e *Engine) RunUntil(deadline Time) {
+	for len(e.queue) > 0 && e.queue[0].at <= deadline {
+		ev := heap.Pop(&e.queue).(*event)
+		e.now = ev.at
+		ev.fn()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Resource is a serially-reused facility (a bus, a memory channel, a divider).
+// Requests are granted in arrival order; each request occupies the resource
+// for its service time. Acquire returns the time at which the request
+// completes. Resources also accumulate busy time so utilization can be
+// reported.
+type Resource struct {
+	name     string
+	freeAt   Time
+	busy     Duration
+	requests int64
+}
+
+// NewResource returns a named resource that is free at time zero.
+func NewResource(name string) *Resource {
+	return &Resource{name: name}
+}
+
+// Name reports the resource name given at construction.
+func (r *Resource) Name() string { return r.name }
+
+// Acquire requests service starting no earlier than at, occupying the
+// resource for d. It returns the completion time. The request waits behind
+// any earlier request still in service (FIFO).
+func (r *Resource) Acquire(at Time, d Duration) Time {
+	start := at
+	if r.freeAt > start {
+		start = r.freeAt
+	}
+	end := start + d
+	r.freeAt = end
+	r.busy += d
+	r.requests++
+	return end
+}
+
+// FreeAt reports when the resource next becomes free.
+func (r *Resource) FreeAt() Time { return r.freeAt }
+
+// BusyTime reports the total service time accumulated.
+func (r *Resource) BusyTime() Duration { return r.busy }
+
+// Requests reports the number of Acquire calls.
+func (r *Resource) Requests() int64 { return r.requests }
+
+// Utilization reports busy time as a fraction of elapsed time (0 if elapsed
+// is zero).
+func (r *Resource) Utilization(elapsed Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	u := float64(r.busy) / float64(elapsed)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// Reset returns the resource to its initial state.
+func (r *Resource) Reset() {
+	r.freeAt = 0
+	r.busy = 0
+	r.requests = 0
+}

@@ -1,0 +1,207 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(30, func() { order = append(order, 3) })
+	e.Schedule(10, func() { order = append(order, 1) })
+	e.Schedule(20, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events ran out of order: %v", order)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("clock = %d, want 30", e.Now())
+	}
+}
+
+func TestEngineFIFOForEqualTimes(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(100, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("equal-time events reordered: %v", order)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	e.Schedule(10, func() {
+		fired = append(fired, e.Now())
+		e.After(5, func() { fired = append(fired, e.Now()) })
+	})
+	e.Run()
+	if len(fired) != 2 || fired[0] != 10 || fired[1] != 15 {
+		t.Fatalf("nested scheduling wrong: %v", fired)
+	}
+}
+
+func TestEngineSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.Schedule(5, func() {})
+	})
+	e.Run()
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.Schedule(10, func() { ran++ })
+	e.Schedule(20, func() { ran++ })
+	e.Schedule(30, func() { ran++ })
+	e.RunUntil(20)
+	if ran != 2 {
+		t.Fatalf("RunUntil(20) ran %d events, want 2", ran)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+	if e.Now() != 20 {
+		t.Fatalf("clock = %d, want 20", e.Now())
+	}
+	e.Run()
+	if ran != 3 {
+		t.Fatalf("Run after RunUntil ran %d total, want 3", ran)
+	}
+}
+
+func TestResourceSerializes(t *testing.T) {
+	r := NewResource("bus")
+	end1 := r.Acquire(0, 100)
+	if end1 != 100 {
+		t.Fatalf("first acquire ends at %d, want 100", end1)
+	}
+	// Second request arrives while busy: it must queue.
+	end2 := r.Acquire(50, 100)
+	if end2 != 200 {
+		t.Fatalf("queued acquire ends at %d, want 200", end2)
+	}
+	// Third arrives after the resource is free: no queueing.
+	end3 := r.Acquire(500, 100)
+	if end3 != 600 {
+		t.Fatalf("late acquire ends at %d, want 600", end3)
+	}
+	if r.BusyTime() != 300 {
+		t.Fatalf("busy = %d, want 300", r.BusyTime())
+	}
+	if r.Requests() != 3 {
+		t.Fatalf("requests = %d, want 3", r.Requests())
+	}
+}
+
+func TestResourceUtilization(t *testing.T) {
+	r := NewResource("chan")
+	r.Acquire(0, 250)
+	if got := r.Utilization(1000); got != 0.25 {
+		t.Fatalf("utilization = %v, want 0.25", got)
+	}
+	if got := r.Utilization(0); got != 0 {
+		t.Fatalf("utilization over zero elapsed = %v, want 0", got)
+	}
+	// Utilization is clamped at 1 even if accounting overshoots elapsed.
+	if got := r.Utilization(100); got != 1 {
+		t.Fatalf("clamped utilization = %v, want 1", got)
+	}
+}
+
+func TestResourceReset(t *testing.T) {
+	r := NewResource("x")
+	r.Acquire(0, 10)
+	r.Reset()
+	if r.BusyTime() != 0 || r.Requests() != 0 || r.FreeAt() != 0 {
+		t.Fatal("reset did not clear state")
+	}
+}
+
+// Property: for any sequence of (arrival, service) pairs with non-decreasing
+// arrivals, completion times are strictly increasing and each completion is
+// >= arrival + service.
+func TestResourceMonotonicProperty(t *testing.T) {
+	f := func(arrivals []uint16, services []uint16) bool {
+		r := NewResource("p")
+		at := Time(0)
+		prevEnd := Time(-1)
+		n := len(arrivals)
+		if len(services) < n {
+			n = len(services)
+		}
+		for i := 0; i < n; i++ {
+			at += Time(arrivals[i])
+			d := Duration(services[i]) + 1
+			end := r.Acquire(at, d)
+			if end < at+d {
+				return false
+			}
+			if end <= prevEnd {
+				return false
+			}
+			prevEnd = end
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := NewStats()
+	s.Add("a", 5)
+	s.Add("a", 3)
+	s.Counter("b").Inc()
+	if s.Get("a") != 8 || s.Get("b") != 1 {
+		t.Fatalf("stats wrong: %s", s)
+	}
+	if s.Get("missing") != 0 {
+		t.Fatal("missing counter should read zero")
+	}
+	names := s.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("names = %v", names)
+	}
+
+	other := NewStats()
+	other.Add("a", 2)
+	other.Add("c", 7)
+	s.Merge(other)
+	if s.Get("a") != 10 || s.Get("c") != 7 {
+		t.Fatalf("merge wrong: %s", s)
+	}
+	if got := s.String(); got != "a=10 b=1 c=7" {
+		t.Fatalf("String() = %q", got)
+	}
+	s.Reset()
+	if s.Get("a") != 0 || s.Get("c") != 0 {
+		t.Fatal("reset did not zero counters")
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if Seconds(Second) != 1.0 {
+		t.Fatal("Seconds(Second) != 1")
+	}
+	if FromSeconds(0.5) != 500*Millisecond {
+		t.Fatalf("FromSeconds(0.5) = %d", FromSeconds(0.5))
+	}
+	if Seconds(FromSeconds(2.5)) != 2.5 {
+		t.Fatal("round trip failed")
+	}
+}

@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Counter accumulates a named integer statistic.
+type Counter struct {
+	n int64
+}
+
+// Add increments the counter by v.
+func (c *Counter) Add(v int64) { c.n += v }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n++ }
+
+// Value reports the accumulated count.
+func (c *Counter) Value() int64 { return c.n }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.n = 0 }
+
+// Stats is a bag of named counters used by models to report traffic and work
+// breakdowns (e.g. bytes loaded per memory-access category).
+type Stats struct {
+	counters map[string]*Counter
+}
+
+// NewStats returns an empty stats bag.
+func NewStats() *Stats {
+	return &Stats{counters: make(map[string]*Counter)}
+}
+
+// Counter returns the counter with the given name, creating it at zero if
+// needed.
+func (s *Stats) Counter(name string) *Counter {
+	c, ok := s.counters[name]
+	if !ok {
+		c = &Counter{}
+		s.counters[name] = c
+	}
+	return c
+}
+
+// Add adds v to the named counter.
+func (s *Stats) Add(name string, v int64) { s.Counter(name).Add(v) }
+
+// Get reports the value of the named counter (0 if absent).
+func (s *Stats) Get(name string) int64 {
+	if c, ok := s.counters[name]; ok {
+		return c.Value()
+	}
+	return 0
+}
+
+// Names reports all counter names in sorted order.
+func (s *Stats) Names() []string {
+	names := make([]string, 0, len(s.counters))
+	for n := range s.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Merge adds every counter of other into s.
+func (s *Stats) Merge(other *Stats) {
+	for name, c := range other.counters {
+		s.Add(name, c.Value())
+	}
+}
+
+// Reset zeroes every counter.
+func (s *Stats) Reset() {
+	for _, c := range s.counters {
+		c.Reset()
+	}
+}
+
+// String renders the stats as "name=value" pairs, sorted by name.
+func (s *Stats) String() string {
+	var b strings.Builder
+	for i, n := range s.Names() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", n, s.Get(n))
+	}
+	return b.String()
+}

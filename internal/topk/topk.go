@@ -1,0 +1,182 @@
+// Package topk implements top-k selection two ways: a software binary heap
+// (what a host CPU runs, and what the Lucene baseline uses) and a model of
+// BOSS's shift-register hardware priority queue, where an inserted entry is
+// broadcast to all k slots and each slot locally decides to keep, shift, or
+// load (Section IV-C, Top-k Module). Both produce identical results; the
+// hardware model additionally counts shift activity for the energy model.
+//
+// Ordering: higher score first; ties broken toward the smaller docID so
+// every implementation in the repository agrees on the exact result set.
+package topk
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+)
+
+// Entry is one scored document.
+type Entry struct {
+	DocID uint32
+	Score float64
+}
+
+// less reports whether a ranks strictly better than b.
+func less(a, b Entry) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.DocID < b.DocID
+}
+
+// Selector accumulates scored documents and retains the best k.
+type Selector interface {
+	// Insert offers a scored document.
+	Insert(docID uint32, score float64)
+	// Threshold reports the current cutoff: the worst score in the queue
+	// once full, or -Inf while the queue still has room. Early-termination
+	// algorithms compare upper bounds against this.
+	Threshold() float64
+	// Full reports whether k entries are held.
+	Full() bool
+	// Results returns the retained entries, best first.
+	Results() []Entry
+	// Len reports the number of retained entries.
+	Len() int
+}
+
+// --- software heap ---
+
+// heapSelector is a size-bounded min-heap (worst retained entry at the
+// root), the standard software top-k structure.
+type heapSelector struct {
+	k       int
+	entries entryHeap
+}
+
+// NewHeap returns a software top-k selector retaining k entries.
+func NewHeap(k int) Selector {
+	if k <= 0 {
+		panic("topk: k must be positive")
+	}
+	return &heapSelector{k: k}
+}
+
+type entryHeap []Entry
+
+func (h entryHeap) Len() int { return len(h) }
+func (h entryHeap) Less(i, j int) bool {
+	// Min-heap by rank: the *worst* entry is at the root.
+	return less(h[j], h[i])
+}
+func (h entryHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *entryHeap) Push(x interface{}) { *h = append(*h, x.(Entry)) }
+func (h *entryHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+func (s *heapSelector) Insert(docID uint32, score float64) {
+	e := Entry{DocID: docID, Score: score}
+	if len(s.entries) < s.k {
+		heap.Push(&s.entries, e)
+		return
+	}
+	if less(e, s.entries[0]) {
+		s.entries[0] = e
+		heap.Fix(&s.entries, 0)
+	}
+}
+
+func (s *heapSelector) Threshold() float64 {
+	if len(s.entries) < s.k {
+		return math.Inf(-1)
+	}
+	return s.entries[0].Score
+}
+
+func (s *heapSelector) Full() bool { return len(s.entries) >= s.k }
+func (s *heapSelector) Len() int   { return len(s.entries) }
+
+func (s *heapSelector) Results() []Entry {
+	out := make([]Entry, len(s.entries))
+	copy(out, s.entries)
+	sort.Slice(out, func(i, j int) bool { return less(out[i], out[j]) })
+	return out
+}
+
+// --- hardware shift-register queue ---
+
+// ShiftRegisterQueue models BOSS's hardware priority queue: k entries held
+// in rank order in a shift register. An insertion is broadcast to every
+// slot; slots below the insertion point shift toward the tail (dropping the
+// last), and the slot at the insertion point loads the new entry. The model
+// keeps the same results as the heap while counting slot-shift activity.
+type ShiftRegisterQueue struct {
+	k       int
+	slots   []Entry // rank order, best first
+	inserts int64
+	shifts  int64
+}
+
+// NewShiftRegister returns a hardware-model top-k queue with k slots.
+func NewShiftRegister(k int) *ShiftRegisterQueue {
+	if k <= 0 {
+		panic("topk: k must be positive")
+	}
+	return &ShiftRegisterQueue{k: k, slots: make([]Entry, 0, k)}
+}
+
+var _ Selector = (*ShiftRegisterQueue)(nil)
+
+// Insert offers a scored document; each call models one broadcast cycle.
+func (q *ShiftRegisterQueue) Insert(docID uint32, score float64) {
+	q.inserts++
+	e := Entry{DocID: docID, Score: score}
+	// Find insertion point: first slot that e outranks.
+	pos := sort.Search(len(q.slots), func(i int) bool { return less(e, q.slots[i]) })
+	if pos == len(q.slots) {
+		if len(q.slots) < q.k {
+			q.slots = append(q.slots, e)
+		}
+		return
+	}
+	if len(q.slots) < q.k {
+		q.slots = append(q.slots, Entry{})
+	}
+	// Slots from pos to the end shift one position tailward.
+	q.shifts += int64(len(q.slots) - pos - 1)
+	copy(q.slots[pos+1:], q.slots[pos:len(q.slots)-1])
+	q.slots[pos] = e
+}
+
+// Threshold reports the cutoff score (see Selector).
+func (q *ShiftRegisterQueue) Threshold() float64 {
+	if len(q.slots) < q.k {
+		return math.Inf(-1)
+	}
+	return q.slots[len(q.slots)-1].Score
+}
+
+// Full reports whether all k slots hold entries.
+func (q *ShiftRegisterQueue) Full() bool { return len(q.slots) >= q.k }
+
+// Len reports the number of occupied slots.
+func (q *ShiftRegisterQueue) Len() int { return len(q.slots) }
+
+// Results returns the retained entries, best first.
+func (q *ShiftRegisterQueue) Results() []Entry {
+	out := make([]Entry, len(q.slots))
+	copy(out, q.slots)
+	return out
+}
+
+// Inserts reports how many entries were offered (broadcast cycles).
+func (q *ShiftRegisterQueue) Inserts() int64 { return q.inserts }
+
+// Shifts reports the total number of slot shifts, a proxy for the module's
+// dynamic switching activity.
+func (q *ShiftRegisterQueue) Shifts() int64 { return q.shifts }
