@@ -188,6 +188,45 @@ func (ix *Index) Search(expr string, k int) ([]Hit, error) {
 	return ix.hits(res.TopK), nil
 }
 
+// BatchItem is one query's outcome in a batch search. A nil Err with empty
+// Hits means the query genuinely matched nothing.
+type BatchItem struct {
+	// Hits is the query's top-k result list.
+	Hits []Hit
+	// Stats carries simulated-device statistics on accelerator paths (nil
+	// on the software-engine path).
+	Stats *SimStats
+	// Err reports why this query failed (parse error, unknown term, ...).
+	Err error
+}
+
+// SearchBatch runs many queries concurrently on the software engine (one
+// worker per CPU) and returns one item per query, in input order. Results
+// are identical to calling Search per query.
+func (ix *Index) SearchBatch(exprs []string, k int) []BatchItem {
+	items := make([]BatchItem, len(exprs))
+	nodes := make([]*query.Node, 0, len(exprs))
+	slots := make([]int, 0, len(exprs))
+	for i, expr := range exprs {
+		node, err := query.Parse(expr)
+		if err != nil {
+			items[i].Err = err
+			continue
+		}
+		nodes = append(nodes, node)
+		slots = append(slots, i)
+	}
+	br := engine.New(ix.idx).RunBatch(nodes, k, 0)
+	for j, i := range slots {
+		if err := br.Errs[j]; err != nil {
+			items[i].Err = err
+			continue
+		}
+		items[i].Hits = ix.hits(br.Results[j].TopK)
+	}
+	return items
+}
+
 // WriteTo serializes the index (document names are not serialized; a
 // re-read index reports synthetic names).
 func (ix *Index) WriteTo(w io.Writer) (int64, error) { return ix.idx.WriteTo(w) }
@@ -289,6 +328,36 @@ func (a *Accelerator) Search(expr string, k int) ([]Hit, *SimStats, error) {
 	return a.ix.hits(res.TopK), simStats(res.M, a.dev, a.cores), nil
 }
 
+// SearchBatch runs many queries concurrently on the simulated accelerator
+// (one worker per CPU) and returns one item per query, in input order, each
+// with its own simulated statistics. Results are identical to calling
+// Search per query: the device model is stateless.
+func (a *Accelerator) SearchBatch(exprs []string, k int) []BatchItem {
+	items := make([]BatchItem, len(exprs))
+	nodes := make([]*query.Node, 0, len(exprs))
+	slots := make([]int, 0, len(exprs))
+	for i, expr := range exprs {
+		node, err := query.Parse(expr)
+		if err != nil {
+			items[i].Err = err
+			continue
+		}
+		nodes = append(nodes, node)
+		slots = append(slots, i)
+	}
+	br := a.acc.RunBatch(nodes, k, 0)
+	for j, i := range slots {
+		if err := br.Errs[j]; err != nil {
+			items[i].Err = err
+			continue
+		}
+		res := br.Results[j]
+		items[i].Hits = a.ix.hits(res.TopK)
+		items[i].Stats = simStats(res.M, a.dev, a.cores)
+	}
+	return items
+}
+
 // SyntheticKind selects a built-in synthetic corpus profile.
 type SyntheticKind int
 
@@ -376,4 +445,32 @@ func (s *ShardedIndex) Search(expr string, k int) ([]Hit, *SimStats, error) {
 		hits[i] = Hit{Doc: fmt.Sprintf("doc%d", e.DocID), DocID: e.DocID, Score: e.Score}
 	}
 	return hits, simStats(agg, mem.SCM(), 8), nil
+}
+
+// SearchBatch pipelines many queries across the pooled-memory cluster: each
+// host worker owns one in-flight query and sweeps it across the nodes, so
+// different queries occupy different nodes concurrently. Items preserve
+// input order and match Search query for query.
+func (s *ShardedIndex) SearchBatch(exprs []string, k int) []BatchItem {
+	br := s.cluster.SearchBatch(exprs, k)
+	items := make([]BatchItem, len(exprs))
+	for i := range exprs {
+		if err := br.Errs[i]; err != nil {
+			items[i].Err = err
+			continue
+		}
+		res := br.Results[i]
+		agg := perf.NewMetrics()
+		for _, m := range res.PerShard {
+			if m != nil {
+				agg.Merge(m)
+			}
+		}
+		items[i].Hits = make([]Hit, len(res.TopK))
+		for j, e := range res.TopK {
+			items[i].Hits[j] = Hit{Doc: fmt.Sprintf("doc%d", e.DocID), DocID: e.DocID, Score: e.Score}
+		}
+		items[i].Stats = simStats(agg, mem.SCM(), 8)
+	}
+	return items
 }

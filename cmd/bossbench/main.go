@@ -8,9 +8,12 @@
 //	bossbench -list                # list experiment ids
 //	bossbench -exp fig9 -full      # larger corpora/workload (slower)
 //	bossbench -scale 0.05 -k 500   # custom scope
+//	bossbench -wallclock           # real host QPS (serial vs batch/parallel)
+//	bossbench -wallclock -json     # same, machine-readable
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,6 +31,9 @@ func main() {
 		k       = flag.Int("k", 0, "override top-k depth (0 = config default)")
 		seed    = flag.Int64("seed", 0, "override workload seed (0 = config default)")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		wall    = flag.Bool("wallclock", false, "measure real host QPS (serial vs batch/parallel) instead of simulated experiments")
+		shards  = flag.Int("shards", 4, "cluster shard count for -wallclock")
+		jsonOut = flag.Bool("json", false, "with -wallclock, emit the report as JSON")
 	)
 	flag.Parse()
 
@@ -56,6 +62,25 @@ func main() {
 	}
 
 	ctx := harness.NewContext(cfg)
+
+	if *wall {
+		rep := harness.Wallclock(ctx, *shards)
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(rep); err != nil {
+				fmt.Fprintf(os.Stderr, "bossbench: %v\n", err)
+				os.Exit(1)
+			}
+		} else if *csv {
+			t := rep.Table()
+			fmt.Printf("# %s: %s\n%s\n", t.ID, t.Title, t.CSV())
+		} else {
+			fmt.Println(rep.Table().String())
+		}
+		return
+	}
+
 	run := func(e harness.Experiment) {
 		for _, t := range e.Run(ctx) {
 			if *csv {

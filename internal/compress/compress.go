@@ -12,6 +12,7 @@ package compress
 import (
 	"fmt"
 	"math/bits"
+	"sync"
 )
 
 // Scheme identifies a compression scheme.
@@ -97,9 +98,19 @@ func AllSchemes() []Scheme {
 	return []Scheme{BP, VB, PFD, OptPFD, S16, S8b}
 }
 
+// sizingBufPool recycles the throwaway byte buffers EncodedSize and
+// ChooseBest encode into. Hybrid index builds size every block under every
+// candidate scheme, so these buffers otherwise dominate build allocations.
+var sizingBufPool = sync.Pool{New: func() any { return new([]byte) }}
+
 // EncodedSize reports the number of bytes scheme uses for values.
 func EncodedSize(s Scheme, values []uint32) int {
-	return len(ForScheme(s).Encode(nil, values))
+	bufp := sizingBufPool.Get().(*[]byte)
+	buf := ForScheme(s).Encode((*bufp)[:0], values)
+	n := len(buf)
+	*bufp = buf
+	sizingBufPool.Put(bufp)
+	return n
 }
 
 // ChooseBest returns the concrete scheme with the smallest encoding for
@@ -112,16 +123,20 @@ func ChooseBest(values []uint32, candidates []Scheme) (Scheme, int) {
 	}
 	best := Scheme(0xFE)
 	bestSize := -1
+	bufp := sizingBufPool.Get().(*[]byte)
 	for _, s := range candidates {
 		c := ForScheme(s)
 		if !c.Supports(values) {
 			continue
 		}
-		size := len(c.Encode(nil, values))
+		buf := c.Encode((*bufp)[:0], values)
+		size := len(buf)
+		*bufp = buf
 		if bestSize < 0 || size < bestSize {
 			best, bestSize = s, size
 		}
 	}
+	sizingBufPool.Put(bufp)
 	if bestSize < 0 {
 		// Every value fits VB (full uint32 range), so this cannot happen
 		// unless candidates excluded all viable schemes.

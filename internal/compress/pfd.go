@@ -1,5 +1,18 @@
 package compress
 
+import "sync"
+
+// pfdScratch holds the per-call encode scratch (low-bits area and exception
+// staging). Index builds encode every block through ChooseBest and the
+// selected codec, so this path runs hot; pooling keeps it allocation-free.
+type pfdScratch struct {
+	low    []uint32
+	excPos []byte
+	excVal []uint32
+}
+
+var pfdScratchPool = sync.Pool{New: func() any { return new(pfdScratch) }}
+
 // pfdCodec implements PForDelta (PFD) and its OptPFD variant.
 //
 // Layout:
@@ -37,7 +50,7 @@ func pfdSize(values []uint32, b int) (size, nExc int) {
 		if bitWidth(v) > b {
 			nExc++
 			size++ // position byte
-			size += len(appendVB(nil, v>>uint(b)))
+			size += vbLen(v >> uint(b))
 		}
 	}
 	return size, nExc
@@ -90,11 +103,12 @@ func (c pfdCodec) Encode(dst []byte, values []uint32) []byte {
 	if b > 0 {
 		mask = 1<<uint(b) - 1
 	}
-	var excPos []byte
-	var excVal []uint32
-	low := make([]uint32, len(values))
+	sc := pfdScratchPool.Get().(*pfdScratch)
+	low := sc.low[:0]
+	excPos := sc.excPos[:0]
+	excVal := sc.excVal[:0]
 	for i, v := range values {
-		low[i] = v & mask
+		low = append(low, v&mask)
 		if bitWidth(v) > b {
 			excPos = append(excPos, byte(i))
 			excVal = append(excVal, v>>uint(b))
@@ -106,6 +120,8 @@ func (c pfdCodec) Encode(dst []byte, values []uint32) []byte {
 	for _, hv := range excVal {
 		dst = appendVB(dst, hv)
 	}
+	sc.low, sc.excPos, sc.excVal = low, excPos, excVal
+	pfdScratchPool.Put(sc)
 	return dst
 }
 

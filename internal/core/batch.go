@@ -1,4 +1,4 @@
-package engine
+package core
 
 import (
 	"runtime"
@@ -8,14 +8,15 @@ import (
 	"boss/internal/query"
 )
 
-// BatchResult is the outcome of a concurrently executed query batch.
+// BatchResult is the outcome of a concurrently executed query batch,
+// mirroring engine.BatchResult so the software baseline and the accelerator
+// model expose the same batch surface.
 type BatchResult struct {
-	// Results holds one Result per input query, in input order. A query
-	// that failed leaves a zero-value Result; check Errs to tell a failure
-	// apart from an empty result.
+	// Results holds one Result per input query, in input order. A failed
+	// query leaves a zero-value Result; consult Errs to distinguish it from
+	// an empty result.
 	Results []Result
-	// Errs holds one entry per input query (nil for successes), so callers
-	// can attribute failures to specific queries.
+	// Errs holds one entry per input query (nil for successes).
 	Errs []error
 	// Err is the first error in input order (remaining queries still run).
 	Err error
@@ -24,11 +25,11 @@ type BatchResult struct {
 }
 
 // RunBatch executes queries concurrently on the given number of worker
-// goroutines (0 = GOMAXPROCS), modeling the paper's 8-thread Lucene
-// deployment where each in-flight query owns one core. Results preserve
-// input order and are deterministic: each query's execution is independent
-// and the engine itself is stateless.
-func (e *Engine) RunBatch(nodes []*query.Node, k, workers int) *BatchResult {
+// goroutines (0 = GOMAXPROCS), modeling a device whose cores each own one
+// in-flight query. Results preserve input order and are bit-identical to
+// running each query serially: the accelerator is stateless, so concurrent
+// runs cannot observe each other.
+func (a *Accelerator) RunBatch(nodes []*query.Node, k, workers int) *BatchResult {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -51,7 +52,7 @@ func (e *Engine) RunBatch(nodes []*query.Node, k, workers int) *BatchResult {
 			defer wg.Done()
 			// Workers write only their own indices, so no lock is needed.
 			for i := range next {
-				br.Results[i], br.Errs[i] = e.Run(nodes[i], k)
+				br.Results[i], br.Errs[i] = a.Run(nodes[i], k)
 			}
 		}()
 	}

@@ -90,6 +90,13 @@ func ExhaustiveOptions() Options { return Options{} }
 func BlockOnlyOptions() Options { return Options{BlockET: true} }
 
 // Accelerator is a BOSS device model over one index shard.
+//
+// An Accelerator is stateless after construction: Run allocates all mutable
+// per-query state in a fresh run record and only reads the (immutable)
+// index and options. It is therefore safe — and deterministic — to call Run
+// concurrently from many goroutines, which is how the pool's parallel shard
+// fan-out and RunBatch drive it. TestAcceleratorParallelDeterminism
+// enforces this contract under the race detector.
 type Accelerator struct {
 	idx  *index.Index
 	opts Options

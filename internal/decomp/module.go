@@ -38,6 +38,11 @@ type Module struct {
 	cycles int64
 	blocks int64
 	values int64
+
+	// decode scratch, reused across blocks (a Module is single-owner, so
+	// plain fields suffice; see the concurrency note above)
+	state *netState
+	outs  []uint64
 }
 
 // NewModule builds a module from a parsed configuration.
@@ -87,7 +92,11 @@ func (m *Module) Decode(payload []byte, n int, base uint32, applyDelta bool) (va
 	}
 
 	// Stage 2: programmable manipulation.
-	outs, netCycles, err := m.cfg.Netlist.Run(tokens, n)
+	if m.state == nil {
+		m.state = newNetState(m.cfg.Netlist)
+	}
+	outs, netCycles, err := m.cfg.Netlist.runInto(m.state, m.outs[:0], tokens, n)
+	m.outs = outs[:0]
 	if err != nil {
 		return nil, 0, 0, err
 	}

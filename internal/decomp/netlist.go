@@ -65,29 +65,40 @@ type Netlist struct {
 	assigns []assignment
 }
 
-// netState is the mutable evaluation state of a netlist.
+// netState is the mutable evaluation state of a netlist. It is reusable:
+// reset() returns it to power-on state without reallocating, so the decode
+// hot loop does not build fresh maps per block (or, worse, per cycle).
 type netState struct {
-	nl      *Netlist
-	regVals map[string]uint64
-	wires   map[string]uint64
+	nl       *Netlist
+	regVals  map[string]uint64
+	wires    map[string]uint64
+	nextReg  map[string]uint64
+	regNames map[string]bool
 }
 
 func newNetState(nl *Netlist) *netState {
-	s := &netState{nl: nl, regVals: make(map[string]uint64), wires: make(map[string]uint64)}
-	for _, r := range nl.regs {
-		s.regVals[r.name] = r.init
+	s := &netState{
+		nl:       nl,
+		regVals:  make(map[string]uint64, len(nl.regs)),
+		wires:    make(map[string]uint64),
+		nextReg:  make(map[string]uint64, len(nl.regs)),
+		regNames: make(map[string]bool, len(nl.regs)),
 	}
+	for _, r := range nl.regs {
+		s.regNames[r.name] = true
+	}
+	s.reset()
 	return s
 }
 
-func (s *netState) isReg(name string) bool {
+// reset restores every register to its declared init value.
+func (s *netState) reset() {
 	for _, r := range s.nl.regs {
-		if r.name == name {
-			return true
-		}
+		s.regVals[r.name] = r.init
 	}
-	return false
 }
+
+func (s *netState) isReg(name string) bool { return s.regNames[name] }
 
 func (s *netState) value(o operand, input uint64) (uint64, error) {
 	if o.isLit {
@@ -110,7 +121,8 @@ func (s *netState) value(o operand, input uint64) (uint64, error) {
 // output value and whether it is valid this cycle.
 func (s *netState) step(input uint64) (out uint64, valid bool, err error) {
 	clear(s.wires)
-	nextReg := make(map[string]uint64, len(s.regVals))
+	nextReg := s.nextReg
+	clear(nextReg)
 	for _, a := range s.nl.assigns {
 		var vals [3]uint64
 		for i, arg := range a.args {
@@ -171,7 +183,15 @@ func (s *netState) step(input uint64) (out uint64, valid bool, err error) {
 // values (max < 0 means unlimited) along with the number of cycles
 // consumed.
 func (nl *Netlist) Run(tokens []uint64, max int) (values []uint64, cycles int, err error) {
-	s := newNetState(nl)
+	return nl.runInto(newNetState(nl), nil, tokens, max)
+}
+
+// runInto is Run with caller-owned scratch: s is reset and reused, and
+// values accumulate into dst. The decode hot path calls this through a
+// Module's private state so steady-state decoding does not allocate.
+func (nl *Netlist) runInto(s *netState, dst []uint64, tokens []uint64, max int) (values []uint64, cycles int, err error) {
+	s.reset()
+	values = dst
 	for _, tok := range tokens {
 		cycles++
 		out, valid, err := s.step(tok)

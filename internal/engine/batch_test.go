@@ -68,6 +68,17 @@ func TestRunBatchPropagatesErrors(t *testing.T) {
 	if br.Err == nil {
 		t.Fatal("batch should report the unknown-term error")
 	}
+	// Per-query attribution: exactly the failing query has an Errs entry,
+	// and Err is that entry (first failure in input order).
+	if len(br.Errs) != len(nodes) {
+		t.Fatalf("Errs has %d entries for %d queries", len(br.Errs), len(nodes))
+	}
+	if br.Errs[0] != nil || br.Errs[2] != nil {
+		t.Fatal("valid queries must have nil Errs entries")
+	}
+	if br.Errs[1] == nil || br.Err != br.Errs[1] {
+		t.Fatal("Err should be the failing query's own error")
+	}
 	// The valid queries still produced results.
 	if len(br.Results[0].TopK) == 0 || len(br.Results[2].TopK) == 0 {
 		t.Fatal("valid queries in a failing batch should still complete")

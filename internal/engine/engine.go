@@ -66,33 +66,64 @@ type Result struct {
 	M    *perf.Metrics
 }
 
+// tally counts hot-loop operations for one query. The iterators bump plain
+// integer counters on every posting touched; the cost model is applied once
+// per query in flush. Charging perf.Metrics per posting (a float multiply,
+// a Duration conversion and a method call per next()/score()/probe) used to
+// dominate real wall-clock time on union-heavy queries.
+type tally struct {
+	decoded     int64 // postings decompressed
+	scoreOps    int64 // BM25 term-score evaluations
+	mergeOps    int64 // merge/advance comparisons
+	seeks       int64 // skip-based seekGEQ dispatches
+	heapInserts int64 // top-k offers
+}
+
+// flush converts the accumulated counts to compute time on m and zeroes the
+// tally. Applying each per-operation cost to its whole count keeps the
+// result deterministic regardless of iteration interleaving.
+func (ta *tally) flush(cost CostModel, m *perf.Metrics) {
+	ns := cost.DecodeNSPerValue*float64(ta.decoded) +
+		cost.ScoreNSPerOp*float64(ta.scoreOps) +
+		cost.MergeNSPerOp*float64(ta.mergeOps) +
+		cost.SeekNSPerBlock*float64(ta.seeks) +
+		cost.HeapNSPerInsert*float64(ta.heapInserts)
+	m.AddCompute(sim.Duration(ns * float64(sim.Nanosecond)))
+	*ta = tally{}
+}
+
 // Run evaluates the query and returns the top-k documents plus the work
-// metrics the run accumulated.
+// metrics the run accumulated. Run is safe for concurrent use from multiple
+// goroutines: the engine itself is stateless and all per-query state lives
+// in the iterator tree built here.
 func (e *Engine) Run(node *query.Node, k int) (Result, error) {
 	m := perf.NewMetrics()
+	ta := &tally{}
 	if e.wand && node.Op == query.OpOr && node.IsPureOr() {
-		return e.runWAND(node, k, m)
+		return e.runWAND(node, k, m, ta)
 	}
-	it, err := e.build(node, m)
+	it, err := e.build(node, m, ta)
 	if err != nil {
 		return Result{}, err
 	}
 	sel := topk.NewHeap(k)
-	nsCompute := 0.0
 	for it.valid() {
 		doc := it.doc()
 		s := it.score()
 		m.DocsEvaluated++
-		nsCompute += e.cost.HeapNSPerInsert
+		ta.heapInserts++
 		sel.Insert(doc, s)
 		it.next()
 	}
-	m.AddCompute(sim.Duration(nsCompute * float64(sim.Nanosecond)))
+	it.close()
+	ta.flush(e.cost, m)
 	return Result{TopK: sel.Results(), M: m}, nil
 }
 
 // iter is a DAAT document iterator. score() may only be called when
-// valid(), and charges the scoring cost for the current document.
+// valid(), and charges the scoring cost for the current document. close()
+// releases decode buffers back to the shared pool; the iterator must not be
+// used afterwards.
 type iter interface {
 	valid() bool
 	doc() uint32
@@ -100,37 +131,38 @@ type iter interface {
 	next()
 	seekGEQ(target uint32) bool
 	estDF() int
+	close()
 }
 
 // build compiles a query AST into an iterator tree.
-func (e *Engine) build(node *query.Node, m *perf.Metrics) (iter, error) {
+func (e *Engine) build(node *query.Node, m *perf.Metrics, ta *tally) (iter, error) {
 	switch node.Op {
 	case query.OpTerm:
 		pl := e.idx.List(node.Term)
 		if pl == nil {
 			return nil, fmt.Errorf("engine: term %q not indexed", node.Term)
 		}
-		return e.newTermIter(pl, m), nil
+		return e.newTermIter(pl, m, ta), nil
 	case query.OpAnd:
 		children := make([]iter, len(node.Children))
 		for i, c := range node.Children {
-			it, err := e.build(c, m)
+			it, err := e.build(c, m, ta)
 			if err != nil {
 				return nil, err
 			}
 			children[i] = it
 		}
-		return e.newAndIter(children, m), nil
+		return e.newAndIter(children, m, ta), nil
 	case query.OpOr:
 		children := make([]iter, len(node.Children))
 		for i, c := range node.Children {
-			it, err := e.build(c, m)
+			it, err := e.build(c, m, ta)
 			if err != nil {
 				return nil, err
 			}
 			children[i] = it
 		}
-		return e.newOrIter(children, m), nil
+		return e.newOrIter(children, ta), nil
 	default:
 		return nil, fmt.Errorf("engine: unknown query op %d", node.Op)
 	}
@@ -142,12 +174,12 @@ type termIter struct {
 	e   *Engine
 	cur *index.Cursor
 	pl  *index.PostingList
-	m   *perf.Metrics
+	ta  *tally
 	ord int // position in the query expression (WAND summation order)
 }
 
-func (e *Engine) newTermIter(pl *index.PostingList, m *perf.Metrics) *termIter {
-	t := &termIter{e: e, pl: pl, m: m}
+func (e *Engine) newTermIter(pl *index.PostingList, m *perf.Metrics, ta *tally) *termIter {
+	t := &termIter{e: e, pl: pl, ta: ta}
 	cur := index.NewCursor(e.idx, pl)
 	cur.OnBlock = func(b int) {
 		meta := pl.Blocks[b]
@@ -155,7 +187,7 @@ func (e *Engine) newTermIter(pl *index.PostingList, m *perf.Metrics) *termIter {
 		m.AddSeqRead(size, mem.CatLoadList)
 		m.BlocksFetched++
 		m.PostingsDecoded += int64(meta.Count)
-		m.AddCompute(sim.Duration(e.cost.DecodeNSPerValue * float64(meta.Count) * float64(sim.Nanosecond)))
+		ta.decoded += int64(meta.Count)
 	}
 	t.cur = cur
 	// The cursor decoded its first block during construction, before
@@ -169,37 +201,38 @@ func (e *Engine) newTermIter(pl *index.PostingList, m *perf.Metrics) *termIter {
 func (t *termIter) valid() bool { return t.cur.Valid() }
 func (t *termIter) doc() uint32 { return t.cur.Doc() }
 func (t *termIter) estDF() int  { return t.pl.DF }
+func (t *termIter) close()      { t.cur.Release() }
 
 func (t *termIter) score() float64 {
-	t.m.AddCompute(sim.Duration(t.e.cost.ScoreNSPerOp * float64(sim.Nanosecond)))
+	t.ta.scoreOps++
 	return t.cur.Score()
 }
 
 func (t *termIter) next() {
-	t.m.AddCompute(sim.Duration(t.e.cost.MergeNSPerOp * float64(sim.Nanosecond)))
+	t.ta.mergeOps++
 	t.cur.Next()
 }
 
 func (t *termIter) seekGEQ(target uint32) bool {
-	t.m.AddCompute(sim.Duration(t.e.cost.SeekNSPerBlock * float64(sim.Nanosecond)))
+	t.ta.seeks++
 	return t.cur.SeekGEQ(target)
 }
 
 // --- conjunction (SvS document-at-a-time) ---
 
 type andIter struct {
-	e        *Engine
 	children []iter // sorted by ascending estimated df
 	m        *perf.Metrics
+	ta       *tally
 	cur      uint32
 	ok       bool
 }
 
-func (e *Engine) newAndIter(children []iter, m *perf.Metrics) *andIter {
+func (e *Engine) newAndIter(children []iter, m *perf.Metrics, ta *tally) *andIter {
 	sort.SliceStable(children, func(i, j int) bool {
 		return children[i].estDF() < children[j].estDF()
 	})
-	a := &andIter{e: e, children: children, m: m}
+	a := &andIter{children: children, m: m, ta: ta}
 	a.align(0)
 	return a
 }
@@ -216,7 +249,7 @@ outer:
 	for {
 		for _, c := range a.children[1:] {
 			a.m.MembershipProbes++
-			a.m.AddCompute(sim.Duration(a.e.cost.MergeNSPerOp * float64(sim.Nanosecond)))
+			a.ta.mergeOps++
 			if !c.seekGEQ(candidate) {
 				a.ok = false
 				return
@@ -238,6 +271,12 @@ outer:
 
 func (a *andIter) valid() bool { return a.ok }
 func (a *andIter) doc() uint32 { return a.cur }
+
+func (a *andIter) close() {
+	for _, c := range a.children {
+		c.close()
+	}
+}
 
 func (a *andIter) estDF() int {
 	// The conjunction is at most as long as its rarest child.
@@ -270,15 +309,14 @@ func (a *andIter) seekGEQ(target uint32) bool {
 // --- disjunction (exhaustive DAAT union) ---
 
 type orIter struct {
-	e        *Engine
 	children []iter
-	m        *perf.Metrics
+	ta       *tally
 	cur      uint32
 	ok       bool
 }
 
-func (e *Engine) newOrIter(children []iter, m *perf.Metrics) *orIter {
-	o := &orIter{e: e, children: children, m: m}
+func (e *Engine) newOrIter(children []iter, ta *tally) *orIter {
+	o := &orIter{children: children, ta: ta}
 	o.settle()
 	return o
 }
@@ -288,7 +326,7 @@ func (o *orIter) settle() {
 	min := uint32(math.MaxUint32)
 	o.ok = false
 	for _, c := range o.children {
-		o.m.AddCompute(sim.Duration(o.e.cost.MergeNSPerOp * float64(sim.Nanosecond)))
+		o.ta.mergeOps++
 		if c.valid() {
 			if d := c.doc(); !o.ok || d < min {
 				min = d
@@ -301,6 +339,12 @@ func (o *orIter) settle() {
 
 func (o *orIter) valid() bool { return o.ok }
 func (o *orIter) doc() uint32 { return o.cur }
+
+func (o *orIter) close() {
+	for _, c := range o.children {
+		c.close()
+	}
+}
 
 func (o *orIter) estDF() int {
 	df := 0

@@ -6,7 +6,6 @@ import (
 
 	"boss/internal/perf"
 	"boss/internal/query"
-	"boss/internal/sim"
 	"boss/internal/topk"
 )
 
@@ -21,18 +20,23 @@ func (e *Engine) EnableWAND() { e.wand = true }
 // The caller guarantees every child of node is a term. Results are
 // identical to exhaustive evaluation (ET is lossless, with the same
 // tie-safe >= pivoting the hardware model uses).
-func (e *Engine) runWAND(node *query.Node, k int, m *perf.Metrics) (Result, error) {
+func (e *Engine) runWAND(node *query.Node, k int, m *perf.Metrics, ta *tally) (Result, error) {
 	children := make([]*termIter, len(node.Children))
 	for i, c := range node.Children {
 		pl := e.idx.List(c.Term)
 		if pl == nil {
 			return Result{}, fmt.Errorf("engine: term %q not indexed", c.Term)
 		}
-		children[i] = e.newTermIter(pl, m)
+		children[i] = e.newTermIter(pl, m, ta)
 		children[i].ord = i
 	}
+	all := append([]*termIter(nil), children...)
+	defer func() {
+		for _, c := range all {
+			c.close()
+		}
+	}()
 	sel := topk.NewHeap(k)
-	nsCompute := 0.0
 	for {
 		// Live iterators sorted by current doc.
 		live := children[:0]
@@ -51,7 +55,7 @@ func (e *Engine) runWAND(node *query.Node, k int, m *perf.Metrics) (Result, erro
 		acc := 0.0
 		pivot := -1
 		for i, c := range children {
-			nsCompute += e.cost.MergeNSPerOp
+			ta.mergeOps++
 			acc += c.pl.MaxScore
 			if acc >= cutoff {
 				pivot = i
@@ -78,7 +82,7 @@ func (e *Engine) runWAND(node *query.Node, k int, m *perf.Metrics) (Result, erro
 			for _, c := range matched {
 				s += c.score()
 			}
-			nsCompute += e.cost.HeapNSPerInsert
+			ta.heapInserts++
 			sel.Insert(pivotDoc, s)
 			for _, c := range matched {
 				c.next()
@@ -92,6 +96,6 @@ func (e *Engine) runWAND(node *query.Node, k int, m *perf.Metrics) (Result, erro
 			}
 		}
 	}
-	m.AddCompute(sim.Duration(nsCompute * float64(sim.Nanosecond)))
+	ta.flush(e.cost, m)
 	return Result{TopK: sel.Results(), M: m}, nil
 }

@@ -1,0 +1,159 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"boss/internal/core"
+	"boss/internal/engine"
+	"boss/internal/pool"
+	"boss/internal/query"
+)
+
+// WallclockReport captures real host-side execution throughput, as opposed
+// to the simulated-latency numbers every other experiment reports. The
+// simulated figures tell us what the modeled hardware would do; these tell
+// us how fast this repository actually evaluates queries on the machine it
+// runs on, which is what the parallel execution layer optimizes. Future PRs
+// compare -wallclock -json outputs to track the trajectory.
+type WallclockReport struct {
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Corpus     string `json:"corpus"`
+	Queries    int    `json:"queries"`
+	K          int    `json:"k"`
+	Shards     int    `json:"shards"`
+
+	// Software engine (Lucene stand-in) over the monolithic index.
+	EngineSerialQPS float64 `json:"engine_serial_qps"`
+	EngineBatchQPS  float64 `json:"engine_batch_qps"`
+
+	// Accelerator model over the monolithic index.
+	AccelSerialQPS float64 `json:"accel_serial_qps"`
+	AccelBatchQPS  float64 `json:"accel_batch_qps"`
+
+	// Pooled-memory cluster: per-query shard fan-out (serial vs parallel)
+	// and the pipelined query batch.
+	ClusterSerialQPS   float64 `json:"cluster_serial_qps"`
+	ClusterParallelQPS float64 `json:"cluster_parallel_qps"`
+	ClusterBatchQPS    float64 `json:"cluster_batch_qps"`
+}
+
+// wallclockMinDuration is how long each measured loop repeats; long enough
+// to defeat timer noise, short enough for a CI smoke run.
+const wallclockMinDuration = 200 * time.Millisecond
+
+// measureQPS repeats f (which evaluates n queries) until the minimum
+// duration elapses and reports queries per wall-clock second.
+func measureQPS(n int, f func()) float64 {
+	start := time.Now()
+	iters := 0
+	for {
+		f()
+		iters++
+		if time.Since(start) >= wallclockMinDuration {
+			break
+		}
+	}
+	return float64(n*iters) / time.Since(start).Seconds()
+}
+
+// Wallclock measures real query throughput of the software engine, the
+// accelerator model, and the sharded cluster on the ClueWeb-like setup.
+func Wallclock(ctx *Context, shards int) *WallclockReport {
+	if shards <= 0 {
+		shards = 4
+	}
+	s := ctx.ClueWeb()
+	k := ctx.Cfg.K
+
+	var exprs []string
+	var nodes []*query.Node
+	for _, qt := range sortedQueryTypes() {
+		for _, q := range s.Workload[qt] {
+			exprs = append(exprs, q.Expr)
+			nodes = append(nodes, query.MustParse(q.Expr))
+		}
+	}
+
+	rep := &WallclockReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Corpus:     s.Spec.Name,
+		Queries:    len(exprs),
+		K:          k,
+		Shards:     shards,
+	}
+
+	eng := engine.New(s.Hybrid)
+	rep.EngineSerialQPS = measureQPS(len(nodes), func() {
+		for _, n := range nodes {
+			if _, err := eng.Run(n, k); err != nil {
+				panic(err)
+			}
+		}
+	})
+	rep.EngineBatchQPS = measureQPS(len(nodes), func() {
+		if br := eng.RunBatch(nodes, k, 0); br.Err != nil {
+			panic(br.Err)
+		}
+	})
+
+	acc := core.New(s.Hybrid, core.DefaultOptions())
+	rep.AccelSerialQPS = measureQPS(len(nodes), func() {
+		for _, n := range nodes {
+			if _, err := acc.Run(n, k); err != nil {
+				panic(err)
+			}
+		}
+	})
+	rep.AccelBatchQPS = measureQPS(len(nodes), func() {
+		if br := acc.RunBatch(nodes, k, 0); br.Err != nil {
+			panic(br.Err)
+		}
+	})
+
+	cl := pool.NewCluster(pool.DefaultConfig(), s.Corpus, shards)
+	rep.ClusterSerialQPS = measureQPS(len(exprs), func() {
+		for _, e := range exprs {
+			if _, err := cl.SearchSerial(e, k); err != nil {
+				panic(err)
+			}
+		}
+	})
+	rep.ClusterParallelQPS = measureQPS(len(exprs), func() {
+		for _, e := range exprs {
+			if _, err := cl.Search(e, k); err != nil {
+				panic(err)
+			}
+		}
+	})
+	rep.ClusterBatchQPS = measureQPS(len(exprs), func() {
+		if br := cl.SearchBatch(exprs, k); br.Err != nil {
+			panic(br.Err)
+		}
+	})
+	return rep
+}
+
+// Table renders the report in the harness's table format so -wallclock
+// composes with the text output path too.
+func (r *WallclockReport) Table() *Table {
+	f0 := func(v float64) string { return fmt.Sprintf("%.0f", v) }
+	return &Table{
+		ID:    "wallclock",
+		Title: fmt.Sprintf("Real QPS on %s (%d queries, k=%d, GOMAXPROCS=%d)", r.Corpus, r.Queries, r.K, r.GOMAXPROCS),
+		Header: []string{
+			"system", "serial-qps", "batch-qps",
+		},
+		Rows: [][]string{
+			{"engine", f0(r.EngineSerialQPS), f0(r.EngineBatchQPS)},
+			{"accelerator", f0(r.AccelSerialQPS), f0(r.AccelBatchQPS)},
+			{fmt.Sprintf("cluster-%dnode", r.Shards), f0(r.ClusterSerialQPS), f0(r.ClusterBatchQPS)},
+			{fmt.Sprintf("cluster-%dnode-fanout", r.Shards), f0(r.ClusterSerialQPS), f0(r.ClusterParallelQPS)},
+		},
+		Notes: []string{
+			"wall-clock host throughput (not simulated device latency)",
+			"cluster-fanout row: batch column is per-query parallel shard fan-out",
+		},
+	}
+}

@@ -1,9 +1,25 @@
 package index
 
+import "sync"
+
+// cursorBuf is the decode scratch one cursor owns: docs/tfs slices sized to
+// a block. Buffers cycle through a sync.Pool so query-rate cursor churn does
+// not allocate per query (batch throughput would otherwise be GC-bound).
+type cursorBuf struct {
+	docs []uint32
+	tfs  []uint32
+}
+
+var cursorBufPool = sync.Pool{New: func() any { return new(cursorBuf) }}
+
 // Cursor iterates a posting list block by block, decoding lazily and using
 // block metadata to skip (the software analogue of the hardware block-fetch
 // path). Models charge memory traffic through the OnBlock callback, which
 // fires once per block actually decoded.
+//
+// A Cursor is not safe for concurrent use. Callers that finish with a
+// cursor should Release it so its decode buffers return to the shared pool;
+// releasing is optional (an un-released cursor is just garbage-collected).
 type Cursor struct {
 	idx *Index
 	pl  *PostingList
@@ -17,13 +33,28 @@ type Cursor struct {
 	tfs   []uint32
 	pos   int
 	done  bool
+	buf   *cursorBuf // pooled owner of docs/tfs; nil after Release
 }
 
 // NewCursor returns a cursor positioned at the first posting of pl.
 func NewCursor(idx *Index, pl *PostingList) *Cursor {
-	c := &Cursor{idx: idx, pl: pl}
+	buf := cursorBufPool.Get().(*cursorBuf)
+	c := &Cursor{idx: idx, pl: pl, buf: buf, docs: buf.docs[:0], tfs: buf.tfs[:0]}
 	c.loadNextBlock()
 	return c
+}
+
+// Release returns the cursor's decode buffers to the shared pool. The
+// cursor must not be used afterwards; Release is idempotent.
+func (c *Cursor) Release() {
+	if c.buf == nil {
+		return
+	}
+	c.buf.docs, c.buf.tfs = c.docs[:0], c.tfs[:0]
+	cursorBufPool.Put(c.buf)
+	c.buf = nil
+	c.docs, c.tfs = nil, nil
+	c.done = true
 }
 
 // loadNextBlock decodes block c.block and advances the block pointer. Sets

@@ -2,7 +2,9 @@ package pool
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"boss/internal/compress"
 	"boss/internal/core"
@@ -25,6 +27,9 @@ type Cluster struct {
 	shards  []*index.Index
 	offsets []uint32 // global docID of each shard's local doc 0
 	accs    []*core.Accelerator
+	// present is the cluster-level term-presence set, built once so query
+	// validation does not rescan every shard's dictionary per term.
+	present map[string]struct{}
 }
 
 // NewCluster partitions the corpus into `shards` docID intervals and builds
@@ -58,6 +63,12 @@ func NewCluster(cfg Config, c *corpus.Corpus, shards int) *Cluster {
 		cl.shards = append(cl.shards, idx)
 		cl.offsets = append(cl.offsets, uint32(lo))
 		cl.accs = append(cl.accs, core.New(idx, cfg.Opts))
+	}
+	cl.present = make(map[string]struct{}, len(c.Terms))
+	for _, idx := range cl.shards {
+		for term := range idx.Lists {
+			cl.present[term] = struct{}{}
+		}
 	}
 	return cl
 }
@@ -141,46 +152,183 @@ type ClusterResult struct {
 	LinkBytes int64
 }
 
-// Search fans a query out to every node and merges the local top-k lists.
-// Terms entirely absent from the collection are an error, matching the
-// single-node engines.
-func (cl *Cluster) Search(expr string, k int) (*ClusterResult, error) {
+// validate parses the expression and rejects terms entirely absent from the
+// collection, matching the single-node engines. The presence set is built
+// once in NewCluster, so validation is one map probe per term instead of a
+// scan over every shard.
+func (cl *Cluster) validate(expr string) (*query.Node, error) {
 	node, err := query.Parse(expr)
 	if err != nil {
 		return nil, err
 	}
 	for _, term := range node.Terms() {
-		found := false
-		for _, idx := range cl.shards {
-			if idx.List(term) != nil {
-				found = true
-				break
-			}
-		}
-		if !found {
+		if _, ok := cl.present[term]; !ok {
 			return nil, fmt.Errorf("pool: term %q not indexed on any shard", term)
 		}
 	}
+	return node, nil
+}
 
-	res := &ClusterResult{PerShard: make([]*perf.Metrics, len(cl.shards))}
+// workers resolves the host-side fan-out width: cfg.Workers, capped at n,
+// defaulting to GOMAXPROCS.
+func (cl *Cluster) workers(n int) int {
+	w := cl.cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// shardOut is one node's contribution to a fanned-out query.
+type shardOut struct {
+	m    *perf.Metrics
+	topk []topk.Entry
+	err  error
+}
+
+// runShard executes the query on one shard, pruning terms the shard does
+// not hold. A nil-metrics result means the shard cannot match the query.
+func (cl *Cluster) runShard(node *query.Node, si, k int) shardOut {
+	idx := cl.shards[si]
+	pruned := pruneForShard(node, func(t string) bool { return idx.List(t) != nil })
+	if pruned == nil {
+		return shardOut{}
+	}
+	out, err := cl.accs[si].Run(pruned, k)
+	if err != nil {
+		return shardOut{err: fmt.Errorf("pool: shard %d: %w", si, err)}
+	}
+	return shardOut{m: out.M, topk: out.TopK}
+}
+
+// mergeShardOuts folds per-shard results into the root-merged ranking.
+// Merging in ascending shard order keeps the result bit-identical to the
+// serial path no matter how the shard runs were scheduled.
+func (cl *Cluster) mergeShardOuts(outs []shardOut, k int) (*ClusterResult, error) {
+	res := &ClusterResult{PerShard: make([]*perf.Metrics, len(outs))}
 	merged := topk.NewHeap(k)
-	for si, idx := range cl.shards {
-		pruned := pruneForShard(node, func(t string) bool { return idx.List(t) != nil })
-		if pruned == nil {
+	for si, out := range outs {
+		if out.err != nil {
+			return nil, out.err
+		}
+		if out.m == nil {
 			continue
 		}
-		out, err := cl.accs[si].Run(pruned, k)
-		if err != nil {
-			return nil, fmt.Errorf("pool: shard %d: %w", si, err)
-		}
-		res.PerShard[si] = out.M
-		res.LinkBytes += out.M.HostBytes
-		for _, e := range out.TopK {
+		res.PerShard[si] = out.m
+		res.LinkBytes += out.m.HostBytes
+		for _, e := range out.topk {
 			merged.Insert(e.DocID+cl.offsets[si], e.Score)
 		}
 	}
 	res.TopK = merged.Results()
 	return res, nil
+}
+
+// Search fans a query out to every node and merges the local top-k lists.
+// Shards run concurrently on a bounded worker pool (Config.Workers, default
+// GOMAXPROCS); results are bit-identical to SearchSerial because per-shard
+// execution is independent and the root merge preserves shard order.
+func (cl *Cluster) Search(expr string, k int) (*ClusterResult, error) {
+	node, err := cl.validate(expr)
+	if err != nil {
+		return nil, err
+	}
+	outs := make([]shardOut, len(cl.shards))
+	workers := cl.workers(len(cl.shards))
+	if workers == 1 {
+		for si := range cl.shards {
+			outs[si] = cl.runShard(node, si, k)
+		}
+		return cl.mergeShardOuts(outs, k)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for si := range next {
+				outs[si] = cl.runShard(node, si, k)
+			}
+		}()
+	}
+	for si := range cl.shards {
+		next <- si
+	}
+	close(next)
+	wg.Wait()
+	return cl.mergeShardOuts(outs, k)
+}
+
+// SearchSerial visits shards one at a time on the calling goroutine. It is
+// the reference implementation the parallel path is tested against, and the
+// baseline the wall-clock benchmarks compare to.
+func (cl *Cluster) SearchSerial(expr string, k int) (*ClusterResult, error) {
+	node, err := cl.validate(expr)
+	if err != nil {
+		return nil, err
+	}
+	outs := make([]shardOut, len(cl.shards))
+	for si := range cl.shards {
+		outs[si] = cl.runShard(node, si, k)
+		if outs[si].err != nil {
+			break // match the parallel path: first shard error wins
+		}
+	}
+	return cl.mergeShardOuts(outs, k)
+}
+
+// BatchResult is the outcome of a pipelined query batch.
+type BatchResult struct {
+	// Results holds one ClusterResult per input query, in input order; nil
+	// where the matching Errs entry is non-nil.
+	Results []*ClusterResult
+	// Errs holds one entry per input query (nil for successes).
+	Errs []error
+	// Err is the first error in input order (remaining queries still run).
+	Err error
+}
+
+// SearchBatch pipelines many queries across the cluster: each worker owns
+// one in-flight query and sweeps it across all shards, so different queries
+// occupy different nodes concurrently. Per-query results are bit-identical
+// to Search.
+func (cl *Cluster) SearchBatch(exprs []string, k int) *BatchResult {
+	br := &BatchResult{
+		Results: make([]*ClusterResult, len(exprs)),
+		Errs:    make([]error, len(exprs)),
+	}
+	workers := cl.workers(len(exprs))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Workers write only their own indices, so no lock is needed.
+			for qi := range next {
+				br.Results[qi], br.Errs[qi] = cl.SearchSerial(exprs[qi], k)
+			}
+		}()
+	}
+	for qi := range exprs {
+		next <- qi
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range br.Errs {
+		if err != nil {
+			br.Err = err
+			break
+		}
+	}
+	return br
 }
 
 // ClusterReport summarizes an event-driven batch run across all nodes.

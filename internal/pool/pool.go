@@ -33,6 +33,10 @@ type Config struct {
 	K int
 	// Opts configures the cores' early-termination features.
 	Opts core.Options
+	// Workers bounds the host-side goroutines Cluster.Search uses for its
+	// shard fan-out and Cluster.SearchBatch uses to pipeline queries
+	// (0 = GOMAXPROCS). It does not affect the simulated device models.
+	Workers int
 }
 
 // DefaultConfig is the paper's node: 8 cores over SCM, one CXL-class link.

@@ -16,6 +16,14 @@ func FuzzParse(f *testing.F) {
 		`AND OR ()`,
 		"\"\x00\"",
 		`"a" and "b" Or "c"`,
+		`"a" AND ("b" OR "c") AND ("d" OR "e" OR "f")`,
+		`"a" OR "a" OR "a"`,
+		`  "spaced"   AND   "out"  `,
+		`("a" AND "b") OR ("a" AND "b")`,
+		`"üñíçødé" AND "テスト"`,
+		`"a"AND"b"`,
+		`)(`,
+		`"a" ANDAND "b"`,
 	}
 	for _, s := range seeds {
 		f.Add(s)

@@ -1,0 +1,155 @@
+package boss
+
+// Wall-clock benchmarks for the parallel execution layer. Unlike the
+// experiment benchmarks (which report simulated device quantities), these
+// time real host execution: serial baselines next to their batch/parallel
+// counterparts so `go test -bench=Parallel -benchmem` shows the actual
+// speedup and per-query allocations.
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"boss/internal/core"
+	"boss/internal/corpus"
+	"boss/internal/engine"
+	"boss/internal/pool"
+	"boss/internal/query"
+)
+
+const benchShards = 4
+
+var (
+	benchClusterOnce sync.Once
+	benchCluster     *pool.Cluster
+)
+
+// sharedCluster shards the ClueWeb-like corpus once across benchmarks.
+func sharedCluster() *pool.Cluster {
+	benchClusterOnce.Do(func() {
+		s := sharedCtx().ClueWeb()
+		benchCluster = pool.NewCluster(pool.DefaultConfig(), s.Corpus, benchShards)
+	})
+	return benchCluster
+}
+
+// benchWorkload flattens the full sampled workload into parallel expr/node
+// slices.
+func benchWorkload() ([]string, []*query.Node) {
+	s := sharedCtx().ClueWeb()
+	var exprs []string
+	var nodes []*query.Node
+	for _, qt := range corpus.AllQueryTypes() {
+		for _, q := range s.Workload[qt] {
+			exprs = append(exprs, q.Expr)
+			nodes = append(nodes, query.MustParse(q.Expr))
+		}
+	}
+	return exprs, nodes
+}
+
+// heavyExpr returns a Q5-style union, the workload's most expensive shape —
+// every shard participates, so shard fan-out has real work to parallelize.
+func heavyExpr() string {
+	s := sharedCtx().ClueWeb()
+	return s.Workload[corpus.Q5][0].Expr
+}
+
+func BenchmarkClusterSearchSerial(b *testing.B) {
+	cl := sharedCluster()
+	expr := heavyExpr()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.SearchSerial(expr, benchCfg.K); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClusterSearchParallel is the headline wall-clock number: speedup
+// over BenchmarkClusterSearchSerial tracks GOMAXPROCS up to the shard count
+// (the reported gomaxprocs metric says how many cores the run actually had —
+// on a single-core machine the two benchmarks coincide by construction).
+func BenchmarkClusterSearchParallel(b *testing.B) {
+	cl := sharedCluster()
+	expr := heavyExpr()
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.Search(expr, benchCfg.K); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClusterSearchBatch(b *testing.B) {
+	cl := sharedCluster()
+	exprs, _ := benchWorkload()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if br := cl.SearchBatch(exprs, benchCfg.K); br.Err != nil {
+			b.Fatal(br.Err)
+		}
+	}
+	b.ReportMetric(float64(len(exprs)), "queries/op")
+}
+
+func BenchmarkEngineRun(b *testing.B) {
+	eng := engine.New(sharedCtx().ClueWeb().Hybrid)
+	_, nodes := benchWorkload()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, n := range nodes {
+			if _, err := eng.Run(n, benchCfg.K); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(nodes)), "queries/op")
+}
+
+func BenchmarkEngineRunBatch(b *testing.B) {
+	eng := engine.New(sharedCtx().ClueWeb().Hybrid)
+	_, nodes := benchWorkload()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if br := eng.RunBatch(nodes, benchCfg.K, 0); br.Err != nil {
+			b.Fatal(br.Err)
+		}
+	}
+	b.ReportMetric(float64(len(nodes)), "queries/op")
+}
+
+func BenchmarkAcceleratorRun(b *testing.B) {
+	acc := core.New(sharedCtx().ClueWeb().Hybrid, core.DefaultOptions())
+	_, nodes := benchWorkload()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, n := range nodes {
+			if _, err := acc.Run(n, benchCfg.K); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(nodes)), "queries/op")
+}
+
+func BenchmarkAcceleratorRunBatch(b *testing.B) {
+	acc := core.New(sharedCtx().ClueWeb().Hybrid, core.DefaultOptions())
+	_, nodes := benchWorkload()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if br := acc.RunBatch(nodes, benchCfg.K, 0); br.Err != nil {
+			b.Fatal(br.Err)
+		}
+	}
+	b.ReportMetric(float64(len(nodes)), "queries/op")
+}
