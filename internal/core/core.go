@@ -16,6 +16,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"boss/internal/compress"
 	"boss/internal/decomp"
@@ -91,15 +92,22 @@ func BlockOnlyOptions() Options { return Options{BlockET: true} }
 
 // Accelerator is a BOSS device model over one index shard.
 //
-// An Accelerator is stateless after construction: Run allocates all mutable
-// per-query state in a fresh run record and only reads the (immutable)
-// index and options. It is therefore safe — and deterministic — to call Run
-// concurrently from many goroutines, which is how the pool's parallel shard
-// fan-out and RunBatch drive it. TestAcceleratorParallelDeterminism
-// enforces this contract under the race detector.
+// An Accelerator is stateless after construction: Run takes all mutable
+// per-query state from a run record it owns exclusively for the duration of
+// the query and only reads the (immutable) index and options. It is
+// therefore safe — and deterministic — to call Run concurrently from many
+// goroutines, which is how the pool's parallel shard fan-out and RunBatch
+// drive it. TestAcceleratorParallelDeterminism enforces this contract under
+// the race detector.
+//
+// Run records (and their decoded-block buffers) recycle through sync.Pools;
+// every slice and counter in a pooled record is reset or fully overwritten
+// before reuse, so recycling changes allocation behaviour only, never
+// results.
 type Accelerator struct {
 	idx  *index.Index
 	opts Options
+	runs sync.Pool // of *run
 }
 
 // New returns a BOSS accelerator with the given options.
@@ -114,11 +122,15 @@ type Result struct {
 }
 
 // blockData caches one decoded block so conjuncts sharing a term are
-// charged once.
+// charged once. Decoded buffers recycle through blockDataPool; nothing that
+// escapes a run references them (matches copy termTF values, results copy
+// topk entries).
 type blockData struct {
 	docs []uint32
 	tfs  []uint32
 }
+
+var blockDataPool = sync.Pool{New: func() any { return new(blockData) }}
 
 // run tracks the state of one query execution on a BOSS core.
 type run struct {
@@ -141,20 +153,54 @@ type run struct {
 	topkInserts float64
 
 	nTerms int
+
+	// Union-path scratch, reused across intervals and across pooled runs
+	// (union.go). Nothing retained beyond a call references these.
+	ustreams []ustream
+	streams  []*ustream
+	covering []*ustream
+	active   []*ustream
+	matched  []*ustream
+	terms    []termTF
 }
 
 func (a *Accelerator) newRun(k, nTerms int) *run {
-	return &run{
-		acc:          a,
-		m:            perf.NewMetrics(),
-		sel:          topk.NewShiftRegister(k),
-		decoders:     make(map[compress.Scheme]*decomp.Module),
-		loaded:       make(map[*index.PostingList]map[int]*blockData),
-		metaSeen:     make(map[*index.PostingList]map[int]bool),
-		metaCount:    make(map[*index.PostingList]int),
-		decodeCycles: make(map[*index.PostingList]float64),
-		nTerms:       nTerms,
+	r, ok := a.runs.Get().(*run)
+	if !ok {
+		r = &run{
+			acc:          a,
+			sel:          topk.NewShiftRegister(k),
+			decoders:     make(map[compress.Scheme]*decomp.Module),
+			loaded:       make(map[*index.PostingList]map[int]*blockData),
+			metaSeen:     make(map[*index.PostingList]map[int]bool),
+			metaCount:    make(map[*index.PostingList]int),
+			decodeCycles: make(map[*index.PostingList]float64),
+		}
 	}
+	// Metrics escape in the Result, so every run gets a fresh record.
+	r.m = perf.NewMetrics()
+	r.sel.Reset(k)
+	r.nTerms = nTerms
+	return r
+}
+
+// releaseRun returns a finished run's decoded blocks and the record itself
+// to their pools. The decoder modules stay attached: they are configured
+// per-Accelerator, and reusing a warm module is exactly what keeps decode at
+// zero allocations.
+func (a *Accelerator) releaseRun(r *run) {
+	for _, blocks := range r.loaded {
+		for _, bd := range blocks {
+			blockDataPool.Put(bd)
+		}
+	}
+	clear(r.loaded)
+	clear(r.metaSeen)
+	clear(r.metaCount)
+	clear(r.decodeCycles)
+	r.m = nil
+	r.fetchCycles, r.mergeCycles, r.scoreOps, r.topkInserts = 0, 0, 0, 0
+	a.runs.Put(r)
 }
 
 // Run executes a query with the given top-k depth.
@@ -164,6 +210,7 @@ func (a *Accelerator) Run(node *query.Node, k int) (Result, error) {
 		return Result{}, err
 	}
 	r := a.newRun(k, len(lists))
+	defer a.releaseRun(r)
 
 	switch {
 	case allSingleTerm(conjuncts):
@@ -338,16 +385,17 @@ func (r *run) fetchBlock(pl *index.PostingList, b int) *blockData {
 
 	payload := pl.Data[meta.Offset : meta.Offset+meta.Length]
 	mod := r.decoder(pl.Scheme)
-	docs, used, cyc1, err := mod.Decode(payload, int(meta.Count), meta.FirstDoc, true)
+	bd := blockDataPool.Get().(*blockData)
+	docs, used, cyc1, err := mod.DecodeInto(bd.docs[:0], payload, int(meta.Count), meta.FirstDoc, true)
 	if err != nil {
 		panic(fmt.Sprintf("core: decompression failed: %v", err))
 	}
-	tfs, _, cyc2, err := mod.Decode(payload[used:], int(meta.Count), 0, false)
+	tfs, _, cyc2, err := mod.DecodeInto(bd.tfs[:0], payload[used:], int(meta.Count), 0, false)
 	if err != nil {
 		panic(fmt.Sprintf("core: tf decompression failed: %v", err))
 	}
 	r.decodeCycles[pl] += float64(cyc1 + cyc2)
-	bd := &blockData{docs: docs, tfs: tfs}
+	bd.docs, bd.tfs = docs, tfs
 	blocks[b] = bd
 	return bd
 }

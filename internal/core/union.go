@@ -2,7 +2,6 @@ package core
 
 import (
 	"math"
-	"sort"
 
 	"boss/internal/index"
 )
@@ -78,9 +77,19 @@ func (s *ustream) nextDoc() uint32 {
 // termination (the block-fetch module's score-estimation unit) feeding the
 // WAND union module, scoring, and top-k.
 func (r *run) union(pls []*index.PostingList) {
-	streams := make([]*ustream, len(pls))
+	// Stream records live in run-owned scratch; the pointer slice resizes
+	// only here, so the &r.ustreams[i] pointers below stay valid throughout.
+	if cap(r.ustreams) < len(pls) {
+		r.ustreams = make([]ustream, len(pls))
+	}
+	if cap(r.streams) < len(pls) {
+		r.streams = make([]*ustream, 0, len(pls))
+	}
+	r.ustreams = r.ustreams[:len(pls)]
+	streams := r.streams[:0]
 	for i, pl := range pls {
-		streams[i] = &ustream{pl: pl, ord: i}
+		r.ustreams[i] = ustream{pl: pl, ord: i}
+		streams = append(streams, &r.ustreams[i])
 	}
 	for {
 		// Keep only live streams, positioned past their floors.
@@ -104,7 +113,7 @@ func (r *run) union(pls []*index.PostingList) {
 		}
 		// It ends where the covering-block set changes.
 		hi := uint32(math.MaxUint32)
-		var covering []*ustream
+		covering := r.covering[:0]
 		var ub float64
 		for _, s := range streams {
 			blk := s.curBlock()
@@ -118,6 +127,7 @@ func (r *run) union(pls []*index.PostingList) {
 				hi = blk.FirstDoc - 1
 			}
 		}
+		r.covering = covering // keep the grown capacity for the next interval
 
 		// Block-level ET: if even the sum of the covering blocks' maximum
 		// term-scores cannot beat the cutoff, no document in the interval
@@ -160,14 +170,14 @@ func (r *run) scanInterval(covering []*ustream, lo, hi uint32) {
 		}
 	}
 
-	active := make([]*ustream, 0, len(covering))
 	for {
-		active = active[:0]
+		active := r.active[:0]
 		for _, s := range covering {
 			if s.pos < len(s.bd.docs) && s.bd.docs[s.pos] <= hi {
 				active = append(active, s)
 			}
 		}
+		r.active = active
 		if len(active) == 0 {
 			return
 		}
@@ -194,13 +204,14 @@ func (r *run) mergeStep(active []*ustream) {
 			minDoc = d
 		}
 	}
-	var terms []termTF
+	terms := r.terms[:0]
 	for _, s := range active {
 		if s.bd.docs[s.pos] == minDoc {
 			terms = append(terms, termTF{s.pl, s.bd.tfs[s.pos]})
 			s.pos++
 		}
 	}
+	r.terms = terms
 	r.scoreDoc(minDoc, terms)
 }
 
@@ -209,9 +220,7 @@ func (r *run) mergeStep(active []*ustream) {
 // cannot beat the cutoff and are popped without scoring. Returns false when
 // the whole remaining interval is hopeless.
 func (r *run) wandStep(active []*ustream, hi uint32) bool {
-	sort.Slice(active, func(i, j int) bool {
-		return active[i].bd.docs[active[i].pos] < active[j].bd.docs[active[j].pos]
-	})
+	sortByDoc(active)
 	cutoff := r.cutoff()
 	acc := 0.0
 	pivot := -1
@@ -241,18 +250,20 @@ func (r *run) wandStep(active []*ustream, hi uint32) bool {
 		// it with all matching streams. Matching streams are collected in
 		// query order so floating-point summation matches the exhaustive
 		// path bit for bit.
-		matched := make([]*ustream, 0, len(active))
+		matched := r.matched[:0]
 		for _, s := range active {
 			if s.pos < len(s.bd.docs) && s.bd.docs[s.pos] == pivotDoc {
 				matched = append(matched, s)
 			}
 		}
-		sort.Slice(matched, func(i, j int) bool { return matched[i].ord < matched[j].ord })
-		terms := make([]termTF, 0, len(matched))
+		r.matched = matched
+		sortByOrd(matched)
+		terms := r.terms[:0]
 		for _, s := range matched {
 			terms = append(terms, termTF{s.pl, s.bd.tfs[s.pos]})
 			s.pos++
 		}
+		r.terms = terms
 		r.scoreDoc(pivotDoc, terms)
 		return true
 	}
@@ -264,4 +275,24 @@ func (r *run) wandStep(active []*ustream, hi uint32) bool {
 		}
 	}
 	return true
+}
+
+// sortByDoc insertion-sorts streams by current docID. Hardware queries hold
+// at most MaxQueryTerms streams, and the union module's sorter runs every
+// WAND step, so this stays O(small²) and — unlike sort.Slice — alloc-free.
+func sortByDoc(ss []*ustream) {
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && ss[j].bd.docs[ss[j].pos] < ss[j-1].bd.docs[ss[j-1].pos]; j-- {
+			ss[j], ss[j-1] = ss[j-1], ss[j]
+		}
+	}
+}
+
+// sortByOrd insertion-sorts streams by query position (see sortByDoc).
+func sortByOrd(ss []*ustream) {
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && ss[j].ord < ss[j-1].ord; j-- {
+			ss[j], ss[j-1] = ss[j-1], ss[j]
+		}
+	}
 }

@@ -1,6 +1,8 @@
 package decomp
 
 import (
+	"encoding/binary"
+	"reflect"
 	"testing"
 
 	"boss/internal/compress"
@@ -25,6 +27,114 @@ func FuzzParseConfig(f *testing.F) {
 		// Anything accepted must be runnable without panicking (errors are
 		// acceptable: undefined wires surface at run time).
 		cfg.Netlist.Run([]uint64{0, 1, 0x80, 0xFF}, 8)
+	})
+}
+
+// FuzzCompiledNetlist is the differential check that licenses the compiled
+// fast path: for any parseable netlist program and any token stream, the
+// compiled program must match the interpreter in output values, cycle
+// counts, and errors (including error messages). The interpreter is the
+// reference semantics; a divergence here is a compiler bug by definition.
+func FuzzCompiledNetlist(f *testing.F) {
+	for _, s := range compress.AllSchemes() {
+		f.Add(ConfigText(s), []byte{0x02, 0xAC, 0x85, 0x00, 0xFF}, int8(-1))
+	}
+	f.Add(nibbleNetlist, []byte{0x12, 0x9A, 0x00}, int8(3))
+	f.Add("Extractor[1].use = 1\nOutput := missing\nOutput.valid := 1", []byte{1}, int8(-1))
+	f.Add("Extractor[1].use = 1\nRegInit(R, 9, w)\nw := SHR(Input, 7)\nR := ADD(R, Input)\nOutput := R\nOutput.valid := w", []byte{0x80, 0x01, 0x81}, int8(1))
+	f.Add("Extractor[1].use = 1\nRegInit(Output, 1, x)\nx := AND(Input, 1)\nOutput := Input\nOutput.valid := 1", []byte{3, 4}, int8(-1))
+	f.Fuzz(func(t *testing.T, src string, tokenBytes []byte, maxSeed int8) {
+		cfg, err := ParseConfig(src)
+		if err != nil {
+			return
+		}
+		tokens := make([]uint64, len(tokenBytes))
+		for i, b := range tokenBytes {
+			// Mix small byte-like tokens with wide ones so shifts and adds
+			// exercise the full 64-bit datapath.
+			tokens[i] = uint64(b) << (uint(i) % 33)
+		}
+		max := int(maxSeed)
+		iv, ic, ierr := cfg.Netlist.Run(tokens, max)
+		p := compile(cfg.Netlist)
+		cv, cc, cerr := p.run(newProgState(p), nil, tokens, max)
+		if (ierr == nil) != (cerr == nil) {
+			t.Fatalf("error divergence: interpreter=%v compiled=%v", ierr, cerr)
+		}
+		if ierr != nil && ierr.Error() != cerr.Error() {
+			t.Fatalf("error message divergence: %v vs %v", ierr, cerr)
+		}
+		if ierr == nil && !reflect.DeepEqual(iv, cv) {
+			t.Fatalf("value divergence:\n interpreter: %v\n compiled:    %v", iv, cv)
+		}
+		if ic != cc {
+			t.Fatalf("cycle divergence: interpreter=%d compiled=%d", ic, cc)
+		}
+	})
+}
+
+// FuzzDecodeRoundTrip checks encode→module-decode round trips for every
+// scheme: whatever values a codec accepts must come back bit-exactly (and
+// with exact byte consumption) through the hardware datapath, both into a
+// fresh buffer and appended to caller scratch.
+func FuzzDecodeRoundTrip(f *testing.F) {
+	for i := range compress.AllSchemes() {
+		vals := []uint32{0, 1, 127, 128, 300, 1 << 20, uint32(i)}
+		raw := make([]byte, 4*len(vals))
+		for j, v := range vals {
+			binary.LittleEndian.PutUint32(raw[4*j:], v)
+		}
+		f.Add(uint8(i), raw, uint32(100*i))
+	}
+	f.Fuzz(func(t *testing.T, schemeSeed uint8, raw []byte, base uint32) {
+		scheme := compress.AllSchemes()[int(schemeSeed)%len(compress.AllSchemes())]
+		codec := compress.ForScheme(scheme)
+		n := len(raw) / 4
+		if n == 0 || n > 128 {
+			return
+		}
+		values := make([]uint32, n)
+		for i := range values {
+			values[i] = binary.LittleEndian.Uint32(raw[4*i:])
+			if values[i] > codec.MaxValue() {
+				values[i] %= codec.MaxValue() + 1
+			}
+		}
+		if !codec.Supports(values) {
+			return
+		}
+		payload := codec.Encode(nil, values)
+		mod := NewModuleFor(scheme)
+		got, used, cycles, err := mod.Decode(payload, n, 0, false)
+		if err != nil {
+			t.Fatalf("%s: decode of valid payload failed: %v", scheme, err)
+		}
+		if !reflect.DeepEqual(got, values) {
+			t.Fatalf("%s: round trip mismatch\n got %v\nwant %v", scheme, got, values)
+		}
+		if used != len(payload) {
+			t.Fatalf("%s: consumed %d bytes, payload %d", scheme, used, len(payload))
+		}
+		if cycles <= 0 {
+			t.Fatalf("%s: nonpositive cycle count", scheme)
+		}
+		// Append-into-scratch path: same values after the prefix, and the
+		// delta stage must produce the same stream shifted by base.
+		scratch := append(make([]uint32, 0, n+1), 0xDEAD)
+		withDelta, _, _, err := mod.DecodeInto(scratch, payload, n, base, true)
+		if err != nil {
+			t.Fatalf("%s: DecodeInto failed: %v", scheme, err)
+		}
+		if withDelta[0] != 0xDEAD || len(withDelta) != n+1 {
+			t.Fatalf("%s: DecodeInto disturbed the caller prefix", scheme)
+		}
+		acc := base
+		for i, v := range values {
+			acc += v
+			if withDelta[i+1] != acc {
+				t.Fatalf("%s: delta stage mismatch at %d", scheme, i)
+			}
+		}
 	})
 }
 

@@ -30,6 +30,12 @@ type exception struct {
 type Module struct {
 	cfg *Config
 
+	// prog is the stage-2 netlist compiled to slot-indexed form at
+	// configuration time (see compile.go). The interpreter in netlist.go
+	// remains the fuzz-checked reference; the compiled program is
+	// bit-identical in values, cycle counts, and errors.
+	prog *program
+
 	// selector tables resolved at configuration time
 	s16 [][]int
 	s8b []compress.S8bModeInfo
@@ -41,11 +47,14 @@ type Module struct {
 
 	// decode scratch, reused across blocks (a Module is single-owner, so
 	// plain fields suffice; see the concurrency note above)
-	state *netState
-	outs  []uint64
+	pstate *progState
+	outs   []uint64
+	tokens []uint64
+	excs   []exception
 }
 
-// NewModule builds a module from a parsed configuration.
+// NewModule builds a module from a parsed configuration, compiling the
+// stage-2 netlist once so decoding never interprets names again.
 func NewModule(cfg *Config) (*Module, error) {
 	m := &Module{cfg: cfg}
 	if cfg.Extractor == ExtractSelector {
@@ -58,6 +67,8 @@ func NewModule(cfg *Config) (*Module, error) {
 			return nil, fmt.Errorf("decomp: unknown selector table %q", cfg.SelectorTable)
 		}
 	}
+	m.prog = compile(cfg.Netlist)
+	m.pstate = newProgState(m.prog)
 	return m, nil
 }
 
@@ -85,28 +96,46 @@ func (m *Module) Values() int64 { return m.values }
 // decoded values, the number of payload bytes consumed, and the cycles the
 // block occupied the datapath.
 func (m *Module) Decode(payload []byte, n int, base uint32, applyDelta bool) (values []uint32, bytesConsumed int, cycles int, err error) {
-	// Stage 1: extraction.
-	tokens, exceptions, used, extractCycles, err := m.extract(payload, n)
-	if err != nil {
-		return nil, 0, 0, err
-	}
+	return m.DecodeInto(nil, payload, n, base, applyDelta)
+}
 
-	// Stage 2: programmable manipulation.
-	if m.state == nil {
-		m.state = newNetState(m.cfg.Netlist)
+// DecodeInto is Decode with a caller-provided destination: the n values are
+// appended to dst (which may be nil) and the extended slice returned, so
+// callers that recycle buffers decode without allocating.
+func (m *Module) DecodeInto(dst []uint32, payload []byte, n int, base uint32, applyDelta bool) (values []uint32, bytesConsumed int, cycles int, err error) {
+	var (
+		outs       []uint64
+		exceptions []exception
+		netCycles  int
+		used       int
+		extCycles  int
+	)
+	if m.cfg.Extractor == ExtractByte {
+		// Byte-serial fast path: stages 1 and 2 fuse. Payload bytes stream
+		// into the compiled netlist one per cycle and stop at the byte
+		// completing value n, so the consumption is exact by construction
+		// and long tail payloads never cost O(payload) per block.
+		outs, netCycles, err = m.prog.runBytes(m.pstate, m.outs[:0], payload, n)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		used = netCycles
+	} else {
+		// Stage 1: extraction into module-owned token scratch.
+		var tokens []uint64
+		tokens, exceptions, used, extCycles, err = m.extract(payload, n)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		// Stage 2: the compiled netlist program.
+		outs, netCycles, err = m.prog.run(m.pstate, m.outs[:0], tokens, n)
+		if err != nil {
+			return nil, 0, 0, err
+		}
 	}
-	outs, netCycles, err := m.cfg.Netlist.runInto(m.state, m.outs[:0], tokens, n)
-	m.outs = outs[:0]
-	if err != nil {
-		return nil, 0, 0, err
-	}
+	m.outs = outs
 	if len(outs) != n {
 		return nil, 0, 0, fmt.Errorf("decomp: produced %d values, want %d", len(outs), n)
-	}
-	if m.cfg.Extractor == ExtractByte {
-		// The byte extractor's consumption is known only once stage 2 has
-		// terminated n values: one byte per netlist cycle.
-		used = netCycles
 	}
 
 	// Stage 3: exception patching.
@@ -119,17 +148,17 @@ func (m *Module) Decode(payload []byte, n int, base uint32, applyDelta bool) (va
 		}
 	}
 
-	// Stage 4: delta accumulation.
-	values = make([]uint32, n)
+	// Stage 4: delta accumulation, appended to the caller's buffer.
+	values = dst
 	if applyDelta {
 		acc := uint64(base)
-		for i, v := range outs {
+		for _, v := range outs {
 			acc += v
-			values[i] = uint32(acc)
+			values = append(values, uint32(acc))
 		}
 	} else {
-		for i, v := range outs {
-			values[i] = uint32(v)
+		for _, v := range outs {
+			values = append(values, uint32(v))
 		}
 	}
 
@@ -139,7 +168,7 @@ func (m *Module) Decode(payload []byte, n int, base uint32, applyDelta bool) (va
 	if m.cfg.Extractor == ExtractByte {
 		cycles = netCycles
 	} else {
-		cycles = extractCycles
+		cycles = extCycles
 	}
 	cycles += pipelineDepth
 	m.cycles += int64(cycles)
@@ -148,51 +177,63 @@ func (m *Module) Decode(payload []byte, n int, base uint32, applyDelta bool) (va
 	return values, used, cycles, nil
 }
 
-// extract runs the configured stage-1 unit.
+// extract runs the configured stage-1 unit, reusing the module's token and
+// exception scratch across blocks. The byte extractor never reaches here:
+// DecodeInto streams bytes straight into the compiled netlist.
 func (m *Module) extract(payload []byte, n int) (tokens []uint64, exceptions []exception, used, cycles int, err error) {
 	switch m.cfg.Extractor {
 	case ExtractFixedWidth:
 		if m.cfg.PFDHeader {
-			return extractPFD(payload, n)
+			tokens, exceptions, used, cycles, err = extractPFD(m.tokens[:0], m.excs[:0], payload, n)
+			if tokens != nil {
+				m.tokens = tokens[:0]
+			}
+			if exceptions != nil {
+				m.excs = exceptions[:0]
+			}
+			return tokens, exceptions, used, cycles, err
 		}
-		return extractFixedWidth(payload, n, m.cfg.HeaderLength)
-	case ExtractByte:
-		return extractBytes(payload, n)
+		tokens, used, cycles, err = extractFixedWidth(m.tokens[:0], payload, n, m.cfg.HeaderLength)
 	case ExtractSelector:
 		if m.s16 != nil {
-			return extractS16(payload, n, m.s16)
+			tokens, used, cycles, err = extractS16(m.tokens[:0], payload, n, m.s16)
+		} else {
+			tokens, used, cycles, err = extractS8b(m.tokens[:0], payload, n, m.s8b)
 		}
-		return extractS8b(payload, n, m.s8b)
 	default:
 		return nil, nil, 0, 0, fmt.Errorf("decomp: unknown extractor")
 	}
+	if tokens != nil {
+		m.tokens = tokens[:0]
+	}
+	return tokens, nil, used, cycles, err
 }
 
 // extractFixedWidth handles the BP layout: a width header of headerLength
 // bits (rounded up to whole bytes) followed by n packed fields.
-func extractFixedWidth(payload []byte, n, headerLength int) ([]uint64, []exception, int, int, error) {
+func extractFixedWidth(dst []uint64, payload []byte, n, headerLength int) ([]uint64, int, int, error) {
 	headerBytes := (headerLength + 7) / 8
 	if headerBytes < 1 {
-		return nil, nil, 0, 0, fmt.Errorf("decomp: fixed-width extractor needs a width header")
+		return nil, 0, 0, fmt.Errorf("decomp: fixed-width extractor needs a width header")
 	}
 	if len(payload) < headerBytes {
-		return nil, nil, 0, 0, fmt.Errorf("decomp: payload shorter than header")
+		return nil, 0, 0, fmt.Errorf("decomp: payload shorter than header")
 	}
 	width := int(payload[0])
 	if width > 32 {
-		return nil, nil, 0, 0, fmt.Errorf("decomp: width %d out of range", width)
+		return nil, 0, 0, fmt.Errorf("decomp: width %d out of range", width)
 	}
-	tokens, used, err := unpackFields(payload[headerBytes:], n, width)
+	tokens, used, err := unpackFields(dst, payload[headerBytes:], n, width)
 	if err != nil {
-		return nil, nil, 0, 0, err
+		return nil, 0, 0, err
 	}
-	return tokens, nil, headerBytes + used, (n + extractLanes - 1) / extractLanes, nil
+	return tokens, headerBytes + used, (n + extractLanes - 1) / extractLanes, nil
 }
 
 // extractPFD handles the PForDelta layout (see internal/compress/pfd.go):
 // [b][nExc][positions][low bits][VB-coded exception highs]. The exception
 // highs are pre-shifted so stage 3 only ORs them in.
-func extractPFD(payload []byte, n int) ([]uint64, []exception, int, int, error) {
+func extractPFD(dst []uint64, excDst []exception, payload []byte, n int) ([]uint64, []exception, int, int, error) {
 	if len(payload) < 2 {
 		return nil, nil, 0, 0, fmt.Errorf("decomp: PFD payload too short")
 	}
@@ -204,12 +245,12 @@ func extractPFD(payload []byte, n int) ([]uint64, []exception, int, int, error) 
 	}
 	excPos := payload[pos : pos+nExc]
 	pos += nExc
-	tokens, used, err := unpackFields(payload[pos:], n, b)
+	tokens, used, err := unpackFields(dst, payload[pos:], n, b)
 	if err != nil {
 		return nil, nil, 0, 0, err
 	}
 	pos += used
-	exceptions := make([]exception, nExc)
+	exceptions := excDst
 	for i := 0; i < nExc; i++ {
 		var hv uint64
 		for {
@@ -223,32 +264,18 @@ func extractPFD(payload []byte, n int) ([]uint64, []exception, int, int, error) 
 				break
 			}
 		}
-		exceptions[i] = exception{pos: int(excPos[i]), high: hv << uint(b)}
+		exceptions = append(exceptions, exception{pos: int(excPos[i]), high: hv << uint(b)})
 	}
 	return tokens, exceptions, pos, (n+extractLanes-1)/extractLanes + nExc, nil
 }
 
-// extractBytes feeds the raw byte stream (VariableByte). The byte count
-// actually consumed is only known after stage 2 terminates values, so the
-// extractor hands over the full payload; Decode trims consumption by cycle
-// count (one byte per cycle).
-func extractBytes(payload []byte, n int) ([]uint64, []exception, int, int, error) {
-	tokens := make([]uint64, len(payload))
-	for i, b := range payload {
-		tokens[i] = uint64(b)
-	}
-	// Consumption is refined by the caller via cycle count; here report
-	// the worst case so callers that ignore VB trimming stay safe.
-	return tokens, nil, len(payload), len(payload), nil
-}
-
 // extractS16 walks Simple16 words, emitting fields as tokens.
-func extractS16(payload []byte, n int, table [][]int) ([]uint64, []exception, int, int, error) {
-	tokens := make([]uint64, 0, n)
+func extractS16(dst []uint64, payload []byte, n int, table [][]int) ([]uint64, int, int, error) {
+	tokens := dst
 	pos := 0
 	for len(tokens) < n {
 		if pos+4 > len(payload) {
-			return nil, nil, 0, 0, fmt.Errorf("decomp: S16 payload truncated")
+			return nil, 0, 0, fmt.Errorf("decomp: S16 payload truncated")
 		}
 		word := binary.LittleEndian.Uint32(payload[pos:])
 		pos += 4
@@ -262,16 +289,16 @@ func extractS16(payload []byte, n int, table [][]int) ([]uint64, []exception, in
 			shift += w
 		}
 	}
-	return tokens, nil, pos, (n + extractLanes - 1) / extractLanes, nil
+	return tokens, pos, (n + extractLanes - 1) / extractLanes, nil
 }
 
 // extractS8b walks Simple8b words, emitting fields as tokens.
-func extractS8b(payload []byte, n int, table []compress.S8bModeInfo) ([]uint64, []exception, int, int, error) {
-	tokens := make([]uint64, 0, n)
+func extractS8b(dst []uint64, payload []byte, n int, table []compress.S8bModeInfo) ([]uint64, int, int, error) {
+	tokens := dst
 	pos := 0
 	for len(tokens) < n {
 		if pos+8 > len(payload) {
-			return nil, nil, 0, 0, fmt.Errorf("decomp: S8b payload truncated")
+			return nil, 0, 0, fmt.Errorf("decomp: S8b payload truncated")
 		}
 		word := binary.LittleEndian.Uint64(payload[pos:])
 		pos += 8
@@ -289,21 +316,24 @@ func extractS8b(payload []byte, n int, table []compress.S8bModeInfo) ([]uint64, 
 			shift += m.Width
 		}
 	}
-	return tokens, nil, pos, (n + extractLanes - 1) / extractLanes, nil
+	return tokens, pos, (n + extractLanes - 1) / extractLanes, nil
 }
 
 // unpackFields reads n fields of width bits from src (LSB-first bit
-// stream), as uint64 tokens.
-func unpackFields(src []byte, n, width int) ([]uint64, int, error) {
+// stream), appending uint64 tokens to dst.
+func unpackFields(dst []uint64, src []byte, n, width int) ([]uint64, int, error) {
 	if width == 0 {
-		return make([]uint64, n), 0, nil
+		for i := 0; i < n; i++ {
+			dst = append(dst, 0)
+		}
+		return dst, 0, nil
 	}
 	need := (n*width + 7) / 8
 	if len(src) < need {
 		return nil, 0, fmt.Errorf("decomp: packed fields truncated (%d < %d bytes)", len(src), need)
 	}
 	mask := uint64(1)<<uint(width) - 1
-	tokens := make([]uint64, 0, n)
+	tokens := dst
 	var acc uint64
 	accBits := 0
 	pos := 0

@@ -65,9 +65,10 @@ type Netlist struct {
 	assigns []assignment
 }
 
-// netState is the mutable evaluation state of a netlist. It is reusable:
-// reset() returns it to power-on state without reallocating, so the decode
-// hot loop does not build fresh maps per block (or, worse, per cycle).
+// netState is the mutable evaluation state of the reference interpreter.
+// The decode hot path does not use it: NewModule compiles the netlist to a
+// slot-indexed program (compile.go) and the interpreter survives as the
+// specification that FuzzCompiledNetlist checks the compiler against.
 type netState struct {
 	nl       *Netlist
 	regVals  map[string]uint64
@@ -187,8 +188,7 @@ func (nl *Netlist) Run(tokens []uint64, max int) (values []uint64, cycles int, e
 }
 
 // runInto is Run with caller-owned scratch: s is reset and reused, and
-// values accumulate into dst. The decode hot path calls this through a
-// Module's private state so steady-state decoding does not allocate.
+// values accumulate into dst.
 func (nl *Netlist) runInto(s *netState, dst []uint64, tokens []uint64, max int) (values []uint64, cycles int, err error) {
 	s.reset()
 	values = dst

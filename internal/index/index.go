@@ -54,6 +54,20 @@ type PostingList struct {
 	// BaseAddr is the list's placement in the simulated memory node's
 	// address space, assigned by the builder.
 	BaseAddr uint64
+
+	// codec is the Scheme's codec, resolved once at build/load time so the
+	// per-block decode path skips the scheme dispatch.
+	codec compress.Codec
+}
+
+// Codec returns the list's codec, resolving (and caching) it on first use.
+// Lists built by Build or read by ReadIndex arrive with the codec set; the
+// lazy path only serves hand-constructed lists in tests.
+func (pl *PostingList) Codec() compress.Codec {
+	if pl.codec == nil {
+		pl.codec = compress.ForScheme(pl.Scheme)
+	}
+	return pl.codec
 }
 
 // BlockAddr reports the simulated memory address of block b's payload.
@@ -225,7 +239,8 @@ func buildList(idx *Index, term string, postings []corpus.Posting, opts BuildOpt
 		scheme, _ = compress.ChooseBest(deltas, nil)
 	}
 	pl.Scheme = scheme
-	codec := compress.ForScheme(scheme)
+	pl.codec = compress.ForScheme(scheme)
+	codec := pl.codec
 
 	bs := opts.BlockSize
 	docBuf := make([]uint32, 0, bs)
@@ -286,7 +301,7 @@ func (idx *Index) MustList(term string) *PostingList {
 // extended slices.
 func (idx *Index) DecodeBlock(pl *PostingList, b int, docs, tfs []uint32) ([]uint32, []uint32) {
 	meta := pl.Blocks[b]
-	codec := compress.ForScheme(pl.Scheme)
+	codec := pl.Codec()
 	payload := pl.Data[meta.Offset : meta.Offset+meta.Length]
 	n := int(meta.Count)
 	startDocs := len(docs)

@@ -119,6 +119,7 @@ func Read(r io.Reader) (*Index, error) {
 			return nil, fmt.Errorf("index: list %q header: %w", pl.Term, err)
 		}
 		pl.Scheme = compress.Scheme(scheme)
+		pl.codec = compress.ForScheme(pl.Scheme)
 		pl.DF = int(df)
 		pl.Blocks = make([]BlockMeta, numBlocks)
 		for bi := range pl.Blocks {

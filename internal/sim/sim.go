@@ -12,10 +12,7 @@
 // represented exactly with integers.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Time is a point in virtual time, in picoseconds.
 type Time int64
@@ -45,24 +42,59 @@ type event struct {
 	fn  func()
 }
 
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// before reports whether e fires ahead of o: earlier virtual time first,
+// schedule order (FIFO) among equal times.
+func (e *event) before(o *event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return q[i].seq < q[j].seq
+	return e.seq < o.seq
 }
-func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
+
+// eventQueue is a by-value binary min-heap of events. A typed heap keeps
+// Schedule free of per-event allocations: container/heap would box each
+// *event through interface{} and force one heap-allocated event per call,
+// which the event-driven pool simulation pays millions of times per run.
+type eventQueue []event
+
+func (q *eventQueue) push(e event) {
+	h := append(*q, e)
+	*q = h
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h[i].before(&h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (q *eventQueue) pop() event {
+	h := *q
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{} // release the callback so the GC can collect it
+	h = h[:n]
+	*q = h
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && h[r].before(&h[c]) {
+			c = r
+		}
+		if !h[c].before(&h[i]) {
+			break
+		}
+		h[i], h[c] = h[c], h[i]
+		i = c
+	}
+	return top
 }
 
 // Engine is a discrete-event simulation engine. The zero value is not ready
@@ -88,7 +120,7 @@ func (e *Engine) Schedule(at Time, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", at, e.now))
 	}
 	e.seq++
-	heap.Push(&e.queue, &event{at: at, seq: e.seq, fn: fn})
+	e.queue.push(event{at: at, seq: e.seq, fn: fn})
 }
 
 // After schedules fn to run d after the current time.
@@ -99,7 +131,7 @@ func (e *Engine) After(d Duration, fn func()) {
 // Run drains the event queue, advancing the clock, until no events remain.
 func (e *Engine) Run() {
 	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*event)
+		ev := e.queue.pop()
 		e.now = ev.at
 		ev.fn()
 	}
@@ -110,7 +142,7 @@ func (e *Engine) Run() {
 // executed event, whichever is later.
 func (e *Engine) RunUntil(deadline Time) {
 	for len(e.queue) > 0 && e.queue[0].at <= deadline {
-		ev := heap.Pop(&e.queue).(*event)
+		ev := e.queue.pop()
 		e.now = ev.at
 		ev.fn()
 	}

@@ -132,6 +132,22 @@ func NewShiftRegister(k int) *ShiftRegisterQueue {
 
 var _ Selector = (*ShiftRegisterQueue)(nil)
 
+// Reset empties the queue and re-sizes it to k slots, keeping the backing
+// array so pooled queues do not re-allocate per query.
+func (q *ShiftRegisterQueue) Reset(k int) {
+	if k <= 0 {
+		panic("topk: k must be positive")
+	}
+	q.k = k
+	if cap(q.slots) < k {
+		q.slots = make([]Entry, 0, k)
+	} else {
+		q.slots = q.slots[:0]
+	}
+	q.inserts = 0
+	q.shifts = 0
+}
+
 // Insert offers a scored document; each call models one broadcast cycle.
 func (q *ShiftRegisterQueue) Insert(docID uint32, score float64) {
 	q.inserts++

@@ -141,6 +141,22 @@ func BenchmarkAcceleratorRun(b *testing.B) {
 	b.ReportMetric(float64(len(nodes)), "queries/op")
 }
 
+// BenchmarkBOSSQuery is the single-query allocation benchmark for the BOSS
+// model path: one heavy union through one accelerator. Run with -benchmem;
+// allocs/op here is the number the compiled-decompressor work is measured
+// against (CHANGES.md records before/after).
+func BenchmarkBOSSQuery(b *testing.B) {
+	acc := core.New(sharedCtx().ClueWeb().Hybrid, core.DefaultOptions())
+	node := query.MustParse(heavyExpr())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := acc.Run(node, benchCfg.K); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkAcceleratorRunBatch(b *testing.B) {
 	acc := core.New(sharedCtx().ClueWeb().Hybrid, core.DefaultOptions())
 	_, nodes := benchWorkload()
