@@ -1,0 +1,102 @@
+// Command bosslint runs the repository's static-analysis suite — the
+// mechanical enforcement of DESIGN.md's "Enforced invariants" — over Go
+// package patterns:
+//
+//	go run ./cmd/bosslint ./...
+//	go build -o bin/bosslint ./cmd/bosslint && ./bin/bosslint ./...
+//
+// It prints file:line:col: [analyzer] message for every finding and exits
+// nonzero when there are any. The driver is self-contained (the repository
+// builds offline, so it cannot use x/tools' multichecker); it accepts the
+// same package patterns go vet does.
+//
+// Flags:
+//
+//	-checks a,b   run only the named analyzers (default: all)
+//	-list         list analyzers and exit
+//	-dir path     module directory to resolve patterns in (default: .)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"boss/internal/analysis"
+	"boss/internal/analysis/errpropagation"
+	"boss/internal/analysis/hotpathalloc"
+	"boss/internal/analysis/poolhygiene"
+	"boss/internal/analysis/simdeterminism"
+)
+
+// suite is every analyzer bosslint ships, in reporting order.
+var suite = []*analysis.Analyzer{
+	simdeterminism.Analyzer,
+	hotpathalloc.Analyzer,
+	poolhygiene.Analyzer,
+	errpropagation.Analyzer,
+}
+
+func main() {
+	var (
+		checks = flag.String("checks", "", "comma-separated analyzer names to run (default: all)")
+		list   = flag.Bool("list", false, "list analyzers and exit")
+		dir    = flag.String("dir", ".", "module directory to resolve patterns in")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-16s %s\n", a.Name, firstLine(a.Doc))
+		}
+		return
+	}
+
+	analyzers := suite
+	if *checks != "" {
+		byName := make(map[string]*analysis.Analyzer, len(suite))
+		for _, a := range suite {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*checks, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "bosslint: unknown analyzer %q (use -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := analysis.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bosslint: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bosslint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Printf("%s: [%s] %s\n", d.Posn(pkgs[0].Fset), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "bosslint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

@@ -37,8 +37,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "indexstat: %v\n", err)
 			os.Exit(1)
 		}
-		defer f.Close()
 		idx, err = index.Read(f)
+		closeErr := f.Close()
+		if err == nil {
+			err = closeErr
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "indexstat: %v\n", err)
 			os.Exit(1)

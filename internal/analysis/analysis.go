@@ -1,0 +1,65 @@
+// Package analysis is a small, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis core: Analyzer, Pass, Diagnostic, a module
+// loader, and a driver loop. The repository builds offline (no module
+// downloads), so it cannot depend on x/tools; this package mirrors the
+// upstream API shape closely enough that the analyzers under
+// internal/analysis/... could be ported to real *analysis.Analyzer values
+// by changing only their imports.
+//
+// The suite exists to mechanically enforce the repository's two load-bearing
+// invariants (DESIGN.md "Enforced invariants"):
+//
+//   - determinism: simulated time must be byte-identical across runs, so
+//     wall-clock reads, unseeded global rand, and order-sensitive map
+//     iteration are banned from the model packages;
+//   - zero-alloc hot paths: functions annotated //boss:hotpath must stay free
+//     of the allocation-prone constructs PR 2 removed (sort.Slice, fmt,
+//     closures, interface boxing, fresh-slice appends).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check. It mirrors the upstream
+// golang.org/x/tools/go/analysis.Analyzer field set that the drivers here
+// use.
+type Analyzer struct {
+	// Name is the analyzer's command-line name (lowercase, no spaces).
+	Name string
+	// Doc is the help text; the first line is a summary.
+	Doc string
+	// Run applies the analyzer to a single package.
+	Run func(*Pass) error
+}
+
+// Pass provides one analyzer run over one package with its syntax and type
+// information.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The driver fills in the analyzer name.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string // filled in by the driver
+}
+
+// Posn resolves the diagnostic's position against a file set.
+func (d Diagnostic) Posn(fset *token.FileSet) token.Position { return fset.Position(d.Pos) }

@@ -1,0 +1,111 @@
+// Package analysistest runs an analyzer over fixture packages and checks
+// its diagnostics against // want comments, mirroring the upstream
+// golang.org/x/tools/go/analysis/analysistest contract.
+//
+// Fixtures live under the analyzer's testdata/src directory, which is its
+// own Go module (the go tool ignores testdata directories, so fixture code
+// — which intentionally violates the invariants — never reaches the real
+// build). A fixture line that should be flagged carries a trailing comment:
+//
+//	rand.Intn(4) // want `unseeded`
+//
+// The backquoted string is a regular expression matched against the
+// diagnostic message; multiple expectations may follow one want. Every
+// diagnostic must match a want on its line and every want must be matched,
+// otherwise the test fails.
+package analysistest
+
+import (
+	"go/ast"
+	"regexp"
+	"strings"
+	"testing"
+
+	"boss/internal/analysis"
+)
+
+// wantRe extracts the expectation expressions from a // want comment.
+// Both `re` and "re" quoting forms are accepted.
+var wantRe = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// Run loads the fixture module rooted at dir (conventionally "testdata/src"),
+// applies the analyzer to the packages matched by patterns (default ./...),
+// and reports mismatches through t.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	pkgs, err := analysis.Load(dir, patterns...)
+	if err != nil {
+		t.Fatalf("loading fixtures from %s: %v", dir, err)
+	}
+	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			wants = append(wants, fileWants(t, pkg, f)...)
+		}
+	}
+
+	for _, d := range diags {
+		posn := d.Posn(pkgs[0].Fset)
+		matched := false
+		for _, w := range wants {
+			if w.file == posn.Filename && w.line == posn.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", posn, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// fileWants collects the // want expectations of one fixture file.
+func fileWants(t *testing.T, pkg *analysis.Package, f *ast.File) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, g := range f.Comments {
+		for _, c := range g.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if !strings.HasPrefix(text, "want ") && text != "want" {
+				continue
+			}
+			posn := pkg.Fset.Position(c.Pos())
+			exprs := wantRe.FindAllStringSubmatch(text[len("want"):], -1)
+			if len(exprs) == 0 {
+				t.Errorf("%s: malformed want comment: %s", posn, c.Text)
+				continue
+			}
+			for _, m := range exprs {
+				src := m[1]
+				if src == "" {
+					src = m[2]
+				}
+				re, err := regexp.Compile(src)
+				if err != nil {
+					t.Errorf("%s: bad want regexp %q: %v", posn, src, err)
+					continue
+				}
+				wants = append(wants, &expectation{file: posn.Filename, line: posn.Line, re: re})
+			}
+		}
+	}
+	return wants
+}

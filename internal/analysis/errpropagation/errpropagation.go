@@ -1,0 +1,158 @@
+// Package errpropagation forbids silently discarded error returns outside
+// test files: a call statement (plain, deferred, or go'd) whose callee
+// returns an error must either consume the error or discard it explicitly
+// with `_ =` / `v, _ :=`, which keeps the decision visible at the call site.
+//
+// A small allowlist covers callees that cannot meaningfully fail:
+//
+//   - fmt.Print/Printf/Println (stdout; nothing actionable on failure);
+//   - fmt.Fprint* when the writer is os.Stdout, os.Stderr, a
+//     *strings.Builder, or a *bytes.Buffer (the builders never error);
+//   - methods on strings.Builder and bytes.Buffer themselves.
+//
+// Everything else — file Close, Flush, binary.Write, and friends — must be
+// handled or visibly dropped.
+package errpropagation
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"boss/internal/analysis"
+)
+
+// Analyzer is the errpropagation check.
+var Analyzer = &analysis.Analyzer{
+	Name: "errpropagation",
+	Doc:  "forbid silently discarded error returns outside _test.go files",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		name := pass.Fset.Position(file.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := x.X.(*ast.CallExpr); ok {
+					check(pass, call, "")
+				}
+			case *ast.DeferStmt:
+				check(pass, x.Call, "deferred ")
+			case *ast.GoStmt:
+				check(pass, x.Call, "spawned ")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// check reports the call if it drops an error result.
+func check(pass *analysis.Pass, call *ast.CallExpr, how string) {
+	info := pass.TypesInfo
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if !returnsError(tv.Type) {
+		return
+	}
+	if allowlisted(info, call) {
+		return
+	}
+	name := calleeName(info, call)
+	pass.Reportf(call.Pos(), "%scall to %s discards its error result; handle it or make the discard explicit with _ =", how, name)
+}
+
+// returnsError reports whether t (a call's result type) includes an error.
+func returnsError(t types.Type) bool {
+	if tup, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if isError(tup.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isError(t)
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isError(t types.Type) bool {
+	return types.Identical(t, errorType)
+}
+
+// allowlisted reports whether the callee is one of the cannot-fail cases.
+func allowlisted(info *types.Info, call *ast.CallExpr) bool {
+	fn, ok := analysis.CalleeObj(info, call).(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "fmt":
+		switch fn.Name() {
+		case "Print", "Printf", "Println":
+			return true
+		case "Fprint", "Fprintf", "Fprintln":
+			return len(call.Args) > 0 && infallibleWriter(info, call.Args[0])
+		}
+	case "strings", "bytes":
+		// Methods on strings.Builder / bytes.Buffer document err == nil.
+		if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+			return builderType(recv.Type())
+		}
+	}
+	return false
+}
+
+// infallibleWriter reports whether the writer expression is os.Stdout,
+// os.Stderr, a *strings.Builder, or a *bytes.Buffer.
+func infallibleWriter(info *types.Info, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if sel, ok := e.(*ast.SelectorExpr); ok {
+		if v, ok := info.Uses[sel.Sel].(*types.Var); ok && v.Pkg() != nil && v.Pkg().Path() == "os" {
+			if v.Name() == "Stdout" || v.Name() == "Stderr" {
+				return true
+			}
+		}
+	}
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return builderType(tv.Type)
+}
+
+// builderType reports whether t is (a pointer to) strings.Builder or
+// bytes.Buffer.
+func builderType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	pkg, name := named.Obj().Pkg().Path(), named.Obj().Name()
+	return (pkg == "strings" && name == "Builder") || (pkg == "bytes" && name == "Buffer")
+}
+
+// calleeName renders a readable callee for the diagnostic.
+func calleeName(info *types.Info, call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			return id.Name + "." + fun.Sel.Name
+		}
+		return "(...)." + fun.Sel.Name
+	}
+	return "function value"
+}

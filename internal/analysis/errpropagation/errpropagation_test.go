@@ -1,0 +1,12 @@
+package errpropagation_test
+
+import (
+	"testing"
+
+	"boss/internal/analysis/analysistest"
+	"boss/internal/analysis/errpropagation"
+)
+
+func TestErrPropagation(t *testing.T) {
+	analysistest.Run(t, "testdata/src", errpropagation.Analyzer)
+}

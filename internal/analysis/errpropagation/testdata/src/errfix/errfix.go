@@ -1,0 +1,59 @@
+// Package errfix exercises errpropagation: discarded error returns in
+// plain, deferred, and spawned calls; the explicit `_ =` escape hatch; and
+// the cannot-fail allowlist.
+package errfix
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+var errBoom = errors.New("boom")
+
+func fail() error { return errBoom }
+
+func pair() (int, error) { return 0, errBoom }
+
+func dropped() {
+	fail() // want `call to fail discards its error result`
+	pair() // want `call to pair discards its error result`
+}
+
+func explicit() {
+	_ = fail()
+	n, _ := pair()
+	_ = n
+}
+
+func handled() error {
+	if err := fail(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func deferred() {
+	defer fail() // want `deferred call to fail discards its error result`
+}
+
+func spawned() {
+	go fail() // want `spawned call to fail discards its error result`
+}
+
+func indirect(f func() error) {
+	f() // want `call to f discards its error result`
+}
+
+func printing(w io.Writer, b *strings.Builder, buf *bytes.Buffer) {
+	fmt.Println("ok")
+	fmt.Fprintf(os.Stderr, "ok %d\n", 1)
+	fmt.Fprintf(b, "ok")
+	fmt.Fprintf(buf, "ok")
+	b.WriteString("ok")
+	buf.WriteByte('x')
+	fmt.Fprintf(w, "ok") // want `call to fmt\.Fprintf discards its error result`
+}

@@ -1,0 +1,112 @@
+// Package hot exercises hotpathalloc: each annotated function violates one
+// rule; the unannotated twin at the bottom draws nothing.
+package hot
+
+import (
+	"fmt"
+	"sort"
+)
+
+type ring struct {
+	scratch []uint32
+}
+
+func sink(v interface{})        {}
+func sinkAll(vs ...interface{}) {}
+
+//boss:hotpath
+func sortsSlice(xs []int) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] }) // want `sort\.Slice allocates in hot path` `closure allocation in hot path`
+}
+
+//boss:hotpath
+func formats(err error) string {
+	return fmt.Sprintf("boom: %v", err) // want `fmt\.Sprintf in hot path`
+}
+
+//boss:hotpath
+func concats(a, b string) string {
+	return a + b // want `string concatenation allocates in hot path`
+}
+
+//boss:hotpath
+func concatAssign(s string) string {
+	s += "!" // want `string concatenation allocates in hot path`
+	return s
+}
+
+//boss:hotpath
+func captures(n int) int {
+	f := func() int { return n } // want `closure allocation in hot path`
+	return f()
+}
+
+//boss:hotpath
+func boxesArg(x int, p *ring) {
+	sink(x) // want `argument boxes a concrete value into interface`
+	sink(p) // pointer-shaped: converts without allocating
+}
+
+//boss:hotpath
+func boxesAssign(x int) interface{} {
+	var v interface{}
+	v = x // want `assignment boxes a concrete value into interface`
+	return v
+}
+
+//boss:hotpath
+func boxesReturn(x uint64) interface{} {
+	return x // want `return boxes a concrete value into interface`
+}
+
+//boss:hotpath
+func boxesConv(x float64) {
+	_ = interface{}(x) // want `conversion to interface`
+}
+
+//boss:hotpath
+func panics(code int) {
+	if code != 0 {
+		panic(code) // builtin arguments are exempt: panicking is cold
+	}
+}
+
+//boss:hotpath
+func forwards(vs []interface{}) {
+	sinkAll(vs...) // forwarding a slice: no per-element boxing
+}
+
+//boss:hotpath
+func appendsFresh(n int) []uint32 {
+	out := make([]uint32, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, uint32(i)) // want `append grows a slice that originates in this function`
+	}
+	return out
+}
+
+//boss:hotpath
+func appendsLiteral() []uint32 {
+	xs := []uint32{1}
+	return append(xs, 2) // want `append grows a slice that originates in this function`
+}
+
+//boss:hotpath
+func appendsParam(dst []uint32, v uint32) []uint32 {
+	return append(dst, v) // caller-owned scratch amortizes
+}
+
+//boss:hotpath
+func appendsScratch(r *ring, v uint32) []uint32 {
+	buf := r.scratch[:0] // the reslice idiom: roots at the receiver
+	buf = append(buf, v)
+	return buf
+}
+
+// cold is unannotated: the same constructs draw nothing.
+func cold(a, b string) string {
+	xs := make([]int, 0)
+	xs = append(xs, 1)
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	return fmt.Sprint(a + b)
+}

@@ -1,0 +1,157 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Marker comments form the annotation contract between the code and the
+// analyzer suite (documented in DESIGN.md "Enforced invariants"):
+//
+//	//boss:hotpath       — hotpathalloc enforces allocation-free constructs
+//	//boss:wallclock     — waives simdeterminism's wall-clock ban
+//	//boss:pool-escapes  — waives poolhygiene's Get/Put pairing
+//
+// A marker applies to a function when it appears in the function's doc
+// comment, and to a whole file when it appears in the file's header (any
+// comment group that starts before the first non-import declaration).
+// Markers may carry a trailing justification: "//boss:wallclock QPS is a
+// host-side measurement".
+const (
+	MarkerHotPath     = "//boss:hotpath"
+	MarkerWallclock   = "//boss:wallclock"
+	MarkerPoolEscapes = "//boss:pool-escapes"
+)
+
+// commentHasMarker reports whether any line of the group is the marker,
+// optionally followed by a justification.
+func commentHasMarker(g *ast.CommentGroup, marker string) bool {
+	if g == nil {
+		return false
+	}
+	for _, c := range g.List {
+		text := strings.TrimSpace(c.Text)
+		if text == marker || strings.HasPrefix(text, marker+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// FuncHasMarker reports whether fn's doc comment carries the marker.
+func FuncHasMarker(fn *ast.FuncDecl, marker string) bool {
+	return commentHasMarker(fn.Doc, marker)
+}
+
+// FileHasMarker reports whether the file's header carries the marker. The
+// header is every comment group positioned before the first declaration
+// that is not an import.
+func FileHasMarker(f *ast.File, marker string) bool {
+	end := token.Pos(0)
+	for _, d := range f.Decls {
+		if gd, ok := d.(*ast.GenDecl); ok && gd.Tok == token.IMPORT {
+			continue
+		}
+		end = d.Pos()
+		break
+	}
+	for _, g := range f.Comments {
+		if end.IsValid() && end != token.NoPos && g.Pos() >= end {
+			break
+		}
+		if commentHasMarker(g, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// RootIdent peels selectors, indexing, slicing, dereferences, parentheses,
+// and type assertions off an expression and returns the identifier at its
+// root, or nil when the expression is not rooted in an identifier (e.g. a
+// call result or a literal).
+func RootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.TypeAssertExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// RootObj resolves the root identifier of e to its types.Object, or nil.
+func RootObj(info *types.Info, e ast.Expr) types.Object {
+	id := RootIdent(e)
+	if id == nil {
+		return nil
+	}
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}
+
+// PkgPathHas reports whether path contains seg as a whole slash-separated
+// segment run (so "internal/sim" matches "boss/internal/sim" and
+// "fixtures/internal/sim/sub" but not "boss/internal/simx").
+func PkgPathHas(path, seg string) bool {
+	return path == seg ||
+		strings.HasSuffix(path, "/"+seg) ||
+		strings.HasPrefix(path, seg+"/") ||
+		strings.Contains(path, "/"+seg+"/")
+}
+
+// PkgPathHasAny reports whether path matches any segment run in segs.
+func PkgPathHasAny(path string, segs []string) bool {
+	for _, s := range segs {
+		if PkgPathHas(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// CalleeObj resolves the object a call expression invokes: a *types.Func for
+// ordinary function and method calls, a *types.Builtin for builtins, nil for
+// indirect calls through function values and for type conversions.
+func CalleeObj(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			return sel.Obj()
+		}
+		return info.Uses[fun.Sel] // qualified identifier: pkg.Func
+	}
+	return nil
+}
+
+// CalleeIsPkgFunc reports whether the call invokes the named package-level
+// function (or method) from the package with the given path.
+func CalleeIsPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	obj := CalleeObj(info, call)
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == pkgPath && fn.Name() == name
+}

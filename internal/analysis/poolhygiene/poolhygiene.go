@@ -1,0 +1,241 @@
+// Package poolhygiene checks the repository's sync.Pool discipline:
+//
+//  1. a function that Gets from a pool must Put back to the same pool —
+//     positionally, on every return after the Get there must be a prior or
+//     deferred Put — unless the function carries //boss:pool-escapes
+//     (the object intentionally outlives the call, e.g. a pooled cursor
+//     released by its own Release method);
+//  2. a pooled object must be reset before Put: the function must visibly
+//     touch the object (assign through it, clear() it, or call a
+//     reset/clear/release-named method on it) before handing it back, so a
+//     stale-field bug cannot ride a recycled object into the next query.
+//
+// Both checks are intraprocedural and positional rather than path-
+// sensitive: a Put inside one branch counts for a return in another. That
+// keeps the analyzer dependency-free (no CFG package) and errs on the
+// lenient side; the straight-line Get→use→Put shape every call site in this
+// repository uses is checked exactly.
+package poolhygiene
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"boss/internal/analysis"
+)
+
+// Analyzer is the poolhygiene check.
+var Analyzer = &analysis.Analyzer{
+	Name: "poolhygiene",
+	Doc:  "require sync.Pool Get/Put pairing and reset-before-Put in the same function (waive escapes with //boss:pool-escapes)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn, analysis.FuncHasMarker(fn, analysis.MarkerPoolEscapes))
+		}
+	}
+	return nil
+}
+
+// poolCall is one Get or Put on a pool rooted at a specific object.
+type poolCall struct {
+	call     *ast.CallExpr
+	pool     types.Object // root of the receiver expression
+	deferred bool
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, escapes bool) {
+	info := pass.TypesInfo
+	var gets, puts []poolCall
+	var returns []token.Pos
+
+	// Record deferred calls first so the main walk does not double-count
+	// them when it reaches the CallExpr node inside the DeferStmt.
+	deferred := make(map[*ast.CallExpr]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			deferred[d.Call] = true
+		}
+		return true
+	})
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if name, pool := poolMethod(info, x); name != "" {
+				pc := poolCall{call: x, pool: pool, deferred: deferred[x]}
+				if name == "Get" {
+					gets = append(gets, pc)
+				} else {
+					puts = append(puts, pc)
+				}
+			}
+		case *ast.ReturnStmt:
+			returns = append(returns, x.Pos())
+		}
+		return true
+	})
+
+	for _, g := range gets {
+		if escapes {
+			continue
+		}
+		if !pairedPut(g, puts) {
+			pass.Reportf(g.call.Pos(), "sync.Pool.Get without a Put on the same pool in this function (waive with //boss:pool-escapes if the object outlives the call)")
+			continue
+		}
+		// Positional leak check: every return after the Get needs a Put
+		// (same pool) before it, or a deferred Put.
+		for _, ret := range returns {
+			if ret < g.call.End() {
+				continue
+			}
+			if !putBefore(g, puts, ret) {
+				pass.Reportf(ret, "return leaks a pooled object: no Put on the pool obtained at %s before this return", pass.Fset.Position(g.call.Pos()))
+			}
+		}
+	}
+
+	for _, p := range puts {
+		checkResetBeforePut(pass, fn, p)
+	}
+}
+
+// pairedPut reports whether some Put targets the same pool object as g.
+func pairedPut(g poolCall, puts []poolCall) bool {
+	for _, p := range puts {
+		if samePool(g, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// putBefore reports whether a Put on g's pool precedes pos (deferred Puts
+// count regardless of position once declared before the return).
+func putBefore(g poolCall, puts []poolCall, pos token.Pos) bool {
+	for _, p := range puts {
+		if !samePool(g, p) {
+			continue
+		}
+		if p.deferred || p.call.Pos() < pos {
+			return true
+		}
+	}
+	return false
+}
+
+func samePool(a, b poolCall) bool {
+	return a.pool != nil && a.pool == b.pool
+}
+
+// poolMethod reports the method name ("Get" or "Put") and the root object
+// of the receiver when call is a sync.Pool method call, or "", nil.
+func poolMethod(info *types.Info, call *ast.CallExpr) (string, types.Object) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", nil
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", nil
+	}
+	if fn.Name() != "Get" && fn.Name() != "Put" {
+		return "", nil
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() == nil {
+		return "", nil
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok || named.Obj().Name() != "Pool" {
+		return "", nil
+	}
+	return fn.Name(), analysis.RootObj(info, sel.X)
+}
+
+// checkResetBeforePut verifies the Put argument was visibly reset earlier
+// in the function.
+func checkResetBeforePut(pass *analysis.Pass, fn *ast.FuncDecl, p poolCall) {
+	if len(p.call.Args) != 1 {
+		return
+	}
+	info := pass.TypesInfo
+	arg := ast.Unparen(p.call.Args[0])
+	root := analysis.RootObj(info, arg)
+	if root == nil {
+		return // Put(someCall()) — can't track; rare and reviewed by hand
+	}
+	// The loop variable of a `for _, x := range ...` over pooled objects
+	// (releasing a batch) roots at the loop variable itself.
+	limit := p.call.Pos()
+	if p.deferred {
+		limit = token.Pos(^uint64(0) >> 1) // defers run last: any touch counts
+	}
+	reset := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if reset {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if x.Pos() >= limit {
+				return true
+			}
+			for _, lhs := range x.Lhs {
+				// Only writes *through* the object reset it; rebinding the
+				// variable itself (x = poolGet()) does not.
+				if _, isIdent := ast.Unparen(lhs).(*ast.Ident); isIdent {
+					continue
+				}
+				if analysis.RootObj(info, lhs) == root {
+					reset = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if x.Pos() < limit && analysis.RootObj(info, x.X) == root {
+				reset = true
+			}
+		case *ast.CallExpr:
+			if x.Pos() >= limit || x == p.call {
+				return true
+			}
+			switch callee := analysis.CalleeObj(info, x).(type) {
+			case *types.Builtin:
+				if callee.Name() == "clear" && len(x.Args) == 1 && analysis.RootObj(info, x.Args[0]) == root {
+					reset = true
+				}
+			case *types.Func:
+				if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok &&
+					analysis.RootObj(info, sel.X) == root && resetLike(callee.Name()) {
+					reset = true
+				}
+			}
+		}
+		return !reset
+	})
+	if !reset {
+		pass.Reportf(p.call.Pos(), "pooled object is not reset before Put: clear its fields or call its reset method so stale state cannot leak into the next user")
+	}
+}
+
+// resetLike reports whether a method name implies the receiver is being
+// cleared for reuse.
+func resetLike(name string) bool {
+	l := strings.ToLower(name)
+	return strings.Contains(l, "reset") || strings.Contains(l, "clear") ||
+		strings.Contains(l, "release") || strings.Contains(l, "truncate")
+}

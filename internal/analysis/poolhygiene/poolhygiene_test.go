@@ -1,0 +1,12 @@
+package poolhygiene_test
+
+import (
+	"testing"
+
+	"boss/internal/analysis/analysistest"
+	"boss/internal/analysis/poolhygiene"
+)
+
+func TestPoolHygiene(t *testing.T) {
+	analysistest.Run(t, "testdata/src", poolhygiene.Analyzer)
+}

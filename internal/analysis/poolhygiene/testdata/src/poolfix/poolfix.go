@@ -1,0 +1,96 @@
+// Package poolfix exercises poolhygiene over the repository's sync.Pool
+// idioms: balanced Get/Put, deferred Put, escape waivers, leaks on early
+// returns, cross-pool mismatches, and the reset-before-Put rule.
+package poolfix
+
+import "sync"
+
+type buf struct {
+	data []byte
+	n    int
+}
+
+// Reset clears the buffer for reuse.
+func (b *buf) Reset() {
+	b.data = b.data[:0]
+	b.n = 0
+}
+
+var bufPool = sync.Pool{New: func() interface{} { return new(buf) }}
+
+var otherPool = sync.Pool{New: func() interface{} { return new(buf) }}
+
+// balanced is the canonical Get → use → reset → Put shape.
+func balanced() int {
+	b := bufPool.Get().(*buf)
+	b.n = 7
+	n := b.n
+	b.data, b.n = b.data[:0], 0
+	bufPool.Put(b)
+	return n
+}
+
+// methodReset resets through a recognizably named method.
+func methodReset() {
+	b := bufPool.Get().(*buf)
+	b.Reset()
+	bufPool.Put(b)
+}
+
+// deferredPut covers every exit path, including the early return.
+func deferredPut(spill bool) int {
+	b := bufPool.Get().(*buf)
+	defer bufPool.Put(b)
+	if spill {
+		return len(b.data)
+	}
+	b.n = 0
+	return b.n
+}
+
+// leaks never Puts.
+func leaks() *buf {
+	b := bufPool.Get().(*buf) // want `sync\.Pool\.Get without a Put on the same pool`
+	return b
+}
+
+// escapes hands the pooled object to its caller, who releases it later
+// through release below — the waiver documents the ownership transfer.
+//
+//boss:pool-escapes the caller owns the buffer until it calls release.
+func escapes() *buf {
+	return bufPool.Get().(*buf)
+}
+
+// release is escapes' other half: Put without a Get here is fine, only the
+// reset rule applies.
+func release(b *buf) {
+	b.data, b.n = b.data[:0], 0
+	bufPool.Put(b)
+}
+
+// earlyReturn Puts on the fall-through path but leaks on the early return.
+func earlyReturn(fail bool) int {
+	b := bufPool.Get().(*buf)
+	if fail {
+		return 0 // want `return leaks a pooled object`
+	}
+	b.n = 0
+	bufPool.Put(b)
+	return 1
+}
+
+// wrongPool Puts to a different pool than it Got from.
+func wrongPool() {
+	b := bufPool.Get().(*buf) // want `sync\.Pool\.Get without a Put on the same pool`
+	b.n = 0
+	otherPool.Put(b)
+}
+
+// noReset hands a dirty object back: nothing touches it before the Put.
+func noReset() []byte {
+	b := bufPool.Get().(*buf)
+	out := b.data
+	bufPool.Put(b) // want `pooled object is not reset before Put`
+	return out
+}

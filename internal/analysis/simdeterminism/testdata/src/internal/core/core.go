@@ -1,0 +1,134 @@
+// Package core exercises every simdeterminism rule from inside an in-scope
+// package path.
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"fixtures/internal/sim"
+)
+
+// --- wall clock ---
+
+func wallClock() time.Time {
+	return time.Now() // want `wall-clock call time\.Now`
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `wall-clock call time\.Since`
+}
+
+// measure is a legitimate host-side measurement: the waiver silences the
+// clock rule for this function only.
+//
+//boss:wallclock fixture: waived measurement helper.
+func measure() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+
+// stale carries a waiver it no longer needs.
+//
+//boss:wallclock
+func stale() int { return 1 } // want `stale //boss:wallclock marker: stale does not use the wall clock`
+
+// --- rand ---
+
+func unseeded() int {
+	return rand.Intn(4) // want `unseeded global rand\.Intn`
+}
+
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(4) // methods on an explicitly seeded *rand.Rand are fine
+}
+
+// --- map iteration ---
+
+// sumLatency folds commutatively into a local: order-insensitive.
+func sumLatency(byQuery map[string]float64) float64 {
+	var total float64
+	for _, v := range byQuery {
+		total += v
+	}
+	return total
+}
+
+// names collects keys for a later sort: the canonical deterministic rewrite.
+func names(byQuery map[string]float64) []string {
+	out := make([]string, 0, len(byQuery))
+	for name := range byQuery {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// firstOver returns mid-iteration: which entry wins depends on map order.
+func firstOver(byQuery map[string]float64, lim float64) string {
+	for name, v := range byQuery {
+		if v > lim {
+			return name // want `loop returns after an order-dependent prefix`
+		}
+	}
+	return ""
+}
+
+func stopEarly(byQuery map[string]float64) int {
+	n := 0
+	for range byQuery {
+		n++
+		if n == 3 {
+			break // want `loop breaks after an order-dependent prefix`
+		}
+	}
+	return n
+}
+
+// nestedBreak's break binds to the inner slice loop, not the map range.
+func nestedBreak(byQuery map[string][]float64) float64 {
+	var total float64
+	for _, vs := range byQuery {
+		for _, v := range vs {
+			if v < 0 {
+				break
+			}
+			total += v
+		}
+	}
+	return total
+}
+
+// evictOne is the arbitrary-eviction shape the TLB model used to have.
+func evictOne(cache map[uint64]struct{}) {
+	for k := range cache {
+		delete(cache, k) // want `delete inside the iteration evicts an arbitrary entry`
+		break            // want `loop breaks after an order-dependent prefix`
+	}
+}
+
+// drainIntoQueue feeds an event queue from a map range: arrival order
+// becomes simulated-event order, so the whole run inherits map order.
+func drainIntoQueue(eng *sim.Engine, pending map[uint64]uint64) {
+	for _, at := range pending {
+		eng.Schedule(at) // want `call to sim\.Schedule feeds state that outlives the iteration`
+	}
+}
+
+// mergeAll is the shape the real Stats.Merge had before it switched to a
+// sorted key slice.
+func mergeAll(dst *sim.Stats, parts map[string]float64) {
+	for name, v := range parts {
+		dst.Add(name, v) // want `call to sim\.Add feeds state that outlives the iteration`
+	}
+}
+
+// resetEach calls into the state package only through the loop variable:
+// per-entry state, so iteration order is invisible.
+func resetEach(byShard map[int]*sim.Stats) {
+	for _, st := range byShard {
+		st.Reset()
+	}
+}

@@ -1,0 +1,5 @@
+//boss:wallclock stale: nothing in this file touches the clock.
+package harness // want `stale //boss:wallclock marker: file does not use the wall clock`
+
+// Helper is clock-free, which makes the file waiver above stale.
+func Helper() int { return 2 }

@@ -1,0 +1,14 @@
+// Package outofscope proves scoping: the same constructs the analyzer flags
+// in the model packages draw nothing here.
+package outofscope
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Now is fine: outofscope is not a simulation package.
+func Now() time.Time { return time.Now() }
+
+// Roll is fine here too.
+func Roll() int { return rand.Intn(6) }

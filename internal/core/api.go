@@ -110,9 +110,14 @@ func Init(indexFile io.Reader, configFile string) (*Device, error) {
 // compression scheme the index uses must be programmed.
 func InitFromIndex(idx *index.Index, configs map[compress.Scheme]*decomp.Config, opts Options) (*Device, error) {
 	if configs != nil {
-		for _, pl := range idx.Lists {
-			if _, ok := configs[pl.Scheme]; !ok {
-				return nil, fmt.Errorf("core: index uses scheme %s but the configuration file does not program it", pl.Scheme)
+		// Iterate terms in sorted order, not the Lists map: with several
+		// schemes unprogrammed, the reported one must not depend on map
+		// iteration order (bosslint simdeterminism finding).
+		for _, term := range idx.Terms() {
+			if pl := idx.Lists[term]; pl != nil {
+				if _, ok := configs[pl.Scheme]; !ok {
+					return nil, fmt.Errorf("core: index uses scheme %s but the configuration file does not program it", pl.Scheme)
+				}
 			}
 		}
 		opts.decompConfigs = configs

@@ -164,6 +164,10 @@ type run struct {
 	terms    []termTF
 }
 
+// newRun takes a recycled run record (or builds a first one) and readies it
+// for a query.
+//
+//boss:pool-escapes releaseRun returns the run to a.runs via Run's defer.
 func (a *Accelerator) newRun(k, nTerms int) *run {
 	r, ok := a.runs.Get().(*run)
 	if !ok {
@@ -191,6 +195,10 @@ func (a *Accelerator) newRun(k, nTerms int) *run {
 func (a *Accelerator) releaseRun(r *run) {
 	for _, blocks := range r.loaded {
 		for _, bd := range blocks {
+			// Truncate before pooling: DecodeInto overwrites via [:0] on
+			// reuse, but a recycled block must never expose the previous
+			// query's postings to a future code path that forgets to.
+			bd.docs, bd.tfs = bd.docs[:0], bd.tfs[:0]
 			blockDataPool.Put(bd)
 		}
 	}
@@ -316,6 +324,8 @@ func (r *run) computeTime() sim.Duration {
 
 // chargeMeta accounts the sequential metadata read of one examined block
 // (once per block per query).
+//
+//boss:hotpath one call per examined block, skipped or fetched.
 func (r *run) chargeMeta(pl *index.PostingList, b int) {
 	seen := r.metaSeen[pl]
 	if seen == nil {
@@ -360,6 +370,9 @@ func (r *run) decoder(s compress.Scheme) *decomp.Module {
 
 // fetchBlock loads and decodes a block through the programmable
 // decompression module, charging traffic and cycles once per query.
+//
+//boss:hotpath one call per block examined; the per-block decode loop.
+//boss:pool-escapes decoded blocks live in r.loaded until releaseRun pools them.
 func (r *run) fetchBlock(pl *index.PostingList, b int) *blockData {
 	blocks := r.loaded[pl]
 	if blocks == nil {
@@ -388,11 +401,11 @@ func (r *run) fetchBlock(pl *index.PostingList, b int) *blockData {
 	bd := blockDataPool.Get().(*blockData)
 	docs, used, cyc1, err := mod.DecodeInto(bd.docs[:0], payload, int(meta.Count), meta.FirstDoc, true)
 	if err != nil {
-		panic(fmt.Sprintf("core: decompression failed: %v", err))
+		panic(decodeFailure("decompression", err))
 	}
 	tfs, _, cyc2, err := mod.DecodeInto(bd.tfs[:0], payload[used:], int(meta.Count), 0, false)
 	if err != nil {
-		panic(fmt.Sprintf("core: tf decompression failed: %v", err))
+		panic(decodeFailure("tf decompression", err))
 	}
 	r.decodeCycles[pl] += float64(cyc1 + cyc2)
 	bd.docs, bd.tfs = docs, tfs
@@ -400,11 +413,19 @@ func (r *run) fetchBlock(pl *index.PostingList, b int) *blockData {
 	return bd
 }
 
+// decodeFailure formats the message for a corrupt-block panic. Outlined
+// from fetchBlock so the hot path carries no fmt call (hotpathalloc).
+func decodeFailure(what string, err error) string {
+	return fmt.Sprintf("core: %s failed: %v", what, err)
+}
+
 // cutoff returns the current top-k threshold (-Inf while not full).
 func (r *run) cutoff() float64 { return r.sel.Threshold() }
 
 // scoreDoc scores one document given its matched term postings, charges
 // norm traffic and scoring work, and offers it to the top-k module.
+//
+//boss:hotpath one call per evaluated document.
 func (r *run) scoreDoc(doc uint32, terms []termTF) {
 	r.m.DocsEvaluated++
 	// One per-document scoring-metadata access (the paper's +4 B/doc BM25

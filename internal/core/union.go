@@ -37,6 +37,8 @@ func (r *run) advanceBlock(s *ustream) {
 
 // normalize discards blocks wholly below the stream's floor and positions
 // the cursor at the first un-pruned posting. Returns false when exhausted.
+//
+//boss:hotpath called once per stream per interval.
 func (r *run) normalize(s *ustream) bool {
 	for {
 		blk := s.curBlock()
@@ -76,6 +78,8 @@ func (s *ustream) nextDoc() uint32 {
 // union runs the union path: an interval sweep with block-level early
 // termination (the block-fetch module's score-estimation unit) feeding the
 // WAND union module, scoring, and top-k.
+//
+//boss:hotpath the union-path driver loop; scratch lives on the run record.
 func (r *run) union(pls []*index.PostingList) {
 	// Stream records live in run-owned scratch; the pointer slice resizes
 	// only here, so the &r.ustreams[i] pointers below stay valid throughout.
@@ -159,6 +163,8 @@ func (r *run) union(pls []*index.PostingList) {
 // scanInterval loads the covering blocks and runs the union module's
 // document loop over [lo, hi]: WAND pivoting when DocET is enabled, a plain
 // k-way merge otherwise.
+//
+//boss:hotpath one call per interval; loops once per union-module decision.
 func (r *run) scanInterval(covering []*ustream, lo, hi uint32) {
 	for _, s := range covering {
 		if s.bd == nil {
@@ -197,6 +203,8 @@ func (r *run) scanInterval(covering []*ustream, lo, hi uint32) {
 
 // mergeStep performs one plain k-way merge step: score the smallest
 // document across active streams.
+//
+//boss:hotpath one call per merged document.
 func (r *run) mergeStep(active []*ustream) {
 	minDoc := active[0].bd.docs[active[0].pos]
 	for _, s := range active[1:] {
@@ -219,6 +227,8 @@ func (r *run) mergeStep(active []*ustream) {
 // list-level maximum scores in docID order; documents before the pivot
 // cannot beat the cutoff and are popped without scoring. Returns false when
 // the whole remaining interval is hopeless.
+//
+//boss:hotpath one call per WAND decision.
 func (r *run) wandStep(active []*ustream, hi uint32) bool {
 	sortByDoc(active)
 	cutoff := r.cutoff()
@@ -280,6 +290,8 @@ func (r *run) wandStep(active []*ustream, hi uint32) bool {
 // sortByDoc insertion-sorts streams by current docID. Hardware queries hold
 // at most MaxQueryTerms streams, and the union module's sorter runs every
 // WAND step, so this stays O(small²) and — unlike sort.Slice — alloc-free.
+//
+//boss:hotpath called once per WAND step.
 func sortByDoc(ss []*ustream) {
 	for i := 1; i < len(ss); i++ {
 		for j := i; j > 0 && ss[j].bd.docs[ss[j].pos] < ss[j-1].bd.docs[ss[j-1].pos]; j-- {
@@ -289,6 +301,8 @@ func sortByDoc(ss []*ustream) {
 }
 
 // sortByOrd insertion-sorts streams by query position (see sortByDoc).
+//
+//boss:hotpath called once per scored pivot document.
 func sortByOrd(ss []*ustream) {
 	for i := 1; i < len(ss); i++ {
 		for j := i; j > 0 && ss[j].ord < ss[j-1].ord; j-- {

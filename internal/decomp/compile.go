@@ -214,6 +214,8 @@ func (s *progState) load(o src, input uint64) uint64 {
 // step evaluates one cycle: a linear pass over the op list, then the
 // register latch (reset wins over the assigned next value), then the
 // statically resolved output-port reads.
+//
+//boss:hotpath one call per netlist cycle — per payload byte for VariableByte.
 func (p *program) step(s *progState, input uint64) (out uint64, valid bool) {
 	for i := range p.ops {
 		o := &p.ops[i]
@@ -268,6 +270,8 @@ func (p *program) step(s *progState, input uint64) (out uint64, valid bool) {
 
 // run is the compiled equivalent of Netlist.runInto: identical values,
 // cycle counts, and errors, with no allocation beyond dst growth.
+//
+//boss:hotpath
 func (p *program) run(s *progState, dst []uint64, tokens []uint64, max int) (values []uint64, cycles int, err error) {
 	s.reset(p)
 	values = dst
@@ -291,6 +295,8 @@ func (p *program) run(s *progState, dst []uint64, tokens []uint64, max int) (val
 // fed incrementally so evaluation stops at the byte completing value max.
 // The VariableByte fast path never materializes a token slice and never
 // touches payload bytes past the values it needs.
+//
+//boss:hotpath
 func (p *program) runBytes(s *progState, dst []uint64, payload []byte, max int) (values []uint64, cycles int, err error) {
 	s.reset(p)
 	values = dst

@@ -102,6 +102,8 @@ func (m *Module) Decode(payload []byte, n int, base uint32, applyDelta bool) (va
 // DecodeInto is Decode with a caller-provided destination: the n values are
 // appended to dst (which may be nil) and the extended slice returned, so
 // callers that recycle buffers decode without allocating.
+//
+//boss:hotpath the per-block decode loop; error construction is outlined.
 func (m *Module) DecodeInto(dst []uint32, payload []byte, n int, base uint32, applyDelta bool) (values []uint32, bytesConsumed int, cycles int, err error) {
 	var (
 		outs       []uint64
@@ -135,14 +137,14 @@ func (m *Module) DecodeInto(dst []uint32, payload []byte, n int, base uint32, ap
 	}
 	m.outs = outs
 	if len(outs) != n {
-		return nil, 0, 0, fmt.Errorf("decomp: produced %d values, want %d", len(outs), n)
+		return nil, 0, 0, errValueCount(len(outs), n)
 	}
 
 	// Stage 3: exception patching.
 	if m.cfg.UseExceptions {
 		for _, e := range exceptions {
 			if e.pos >= len(outs) {
-				return nil, 0, 0, fmt.Errorf("decomp: exception position %d out of range", e.pos)
+				return nil, 0, 0, errExceptionRange(e.pos)
 			}
 			outs[e.pos] |= e.high
 		}
@@ -175,6 +177,17 @@ func (m *Module) DecodeInto(dst []uint32, payload []byte, n int, base uint32, ap
 	m.blocks++
 	m.values += int64(n)
 	return values, used, cycles, nil
+}
+
+// errValueCount and errExceptionRange build DecodeInto's corrupt-payload
+// errors. Outlined so the hot decode loop carries no fmt call
+// (hotpathalloc); both fire only on malformed input.
+func errValueCount(got, want int) error {
+	return fmt.Errorf("decomp: produced %d values, want %d", got, want)
+}
+
+func errExceptionRange(pos int) error {
+	return fmt.Errorf("decomp: exception position %d out of range", pos)
 }
 
 // extract runs the configured stage-1 unit, reusing the module's token and

@@ -45,6 +45,8 @@ const wallclockMinDuration = 200 * time.Millisecond
 
 // measureQPS repeats f (which evaluates n queries) until the minimum
 // duration elapses and reports queries per wall-clock second.
+//
+//boss:wallclock this report intentionally measures real host-side throughput.
 func measureQPS(n int, f func()) float64 {
 	start := time.Now()
 	iters := 0

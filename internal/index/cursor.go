@@ -37,6 +37,8 @@ type Cursor struct {
 }
 
 // NewCursor returns a cursor positioned at the first posting of pl.
+//
+//boss:pool-escapes the pooled buffer belongs to the cursor until Release.
 func NewCursor(idx *Index, pl *PostingList) *Cursor {
 	buf := cursorBufPool.Get().(*cursorBuf)
 	c := &Cursor{idx: idx, pl: pl, buf: buf, docs: buf.docs[:0], tfs: buf.tfs[:0]}
@@ -87,6 +89,8 @@ func (c *Cursor) Score() float64 {
 }
 
 // Next advances to the following posting.
+//
+//boss:hotpath one call per posting consumed by the software engines.
 func (c *Cursor) Next() {
 	if c.done {
 		return
@@ -100,6 +104,8 @@ func (c *Cursor) Next() {
 // SeekGEQ advances the cursor to the first posting with docID >= target,
 // skipping whole blocks via metadata without decoding them. It reports
 // whether such a posting exists.
+//
+//boss:hotpath the cursor-advance step of every skipping algorithm.
 func (c *Cursor) SeekGEQ(target uint32) bool {
 	if c.done {
 		return false

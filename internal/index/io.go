@@ -57,7 +57,7 @@ func (idx *Index) WriteTo(w io.Writer) (int64, error) {
 			write(b.Count)
 		}
 		write(uint32(len(pl.Data)))
-		cw.Write(pl.Data)
+		_, _ = cw.Write(pl.Data) // countingWriter latches the first error in cw.err
 	}
 	write(idx.NormBaseAddr)
 	for _, n := range idx.DocNorms {
@@ -175,7 +175,7 @@ func (cw *countingWriter) Write(p []byte) (int, error) {
 }
 
 func (cw *countingWriter) WriteString(s string) {
-	cw.Write([]byte(s))
+	_, _ = cw.Write([]byte(s)) // error latched in cw.err
 }
 
 // approxEqual allows for float32 rounding introduced by serialization.

@@ -10,6 +10,12 @@ import "boss/internal/sim"
 type TLB struct {
 	pageBits uint
 	entries  map[uint64]struct{}
+	// order records insertion order for FIFO eviction. Evicting `for k :=
+	// range entries` picked a map-order-dependent victim, which made the
+	// post-eviction hit/miss sequence — and therefore simulated time —
+	// nondeterministic across runs (bosslint simdeterminism finding).
+	order    []uint64
+	head     int
 	capacity int
 	hits     int64
 	misses   int64
@@ -43,14 +49,18 @@ func (t *TLB) Lookup(addr uint64) sim.Duration {
 	}
 	t.misses++
 	if len(t.entries) >= t.capacity {
-		// Evict an arbitrary entry; with 2 GB pages this effectively never
-		// happens for a 2 TB node.
-		for k := range t.entries {
-			delete(t.entries, k)
-			break
+		// Evict the oldest entry (FIFO); with 2 GB pages this effectively
+		// never happens for a 2 TB node, but when it does the victim must
+		// not depend on map iteration order.
+		delete(t.entries, t.order[t.head])
+		t.head++
+		if t.head >= len(t.order)/2 && t.head > 0 {
+			t.order = append(t.order[:0], t.order[t.head:]...)
+			t.head = 0
 		}
 	}
 	t.entries[page] = struct{}{}
+	t.order = append(t.order, page)
 	return TLBMissPenalty
 }
 

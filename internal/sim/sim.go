@@ -57,6 +57,7 @@ func (e *event) before(o *event) bool {
 // which the event-driven pool simulation pays millions of times per run.
 type eventQueue []event
 
+//boss:hotpath one call per scheduled event; millions per pool simulation.
 func (q *eventQueue) push(e event) {
 	h := append(*q, e)
 	*q = h
@@ -71,6 +72,7 @@ func (q *eventQueue) push(e event) {
 	}
 }
 
+//boss:hotpath
 func (q *eventQueue) pop() event {
 	h := *q
 	top := h[0]

@@ -66,10 +66,13 @@ func (s *Stats) Names() []string {
 	return names
 }
 
-// Merge adds every counter of other into s.
+// Merge adds every counter of other into s. Counters merge in sorted name
+// order: counter creation in s then happens in a run-independent order, so
+// aggregation downstream of a merge can never pick up map-order
+// nondeterminism (bosslint simdeterminism finding).
 func (s *Stats) Merge(other *Stats) {
-	for name, c := range other.counters {
-		s.Add(name, c.Value())
+	for _, name := range other.Names() {
+		s.Add(name, other.Get(name))
 	}
 }
 

@@ -149,11 +149,25 @@ func (q *ShiftRegisterQueue) Reset(k int) {
 }
 
 // Insert offers a scored document; each call models one broadcast cycle.
+//
+//boss:hotpath one call per scored document (the top-k module's broadcast).
 func (q *ShiftRegisterQueue) Insert(docID uint32, score float64) {
 	q.inserts++
 	e := Entry{DocID: docID, Score: score}
-	// Find insertion point: first slot that e outranks.
-	pos := sort.Search(len(q.slots), func(i int) bool { return less(e, q.slots[i]) })
+	// Find insertion point: the first slot that e outranks. Open-coded
+	// binary search rather than sort.Search — the closure the latter takes
+	// is an allocation hazard the hot path must not rely on escape
+	// analysis to dodge (hotpathalloc).
+	lo, hi := 0, len(q.slots)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if less(e, q.slots[mid]) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	pos := lo
 	if pos == len(q.slots) {
 		if len(q.slots) < q.k {
 			q.slots = append(q.slots, e)
