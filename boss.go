@@ -31,6 +31,7 @@ import (
 	"time"
 	"unicode"
 
+	"boss/internal/cache"
 	"boss/internal/compress"
 	"boss/internal/core"
 	"boss/internal/corpus"
@@ -255,6 +256,11 @@ type AccelOptions struct {
 	// Cores sets the device's core count for throughput estimates
 	// (default 8, as in the paper).
 	Cores int
+	// CacheBytes budgets the host-side decoded-block cache that serves
+	// repeated queries from this handle (0 = 64 MiB default, negative
+	// disables). The cache changes wall-clock speed only: simulated stats
+	// and hits are byte-identical with it on, off, or resized.
+	CacheBytes int64
 }
 
 // Accelerator is a handle to the simulated BOSS device over one index.
@@ -280,8 +286,16 @@ func (ix *Index) Accelerator(opts AccelOptions) *Accelerator {
 	if cores <= 0 {
 		cores = 8
 	}
-	return &Accelerator{acc: core.New(ix.idx, co), ix: ix, dev: dev, cores: cores}
+	cb := opts.CacheBytes
+	if cb == 0 {
+		cb = pool.DefaultCacheBytes
+	}
+	return &Accelerator{acc: core.NewCached(ix.idx, co, cache.New(cb)), ix: ix, dev: dev, cores: cores}
 }
+
+// CacheHitRate reports the fraction of block fetches this handle served
+// from its decoded-block cache (0 when the cache is disabled or cold).
+func (a *Accelerator) CacheHitRate() float64 { return a.acc.Cache().Stats().HitRate() }
 
 // SimStats summarizes one simulated query execution.
 type SimStats struct {
@@ -425,6 +439,10 @@ func Shard(kind SyntheticKind, scale float64, nodes int) *ShardedIndex {
 
 // Nodes reports how many memory nodes hold shards.
 func (s *ShardedIndex) Nodes() int { return s.cluster.Shards() }
+
+// CacheHitRate reports the fraction of block fetches the cluster served
+// from its cross-query decoded-block cache.
+func (s *ShardedIndex) CacheHitRate() float64 { return s.cluster.CacheStats().HitRate() }
 
 // Search fans the query out to every node and merges the results. The
 // returned stats aggregate all nodes' work; HostBytes is the total result

@@ -10,6 +10,7 @@
 //	bossbench -scale 0.05 -k 500   # custom scope
 //	bossbench -wallclock           # real host QPS (serial vs batch/parallel)
 //	bossbench -wallclock -json     # same, machine-readable
+//	bossbench -profile out         # also write out.cpu.pprof + out.heap.pprof
 package main
 
 import (
@@ -17,6 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"boss/internal/harness"
 )
@@ -34,8 +37,36 @@ func main() {
 		wall    = flag.Bool("wallclock", false, "measure real host QPS (serial vs batch/parallel) instead of simulated experiments")
 		shards  = flag.Int("shards", 4, "cluster shard count for -wallclock")
 		jsonOut = flag.Bool("json", false, "with -wallclock, emit the report as JSON")
+		profile = flag.String("profile", "", "write <prefix>.cpu.pprof and <prefix>.heap.pprof covering the run")
 	)
 	flag.Parse()
+
+	if *profile != "" {
+		cpuFile, err := os.Create(*profile + ".cpu.pprof")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bossbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			fmt.Fprintf(os.Stderr, "bossbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			_ = cpuFile.Close()
+			heapFile, err := os.Create(*profile + ".heap.pprof")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bossbench: %v\n", err)
+				os.Exit(1)
+			}
+			defer func() { _ = heapFile.Close() }()
+			runtime.GC() // settle live-heap accounting before the snapshot
+			if err := pprof.WriteHeapProfile(heapFile); err != nil {
+				fmt.Fprintf(os.Stderr, "bossbench: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+	}
 
 	if *list {
 		for _, e := range harness.Experiments() {

@@ -1,0 +1,475 @@
+// Package cache implements a sharded, concurrency-safe cache of decoded
+// posting blocks for the wall-clock serving path. The corpus's Zipf-
+// distributed term popularity means nearly every query touches the same hot
+// posting lists; without cross-query reuse each query re-fetches and
+// re-decompresses the same blocks even though a single decode is cheap.
+// The cache closes that gap: entries are keyed by (posting-list identity,
+// block index), decoded values live in cache-owned slabs, and the hit path
+// is allocation-free — a shard-mutex map probe returning pinned doc/tf
+// slices.
+//
+// Eviction is CLOCK (second chance): each shard keeps its resident entries
+// on a ring with a reference bit set on every hit; the hand clears bits on
+// the first pass and evicts the first unreferenced, unpinned entry. Pinned
+// entries (refcount > 0) are never evicted, so a reader can hold a block's
+// slices across its whole scan without copying. When the byte budget cannot
+// be met because everything is pinned, Publish hands the entry back to the
+// caller un-inserted ("bypass"): the budget is a hard ceiling, never
+// exceeded.
+//
+// Invalidation is epoch-based: BumpEpoch (called on index reload) makes all
+// resident entries stale in O(1); stale entries read as misses and are
+// reclaimed lazily by the eviction scan. Readers that pinned an entry
+// before the bump keep a consistent view until they release it.
+//
+// The cache stores whatever the publisher decoded, along with the decode
+// cycle count the publisher measured, so the accelerator model can charge
+// hits exactly as it charges misses (the simulated timings stay
+// bit-identical with or without the cache). Consequently a cache must not
+// be shared between engines whose decoders would report different cycle
+// counts for the same block (e.g. accelerators programmed with different
+// decompression configuration files); one cache per cluster — whose shards
+// all share one configuration — is the intended deployment.
+package cache
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Key identifies one decoded posting block: the posting list's process-wide
+// identity (index.PostingList.ID) and the block index within the list.
+type Key struct {
+	List  uint64
+	Block uint32
+}
+
+// entryOverheadBytes approximates the budget charge of one resident entry
+// beyond its slab: the Entry struct, its map slot, and its ring slot.
+const entryOverheadBytes = 128
+
+// slabQuantum rounds slab capacities so recycled slabs fit most blocks
+// (2 values per posting × the default 128-posting block).
+const slabQuantum = 256
+
+// Entry is one decoded block. Between Get/Publish and Release the entry is
+// pinned and Docs/Tfs return stable, immutable slices into the cache-owned
+// slab; after Release the slices must not be used.
+type Entry struct {
+	key    Key
+	epoch  uint64
+	docs   []uint32
+	tfs    []uint32
+	buf    []uint32 // the arena slab backing docs and tfs
+	cycles int64
+	bytes  int64 // budget charge: slab capacity + entryOverheadBytes
+
+	// resident is true for entries inserted into a shard (recycled only by
+	// the evictor) and false for bypass entries (recycled by Release when
+	// the last pin drops). Written before the entry is shared.
+	resident bool
+
+	used atomic.Bool  // CLOCK reference bit
+	refs atomic.Int32 // pin count; the evictor skips entries with refs > 0
+}
+
+// Docs returns the decoded docIDs. Valid only while the entry is pinned.
+func (e *Entry) Docs() []uint32 { return e.docs }
+
+// Tfs returns the decoded term frequencies. Valid only while pinned.
+func (e *Entry) Tfs() []uint32 { return e.tfs }
+
+// Cycles returns the decode cycle count recorded at publish time, so cache
+// hits can charge the simulated pipeline exactly as a fresh decode would.
+func (e *Entry) Cycles() int64 { return e.cycles }
+
+// DocsBuf returns a zero-length decode destination for n docIDs inside the
+// slab of an entry obtained from Reserve.
+func (e *Entry) DocsBuf(n int) []uint32 { return e.buf[:0:n] }
+
+// TfsBuf returns a zero-length decode destination for n term frequencies
+// inside the slab, disjoint from DocsBuf's region.
+func (e *Entry) TfsBuf(n int) []uint32 { return e.buf[n : n : 2*n] }
+
+// shard is one lock domain of the cache.
+type shard struct {
+	mu     sync.Mutex
+	m      map[Key]*Entry
+	ring   []*Entry // CLOCK ring of resident entries
+	hand   int
+	bytes  int64 // resident budget charge; never exceeds budget
+	budget int64
+
+	// Counters live under the shard mutex so the hit path adds no extra
+	// cross-core atomic traffic.
+	hits           int64
+	misses         int64
+	evictions      int64
+	bypasses       int64
+	servedBytes    int64
+	servedPostings int64
+
+	_ [64]byte // keep neighbouring shards off this shard's cache lines
+}
+
+// Cache is a sharded decoded-block cache with a hard byte budget.
+type Cache struct {
+	shards []shard
+	mask   uint64
+	epoch  atomic.Uint64
+	pool   sync.Pool // recycled *Entry slabs
+}
+
+// New returns a cache with the given byte budget, sharded to GOMAXPROCS
+// (rounded up to a power of two) so concurrent queries rarely contend on
+// one mutex. A nil *Cache is valid everywhere and behaves as "no cache".
+func New(budgetBytes int64) *Cache {
+	return NewSharded(budgetBytes, runtime.GOMAXPROCS(0))
+}
+
+// NewSharded returns a cache with an explicit shard count (tests and fuzz
+// targets use one shard for deterministic eviction order).
+func NewSharded(budgetBytes int64, shards int) *Cache {
+	if budgetBytes <= 0 {
+		return nil
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	c := &Cache{shards: make([]shard, n), mask: uint64(n - 1)}
+	c.epoch.Store(1)
+	for i := range c.shards {
+		c.shards[i].m = make(map[Key]*Entry)
+		c.shards[i].budget = budgetBytes / int64(n)
+	}
+	return c
+}
+
+// shardFor mixes the key into a shard index.
+func (c *Cache) shardFor(k Key) *shard {
+	h := k.List*0x9E3779B97F4A7C15 ^ (uint64(k.Block)+1)*0xBF58476D1CE4E5B9
+	h ^= h >> 29
+	return &c.shards[h&c.mask]
+}
+
+// Get returns the pinned entry for k, or nil on a miss (including entries
+// staled by BumpEpoch). The caller must Release the entry when done with
+// its slices.
+//
+//boss:hotpath the cross-query cache hit path; one probe per block fetch.
+func (c *Cache) Get(k Key) *Entry {
+	if c == nil {
+		return nil
+	}
+	epoch := c.epoch.Load()
+	s := c.shardFor(k)
+	s.mu.Lock()
+	e := s.m[k]
+	if e == nil || e.epoch != epoch {
+		s.misses++
+		s.mu.Unlock()
+		return nil
+	}
+	e.refs.Add(1)
+	e.used.Store(true)
+	s.hits++
+	s.servedBytes += int64(len(e.docs)+len(e.tfs)) * 4
+	s.servedPostings += int64(len(e.docs))
+	s.mu.Unlock()
+	return e
+}
+
+// Reserve returns a private, pinned entry whose slab holds n docIDs plus n
+// term frequencies. Decode into DocsBuf(n)/TfsBuf(n), then Publish.
+//
+//boss:pool-escapes the slab leaves with the caller until Publish/Release (arena-slab publish pattern).
+func (c *Cache) Reserve(n int) *Entry {
+	e, _ := c.pool.Get().(*Entry)
+	if e == nil {
+		e = new(Entry)
+	}
+	if need := 2 * n; cap(e.buf) < need {
+		q := (need + slabQuantum - 1) / slabQuantum * slabQuantum
+		e.buf = make([]uint32, 0, q)
+	}
+	e.docs, e.tfs = nil, nil
+	e.cycles, e.bytes = 0, 0
+	e.resident = false
+	e.used.Store(false)
+	e.refs.Store(1)
+	return e
+}
+
+// Publish inserts a reserved, decoded entry under k and returns the entry
+// the caller should use — either e itself (now resident, still pinned) or,
+// if a concurrent publisher won the race, the already-resident entry
+// (pinned; e's slab is recycled). When the shard cannot make room — the
+// entry exceeds the shard budget, or everything resident is pinned — the
+// entry is returned un-inserted and stays caller-owned until Release. docs
+// and tfs must be slices of e's slab; cycles is the decode cycle count to
+// replay on hits.
+func (c *Cache) Publish(k Key, e *Entry, docs, tfs []uint32, cycles int64) *Entry {
+	e.key = k
+	e.docs, e.tfs = docs, tfs
+	e.cycles = cycles
+	e.bytes = int64(cap(e.buf))*4 + entryOverheadBytes
+	s := c.shardFor(k)
+	s.mu.Lock()
+	epoch := c.epoch.Load()
+	e.epoch = epoch
+	if old := s.m[k]; old != nil && old.epoch == epoch {
+		old.refs.Add(1)
+		old.used.Store(true)
+		s.mu.Unlock()
+		e.refs.Store(0)
+		c.free(e)
+		return old
+	}
+	if e.bytes > s.budget || !s.makeRoom(c, e.bytes, epoch) {
+		s.bypasses++
+		s.mu.Unlock()
+		return e
+	}
+	e.resident = true
+	e.used.Store(true)
+	s.m[k] = e
+	s.ring = append(s.ring, e)
+	s.bytes += e.bytes
+	s.mu.Unlock()
+	return e
+}
+
+// Release drops one pin. Entries from Get/Publish become evictable again;
+// a bypass entry's slab returns to the slab pool when its last pin drops.
+//
+//boss:hotpath one call per block a query finishes with.
+func (c *Cache) Release(e *Entry) {
+	if c == nil || e == nil {
+		return
+	}
+	// Read resident before dropping the pin: while pinned the entry cannot
+	// be freed, so the flag is stable; the instant the pin drops, a resident
+	// entry belongs to the evictor and must not be touched again here.
+	resident := e.resident
+	if e.refs.Add(-1) == 0 && !resident {
+		c.free(e)
+	}
+}
+
+// free recycles an unreachable entry's slab. The entry must be unpinned and
+// either never resident or already removed from its shard.
+func (e *Entry) reset() {
+	e.key = Key{}
+	e.docs, e.tfs = nil, nil
+	e.cycles, e.bytes, e.epoch = 0, 0, 0
+	e.resident = false
+}
+
+func (c *Cache) free(e *Entry) {
+	e.reset()
+	c.pool.Put(e)
+}
+
+// makeRoom evicts entries until need bytes fit under the shard budget.
+// Returns false when the budget cannot be met (all entries pinned). Caller
+// holds s.mu.
+func (s *shard) makeRoom(c *Cache, need int64, epoch uint64) bool {
+	for s.bytes+need > s.budget {
+		if !s.evictOne(c, epoch) {
+			return false
+		}
+	}
+	return true
+}
+
+// evictOne runs the CLOCK hand: stale entries and second-chance losers with
+// no pins are evicted; referenced entries get their bit cleared; pinned
+// entries are skipped. Returns false when two full sweeps find nothing
+// evictable. Caller holds s.mu.
+func (s *shard) evictOne(c *Cache, epoch uint64) bool {
+	for scanned := 0; scanned < 2*len(s.ring); scanned++ {
+		if s.hand >= len(s.ring) {
+			s.hand = 0
+		}
+		e := s.ring[s.hand]
+		if e.refs.Load() > 0 {
+			s.hand++
+			continue
+		}
+		if e.epoch == epoch && e.used.CompareAndSwap(true, false) {
+			s.hand++
+			continue
+		}
+		// Unpinned and either stale or out of chances: evict. No new pin
+		// can appear — Get requires s.mu, which we hold.
+		if s.m[e.key] == e {
+			delete(s.m, e.key)
+		}
+		last := len(s.ring) - 1
+		s.ring[s.hand] = s.ring[last]
+		s.ring[last] = nil
+		s.ring = s.ring[:last]
+		s.bytes -= e.bytes
+		s.evictions++
+		c.free(e)
+		return true
+	}
+	return false
+}
+
+// BumpEpoch invalidates every resident entry in O(resident): unpinned
+// entries are reclaimed immediately, pinned ones stay readable for their
+// current holders and are reclaimed by later eviction scans. Call on index
+// reload.
+func (c *Cache) BumpEpoch() {
+	if c == nil {
+		return
+	}
+	epoch := c.epoch.Add(1)
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		kept := s.ring[:0]
+		for _, e := range s.ring {
+			if e.refs.Load() > 0 {
+				kept = append(kept, e) // stale but pinned: reclaim later
+				continue
+			}
+			if s.m[e.key] == e {
+				delete(s.m, e.key)
+			}
+			s.bytes -= e.bytes
+			s.evictions++
+			c.free(e)
+		}
+		for j := len(kept); j < len(s.ring); j++ {
+			s.ring[j] = nil
+		}
+		s.ring = kept
+		s.hand = 0
+		_ = epoch
+		s.mu.Unlock()
+	}
+}
+
+// Epoch returns the current epoch (starts at 1).
+func (c *Cache) Epoch() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.epoch.Load()
+}
+
+// Stats is a point-in-time snapshot of the cache's counters, reported by
+// the wall-clock harness and cmd/bossbench.
+type Stats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	// Bypasses counts publishes that could not be inserted (entry larger
+	// than a shard budget, or every resident entry pinned).
+	Bypasses int64 `json:"bypasses"`
+
+	ResidentEntries int64 `json:"resident_entries"`
+	ResidentBytes   int64 `json:"resident_bytes"`
+	PinnedEntries   int64 `json:"pinned_entries"`
+	BudgetBytes     int64 `json:"budget_bytes"`
+
+	// ServedBytes is the decoded bytes returned by hits — traffic the SCM
+	// device and the decompression modules never saw.
+	ServedBytes int64 `json:"served_bytes"`
+	// ServedPostings counts postings whose decode was avoided by a hit.
+	ServedPostings int64 `json:"served_postings"`
+
+	Epoch  uint64 `json:"epoch"`
+	Shards int    `json:"shards"`
+}
+
+// HitRate returns hits / (hits + misses), or 0 before any lookup.
+func (s Stats) HitRate() float64 {
+	if t := s.Hits + s.Misses; t > 0 {
+		return float64(s.Hits) / float64(t)
+	}
+	return 0
+}
+
+// Stats snapshots all shards. It takes each shard lock in turn, so the
+// numbers are per-shard consistent but not a global atomic cut.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	st := Stats{Epoch: c.epoch.Load(), Shards: len(c.shards)}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Hits += s.hits
+		st.Misses += s.misses
+		st.Evictions += s.evictions
+		st.Bypasses += s.bypasses
+		st.ResidentEntries += int64(len(s.ring))
+		st.ResidentBytes += s.bytes
+		st.BudgetBytes += s.budget
+		st.ServedBytes += s.servedBytes
+		st.ServedPostings += s.servedPostings
+		for _, e := range s.ring {
+			if e.refs.Load() > 0 {
+				st.PinnedEntries++
+			}
+		}
+		s.mu.Unlock()
+	}
+	return st
+}
+
+// checkInvariants verifies per-shard accounting: resident bytes equal the
+// sum of entry charges, never exceed the budget, the ring and map agree,
+// and every fresh map entry is on the ring. Tests and the fuzz target call
+// it after every operation.
+func (c *Cache) checkInvariants() error {
+	if c == nil {
+		return nil
+	}
+	epoch := c.epoch.Load()
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		var sum int64
+		onRing := make(map[*Entry]bool, len(s.ring))
+		for _, e := range s.ring {
+			sum += e.bytes
+			if onRing[e] {
+				s.mu.Unlock()
+				return fmt.Errorf("shard %d: entry %v on ring twice", i, e.key)
+			}
+			onRing[e] = true
+			if !e.resident {
+				s.mu.Unlock()
+				return fmt.Errorf("shard %d: non-resident entry %v on ring", i, e.key)
+			}
+		}
+		if sum != s.bytes {
+			s.mu.Unlock()
+			return fmt.Errorf("shard %d: bytes=%d but ring sums to %d", i, s.bytes, sum)
+		}
+		if s.bytes > s.budget {
+			s.mu.Unlock()
+			return fmt.Errorf("shard %d: resident %d exceeds budget %d", i, s.bytes, s.budget)
+		}
+		for k, e := range s.m {
+			if e.key != k {
+				s.mu.Unlock()
+				return fmt.Errorf("shard %d: map key %v holds entry keyed %v", i, k, e.key)
+			}
+			if e.epoch == epoch && !onRing[e] {
+				s.mu.Unlock()
+				return fmt.Errorf("shard %d: fresh map entry %v missing from ring", i, k)
+			}
+		}
+		s.mu.Unlock()
+	}
+	return nil
+}

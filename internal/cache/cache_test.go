@@ -1,0 +1,368 @@
+package cache
+
+import "testing"
+
+// fill builds docs/tfs content derived from the key so tests can verify an
+// entry still holds the block it was published under.
+func fill(e *Entry, k Key, n int) (docs, tfs []uint32) {
+	docs, tfs = e.DocsBuf(n), e.TfsBuf(n)
+	for i := 0; i < n; i++ {
+		docs = append(docs, uint32(k.List)*1000+k.Block*100+uint32(i))
+		tfs = append(tfs, uint32(k.List)+k.Block+uint32(i))
+	}
+	return docs, tfs
+}
+
+// checkContent verifies a pinned entry's slices carry fill(k, n)'s pattern.
+func checkContent(t *testing.T, e *Entry, k Key, n int) {
+	t.Helper()
+	if len(e.Docs()) != n || len(e.Tfs()) != n {
+		t.Fatalf("key %v: got %d docs / %d tfs, want %d", k, len(e.Docs()), len(e.Tfs()), n)
+	}
+	for i := 0; i < n; i++ {
+		if want := uint32(k.List)*1000 + k.Block*100 + uint32(i); e.Docs()[i] != want {
+			t.Fatalf("key %v doc[%d] = %d, want %d", k, i, e.Docs()[i], want)
+		}
+		if want := uint32(k.List) + k.Block + uint32(i); e.Tfs()[i] != want {
+			t.Fatalf("key %v tf[%d] = %d, want %d", k, i, e.Tfs()[i], want)
+		}
+	}
+}
+
+func mustInvariants(t *testing.T, c *Cache) {
+	t.Helper()
+	if err := c.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func publish(c *Cache, k Key, n int, cycles int64) *Entry {
+	e := c.Reserve(n)
+	docs, tfs := fill(e, k, n)
+	return c.Publish(k, e, docs, tfs, cycles)
+}
+
+func TestHitMiss(t *testing.T) {
+	c := NewSharded(1<<20, 1)
+	k := Key{List: 7, Block: 3}
+	if e := c.Get(k); e != nil {
+		t.Fatal("Get on empty cache should miss")
+	}
+	e := publish(c, k, 128, 42)
+	checkContent(t, e, k, 128)
+	if e.Cycles() != 42 {
+		t.Fatalf("cycles = %d, want 42", e.Cycles())
+	}
+	c.Release(e)
+	mustInvariants(t, c)
+
+	h := c.Get(k)
+	if h == nil {
+		t.Fatal("Get after Publish should hit")
+	}
+	checkContent(t, h, k, 128)
+	if h.Cycles() != 42 {
+		t.Fatalf("hit cycles = %d, want 42", h.Cycles())
+	}
+	c.Release(h)
+
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss", st)
+	}
+	if st.ServedPostings != 128 {
+		t.Fatalf("served postings = %d, want 128", st.ServedPostings)
+	}
+	if got := st.HitRate(); got != 0.5 {
+		t.Fatalf("hit rate = %v, want 0.5", got)
+	}
+	mustInvariants(t, c)
+}
+
+func TestNilCache(t *testing.T) {
+	var c *Cache
+	if c.Get(Key{}) != nil {
+		t.Fatal("nil cache Get should miss")
+	}
+	c.Release(nil)
+	c.BumpEpoch()
+	if st := c.Stats(); st != (Stats{}) {
+		t.Fatalf("nil cache stats = %+v", st)
+	}
+	if New(0) != nil {
+		t.Fatal("New(0) should return nil (cache disabled)")
+	}
+}
+
+// TestBudgetEviction checks the budget is a hard ceiling and CLOCK evicts
+// cold entries first.
+func TestBudgetEviction(t *testing.T) {
+	const n = 128
+	one := int64(2*n)*4 + entryOverheadBytes
+	c := NewSharded(3*one, 1) // room for exactly 3 resident entries
+	for i := 0; i < 3; i++ {
+		e := publish(c, Key{List: uint64(i)}, n, 0)
+		c.Release(e)
+	}
+	mustInvariants(t, c)
+	if st := c.Stats(); st.ResidentEntries != 3 || st.Evictions != 0 {
+		t.Fatalf("warm stats = %+v", st)
+	}
+
+	// Touch list 1 so its reference bit survives the first hand pass.
+	h := c.Get(Key{List: 1})
+	c.Release(h)
+
+	// Inserting a 4th entry must evict exactly one. The hand starts at
+	// list 0 (bit set at insert): it clears 0's bit, clears 1's freshly
+	// re-set bit... second pass evicts 0 first.
+	e := publish(c, Key{List: 3}, n, 0)
+	c.Release(e)
+	mustInvariants(t, c)
+	st := c.Stats()
+	if st.ResidentEntries != 3 || st.Evictions != 1 {
+		t.Fatalf("after insert stats = %+v, want 3 resident / 1 eviction", st)
+	}
+	if st.ResidentBytes > st.BudgetBytes {
+		t.Fatalf("resident %d exceeds budget %d", st.ResidentBytes, st.BudgetBytes)
+	}
+	// The recently-touched entry must still be resident (second chance).
+	if h := c.Get(Key{List: 1}); h == nil {
+		t.Fatal("recently-used entry was evicted; CLOCK second chance broken")
+	} else {
+		checkContent(t, h, Key{List: 1}, n)
+		c.Release(h)
+	}
+}
+
+// TestPinnedNotEvicted checks a pinned entry survives arbitrary insert
+// pressure and its contents stay intact.
+func TestPinnedNotEvicted(t *testing.T) {
+	const n = 128
+	one := int64(2*n)*4 + entryOverheadBytes
+	c := NewSharded(2*one, 1)
+	k := Key{List: 99}
+	pinned := publish(c, k, n, 7) // hold the pin across the churn
+	for i := 0; i < 50; i++ {
+		e := publish(c, Key{List: uint64(i)}, n, 0)
+		c.Release(e)
+		mustInvariants(t, c)
+	}
+	checkContent(t, pinned, k, n)
+	if h := c.Get(k); h == nil {
+		t.Fatal("pinned entry evicted")
+	} else {
+		c.Release(h)
+	}
+	c.Release(pinned)
+}
+
+// TestBypass checks that when nothing can be evicted (all pinned), Publish
+// hands the entry back un-inserted and the budget still holds.
+func TestBypass(t *testing.T) {
+	const n = 128
+	one := int64(2*n)*4 + entryOverheadBytes
+	c := NewSharded(one, 1) // room for exactly 1 resident entry
+	a := publish(c, Key{List: 1}, n, 0)
+	// a is pinned; a second publish cannot make room.
+	b := publish(c, Key{List: 2}, n, 5)
+	checkContent(t, b, Key{List: 2}, n)
+	if b.Cycles() != 5 {
+		t.Fatalf("bypass entry cycles = %d, want 5", b.Cycles())
+	}
+	mustInvariants(t, c)
+	st := c.Stats()
+	if st.Bypasses != 1 || st.ResidentEntries != 1 {
+		t.Fatalf("stats = %+v, want 1 bypass / 1 resident", st)
+	}
+	// The bypass entry must stay readable until released even though it is
+	// not in the cache.
+	if h := c.Get(Key{List: 2}); h != nil {
+		t.Fatal("bypass entry should not be findable")
+	}
+	checkContent(t, b, Key{List: 2}, n)
+	c.Release(b)
+	c.Release(a)
+
+	// Oversized entries (bigger than a whole shard budget) always bypass.
+	big := publish(c, Key{List: 3}, 4*n, 0)
+	mustInvariants(t, c)
+	if st := c.Stats(); st.Bypasses != 2 {
+		t.Fatalf("oversized publish should bypass: %+v", st)
+	}
+	c.Release(big)
+}
+
+// TestPublishRace checks the loser of a concurrent publish gets the winner's
+// entry back.
+func TestPublishRace(t *testing.T) {
+	c := NewSharded(1<<20, 1)
+	k := Key{List: 5, Block: 2}
+	w := publish(c, k, 32, 11)
+	c.Release(w)
+
+	// A second publisher for the same key (raced decode): must receive the
+	// resident winner, not its own entry.
+	e := c.Reserve(32)
+	docs, tfs := fill(e, k, 32)
+	got := c.Publish(k, e, docs, tfs, 999)
+	if got.Cycles() != 11 {
+		t.Fatalf("race loser got cycles %d, want winner's 11", got.Cycles())
+	}
+	checkContent(t, got, k, 32)
+	c.Release(got)
+	mustInvariants(t, c)
+	if st := c.Stats(); st.ResidentEntries != 1 {
+		t.Fatalf("duplicate publish left %d residents", st.ResidentEntries)
+	}
+}
+
+// TestEpochInvalidation checks BumpEpoch makes entries invisible, reclaims
+// unpinned ones, and leaves pinned ones readable until released.
+func TestEpochInvalidation(t *testing.T) {
+	c := NewSharded(1<<20, 1)
+	cold := publish(c, Key{List: 1}, 16, 0)
+	c.Release(cold)
+	pinned := publish(c, Key{List: 2}, 16, 0)
+
+	c.BumpEpoch()
+	mustInvariants(t, c)
+	if c.Get(Key{List: 1}) != nil || c.Get(Key{List: 2}) != nil {
+		t.Fatal("stale entries must read as misses")
+	}
+	// The pinned entry's data must survive the bump while held.
+	checkContent(t, pinned, Key{List: 2}, 16)
+	c.Release(pinned)
+
+	st := c.Stats()
+	if st.Epoch != 2 {
+		t.Fatalf("epoch = %d, want 2", st.Epoch)
+	}
+	if st.ResidentEntries > 1 {
+		t.Fatalf("bump left %d residents", st.ResidentEntries)
+	}
+
+	// Publishing after the bump works in the new epoch.
+	e := publish(c, Key{List: 1}, 16, 0)
+	c.Release(e)
+	if h := c.Get(Key{List: 1}); h == nil {
+		t.Fatal("publish after bump should be visible")
+	} else {
+		c.Release(h)
+	}
+	mustInvariants(t, c)
+}
+
+// TestShardedSpread checks multi-shard construction distributes keys and
+// keeps the aggregate budget.
+func TestShardedSpread(t *testing.T) {
+	c := New(1 << 20)
+	if len(c.shards) == 0 || len(c.shards)&(len(c.shards)-1) != 0 {
+		t.Fatalf("shard count %d not a power of two", len(c.shards))
+	}
+	for i := 0; i < 256; i++ {
+		e := publish(c, Key{List: uint64(i), Block: uint32(i % 7)}, 8, 0)
+		c.Release(e)
+	}
+	mustInvariants(t, c)
+	for i := 0; i < 256; i++ {
+		h := c.Get(Key{List: uint64(i), Block: uint32(i % 7)})
+		if h == nil {
+			t.Fatalf("key %d missing", i)
+		}
+		c.Release(h)
+	}
+}
+
+// TestHitPathAllocs pins the zero-allocation guarantee of the hit path:
+// Get + Release on a resident entry must not allocate.
+func TestHitPathAllocs(t *testing.T) {
+	c := New(1 << 20)
+	k := Key{List: 1, Block: 0}
+	e := publish(c, k, 128, 0)
+	c.Release(e)
+	avg := testing.AllocsPerRun(1000, func() {
+		h := c.Get(k)
+		if h == nil {
+			t.Fatal("unexpected miss")
+		}
+		c.Release(h)
+	})
+	if avg != 0 {
+		t.Fatalf("hit path allocates %v allocs/op, want 0", avg)
+	}
+}
+
+// FuzzCLOCK drives a single-shard cache through a byte-coded op sequence
+// and checks the accounting invariants after every operation: resident
+// bytes never exceed the budget, ring and map agree, and pinned entries
+// keep their published contents (no use-after-evict).
+func FuzzCLOCK(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 250, 6, 7})
+	f.Add([]byte{10, 10, 10, 251, 10, 10})
+	f.Add([]byte{0, 0, 0, 0, 252, 1, 1, 1, 1})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		const n = 128
+		one := int64(2*n)*4 + entryOverheadBytes
+		c := NewSharded(3*one, 1)
+		type pin struct {
+			e *Entry
+			k Key
+		}
+		var pins []pin
+		keyOf := func(b byte) Key { return Key{List: uint64(b % 8), Block: uint32(b / 8 % 4)} }
+		for _, op := range ops {
+			switch {
+			case op == 250: // bump epoch
+				c.BumpEpoch()
+			case op == 251: // release all pins
+				for _, p := range pins {
+					c.Release(p.e)
+				}
+				pins = pins[:0]
+			case op == 252: // release oldest pin
+				if len(pins) > 0 {
+					c.Release(pins[0].e)
+					pins = pins[1:]
+				}
+			case op%3 == 0: // get (pin on hit)
+				k := keyOf(op)
+				if h := c.Get(k); h != nil {
+					pins = append(pins, pin{h, k})
+				}
+			default: // publish (keep pinned)
+				k := keyOf(op)
+				e := c.Reserve(n)
+				docs := e.DocsBuf(n)
+				tfs := e.TfsBuf(n)
+				for i := 0; i < n; i++ {
+					docs = append(docs, uint32(k.List)*1000+k.Block*100+uint32(i))
+					tfs = append(tfs, uint32(k.List)+k.Block+uint32(i))
+				}
+				got := c.Publish(k, e, docs, tfs, int64(op))
+				pins = append(pins, pin{got, k})
+			}
+			if err := c.checkInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			// Every live pin must still read its published contents — an
+			// evicted-and-recycled slab would show another key's pattern.
+			for _, p := range pins {
+				if len(p.e.Docs()) != n {
+					t.Fatalf("pinned %v: %d docs, want %d", p.k, len(p.e.Docs()), n)
+				}
+				for i := 0; i < n; i++ {
+					if want := uint32(p.k.List)*1000 + p.k.Block*100 + uint32(i); p.e.Docs()[i] != want {
+						t.Fatalf("pinned %v doc[%d] = %d, want %d (use-after-evict)", p.k, i, p.e.Docs()[i], want)
+					}
+				}
+			}
+		}
+		for _, p := range pins {
+			c.Release(p.e)
+		}
+		if err := c.checkInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -18,6 +18,7 @@ import (
 	"math"
 	"sync"
 
+	"boss/internal/cache"
 	"boss/internal/compress"
 	"boss/internal/decomp"
 	"boss/internal/index"
@@ -74,6 +75,15 @@ type Options struct {
 	// for the top-k design choice).
 	HostTopK bool
 
+	// ModelDRAMCache makes the *simulated* pipeline aware of the decoded-
+	// block cache: a hit is charged as a DRAM sequential read of the
+	// decoded block (no SCM traffic, no decompression cycles, no fetch-
+	// queue hop) instead of replaying the SCM fetch + decode. Default off,
+	// which keeps every modeled figure bit-identical to a cache-free run —
+	// the cache then only removes host-side work. This is a paper-style
+	// what-if: "what would BOSS gain from a DRAM-resident block cache?"
+	ModelDRAMCache bool
+
 	// decompConfigs, when non-nil, programs the decompression modules from
 	// a parsed configuration file instead of the built-in per-scheme
 	// programs (set via InitFromIndex).
@@ -108,12 +118,29 @@ type Accelerator struct {
 	idx  *index.Index
 	opts Options
 	runs sync.Pool // of *run
+
+	// cache, when non-nil, is the cross-query decoded-block cache shared by
+	// every run (and, in a cluster, by every shard's accelerator).
+	cache *cache.Cache
 }
 
 // New returns a BOSS accelerator with the given options.
 func New(idx *index.Index, opts Options) *Accelerator {
 	return &Accelerator{idx: idx, opts: opts}
 }
+
+// NewCached returns an accelerator that serves decoded blocks from the
+// given cross-query cache (nil behaves exactly like New).
+func NewCached(idx *index.Index, opts Options, c *cache.Cache) *Accelerator {
+	return &Accelerator{idx: idx, opts: opts, cache: c}
+}
+
+// SetCache attaches (or, with nil, detaches) the decoded-block cache. Not
+// safe concurrently with Run; meant for setup time and benchmarks.
+func (a *Accelerator) SetCache(c *cache.Cache) { a.cache = c }
+
+// Cache returns the attached decoded-block cache, or nil.
+func (a *Accelerator) Cache() *cache.Cache { return a.cache }
 
 // Result is the outcome of one query.
 type Result struct {
@@ -124,13 +151,28 @@ type Result struct {
 // blockData caches one decoded block so conjuncts sharing a term are
 // charged once. Decoded buffers recycle through blockDataPool; nothing that
 // escapes a run references them (matches copy termTF values, results copy
-// topk entries).
+// topk entries). When the block came from the cross-query cache, docs/tfs
+// alias the pinned entry ent (released by releaseRun) and the record's own
+// buffers are unused.
 type blockData struct {
 	docs []uint32
 	tfs  []uint32
+	ent  *cache.Entry
 }
 
 var blockDataPool = sync.Pool{New: func() any { return new(blockData) }}
+
+// listState gathers all per-(run, posting-list) bookkeeping behind a single
+// map probe: decoded blocks, metadata-prefetch accounting, and the stream's
+// decode-cycle total (each posting-list stream owns a decompression unit —
+// the paper's intra-query limitation).
+type listState struct {
+	blocks    map[int]*blockData
+	metaSeen  map[int]bool
+	metaCount int
+	cycles    float64
+	decoded   bool // the stream ran its decompression unit at least once
+}
 
 // run tracks the state of one query execution on a BOSS core.
 type run struct {
@@ -138,14 +180,9 @@ type run struct {
 	m   *perf.Metrics
 	sel *topk.ShiftRegisterQueue
 
-	decoders  map[compress.Scheme]*decomp.Module
-	loaded    map[*index.PostingList]map[int]*blockData
-	metaSeen  map[*index.PostingList]map[int]bool
-	metaCount map[*index.PostingList]int
-
-	// Per-stream decode cycle totals; each posting-list stream owns a
-	// decompression unit (the paper's intra-query limitation).
-	decodeCycles map[*index.PostingList]float64
+	decoders map[compress.Scheme]*decomp.Module
+	lists    map[*index.PostingList]*listState
+	lsFree   []*listState // cleared listState records awaiting reuse
 
 	fetchCycles float64
 	mergeCycles float64
@@ -162,7 +199,55 @@ type run struct {
 	active   []*ustream
 	matched  []*ustream
 	terms    []termTF
+
+	// Intersection-path scratch (intersect.go). Match records carve their
+	// term slices out of termArena instead of allocating one tiny []termTF
+	// per matched document; filled chunks retire to termRetired until the
+	// run ends. matchBufs holds one reusable []match per conjunct.
+	termArena   []termTF
+	termRetired [][]termTF
+	matchBufs   [][]match
+	matchBufN   int
+	ordScratch  []*index.PostingList
+	mergePos    []int
 }
+
+// allocTerms carves a zero-length termTF slice with capacity n out of the
+// run's arena. Appending up to n elements writes into the arena; the carved
+// slice stays valid until releaseRun.
+//
+//boss:pool-escapes carved slices live in match records until releaseRun.
+func (r *run) allocTerms(n int) []termTF {
+	if len(r.termArena)+n > cap(r.termArena) {
+		if cap(r.termArena) > 0 {
+			r.termRetired = append(r.termRetired, r.termArena)
+		}
+		c := 2 * cap(r.termArena)
+		if c < 1024 {
+			c = 1024
+		}
+		if c < n {
+			c = n
+		}
+		r.termArena = make([]termTF, 0, c)
+	}
+	base := len(r.termArena)
+	r.termArena = r.termArena[:base+n]
+	return r.termArena[base : base : base+n]
+}
+
+// grabMatchBuf hands out the next reusable match buffer; the caller stores
+// the grown slice back with putMatchBuf so the capacity survives the query.
+func (r *run) grabMatchBuf() (int, []match) {
+	i := r.matchBufN
+	r.matchBufN++
+	if i >= len(r.matchBufs) {
+		r.matchBufs = append(r.matchBufs, nil)
+	}
+	return i, r.matchBufs[i][:0]
+}
+
+func (r *run) putMatchBuf(i int, m []match) { r.matchBufs[i] = m }
 
 // newRun takes a recycled run record (or builds a first one) and readies it
 // for a query.
@@ -172,13 +257,10 @@ func (a *Accelerator) newRun(k, nTerms int) *run {
 	r, ok := a.runs.Get().(*run)
 	if !ok {
 		r = &run{
-			acc:          a,
-			sel:          topk.NewShiftRegister(k),
-			decoders:     make(map[compress.Scheme]*decomp.Module),
-			loaded:       make(map[*index.PostingList]map[int]*blockData),
-			metaSeen:     make(map[*index.PostingList]map[int]bool),
-			metaCount:    make(map[*index.PostingList]int),
-			decodeCycles: make(map[*index.PostingList]float64),
+			acc:      a,
+			sel:      topk.NewShiftRegister(k),
+			decoders: make(map[compress.Scheme]*decomp.Module),
+			lists:    make(map[*index.PostingList]*listState),
 		}
 	}
 	// Metrics escape in the Result, so every run gets a fresh record.
@@ -193,19 +275,41 @@ func (a *Accelerator) newRun(k, nTerms int) *run {
 // per-Accelerator, and reusing a warm module is exactly what keeps decode at
 // zero allocations.
 func (a *Accelerator) releaseRun(r *run) {
-	for _, blocks := range r.loaded {
-		for _, bd := range blocks {
-			// Truncate before pooling: DecodeInto overwrites via [:0] on
-			// reuse, but a recycled block must never expose the previous
-			// query's postings to a future code path that forgets to.
-			bd.docs, bd.tfs = bd.docs[:0], bd.tfs[:0]
+	for _, ls := range r.lists {
+		for _, bd := range ls.blocks {
+			if bd.ent != nil {
+				// Cache-backed block: unpin the entry and drop the aliases —
+				// the slab belongs to the cache, never to the pooled record.
+				a.cache.Release(bd.ent)
+				bd.ent = nil
+				bd.docs, bd.tfs = nil, nil
+			} else {
+				// Truncate before pooling: DecodeInto overwrites via [:0] on
+				// reuse, but a recycled block must never expose the previous
+				// query's postings to a future code path that forgets to.
+				bd.docs, bd.tfs = bd.docs[:0], bd.tfs[:0]
+			}
 			blockDataPool.Put(bd)
 		}
+		clear(ls.blocks)
+		clear(ls.metaSeen)
+		ls.metaCount = 0
+		ls.cycles = 0
+		ls.decoded = false
+		r.lsFree = append(r.lsFree, ls)
 	}
-	clear(r.loaded)
-	clear(r.metaSeen)
-	clear(r.metaCount)
-	clear(r.decodeCycles)
+	clear(r.lists)
+	// Reset the term arena (keeping the newest, largest chunk) and clear the
+	// match buffers so stale match records cannot pin retired arena chunks
+	// or posting lists across queries.
+	r.termArena = r.termArena[:0]
+	clear(r.termRetired)
+	r.termRetired = r.termRetired[:0]
+	for i := range r.matchBufs {
+		b := r.matchBufs[i]
+		clear(b[:cap(b)])
+	}
+	r.matchBufN = 0
 	r.m = nil
 	r.fetchCycles, r.mergeCycles, r.scoreOps, r.topkInserts = 0, 0, 0, 0
 	a.runs.Put(r)
@@ -213,7 +317,18 @@ func (a *Accelerator) releaseRun(r *run) {
 
 // Run executes a query with the given top-k depth.
 func (a *Accelerator) Run(node *query.Node, k int) (Result, error) {
-	conjuncts, lists, err := a.plan(node)
+	if n := node.CountTerms(); n > MaxQueryTerms {
+		return Result{}, fmt.Errorf("core: query has %d terms; hardware handles up to %d (split into subqueries on the host, Section IV-D)", n, MaxQueryTerms)
+	}
+	return a.RunDNF(node.DNF(), k)
+}
+
+// RunDNF executes a query already normalized to disjunctive normal form.
+// Callers that fan one query out to several accelerators (pool.Cluster)
+// normalize once and share the DNF; the term-count limit is the caller's to
+// enforce (Run checks it against the AST).
+func (a *Accelerator) RunDNF(dnf [][]string, k int) (Result, error) {
+	conjuncts, lists, err := a.plan(dnf)
 	if err != nil {
 		return Result{}, err
 	}
@@ -252,12 +367,8 @@ func (a *Accelerator) Run(node *query.Node, k int) (Result, error) {
 	return Result{TopK: results, M: r.m}, nil
 }
 
-// plan converts the AST to DNF over posting lists, checking terms exist.
-func (a *Accelerator) plan(node *query.Node) ([][]*index.PostingList, []*index.PostingList, error) {
-	if n := node.NumTerms(); n > MaxQueryTerms {
-		return nil, nil, fmt.Errorf("core: query has %d terms; hardware handles up to %d (split into subqueries on the host, Section IV-D)", n, MaxQueryTerms)
-	}
-	dnf := node.DNF()
+// plan resolves a DNF's terms to posting lists, checking they exist.
+func (a *Accelerator) plan(dnf [][]string) ([][]*index.PostingList, []*index.PostingList, error) {
 	var conjuncts [][]*index.PostingList
 	seen := make(map[string]*index.PostingList)
 	var lists []*index.PostingList
@@ -293,21 +404,24 @@ func allSingleTerm(conjuncts [][]*index.PostingList) bool {
 // bounds throughput because all stages overlap.
 func (r *run) computeTime() sim.Duration {
 	// Decompression: one unit per stream, at most decompUnits concurrent.
+	// Only streams that actually decoded count toward unit contention (a
+	// list that was examined but never fetched holds no unit).
 	var decode float64
-	if len(r.decodeCycles) <= decompUnits {
-		for _, c := range r.decodeCycles {
-			if c > decode {
-				decode = c
-			}
+	var total, max float64
+	streams := 0
+	for _, ls := range r.lists {
+		if !ls.decoded {
+			continue
 		}
+		streams++
+		total += ls.cycles
+		if ls.cycles > max {
+			max = ls.cycles
+		}
+	}
+	if streams <= decompUnits {
+		decode = max
 	} else {
-		var total, max float64
-		for _, c := range r.decodeCycles {
-			total += c
-			if c > max {
-				max = c
-			}
-		}
 		decode = math.Max(max, total/decompUnits)
 	}
 	units := r.nTerms
@@ -322,26 +436,40 @@ func (r *run) computeTime() sim.Duration {
 	return sim.Duration((stage + pipelineDrain) / clockGHz * float64(sim.Nanosecond))
 }
 
+// stateFor returns (creating on first touch) the run's bookkeeping record
+// for a posting list. Cleared records recycle through lsFree so steady-state
+// queries probe one map and allocate nothing.
+//
+//boss:hotpath one call per (list, pass) on each execution path.
+func (r *run) stateFor(pl *index.PostingList) *listState {
+	ls := r.lists[pl]
+	if ls == nil {
+		if n := len(r.lsFree); n > 0 {
+			ls = r.lsFree[n-1]
+			r.lsFree = r.lsFree[:n-1]
+		} else {
+			ls = &listState{blocks: make(map[int]*blockData), metaSeen: make(map[int]bool)}
+		}
+		r.lists[pl] = ls
+	}
+	return ls
+}
+
 // chargeMeta accounts the sequential metadata read of one examined block
 // (once per block per query).
 //
 //boss:hotpath one call per examined block, skipped or fetched.
-func (r *run) chargeMeta(pl *index.PostingList, b int) {
-	seen := r.metaSeen[pl]
-	if seen == nil {
-		seen = make(map[int]bool)
-		r.metaSeen[pl] = seen
-	}
-	if seen[b] {
+func (r *run) chargeMeta(ls *listState, b int) {
+	if ls.metaSeen[b] {
 		return
 	}
-	seen[b] = true
+	ls.metaSeen[b] = true
 	// The first record of each chunk triggers one streaming prefetch of
 	// metaChunkEntries records.
-	if r.metaCount[pl]%metaChunkEntries == 0 {
+	if ls.metaCount%metaChunkEntries == 0 {
 		r.m.AddSeqRead(metaChunkEntries*index.BlockMetaBytes, mem.CatLoadList)
 	}
-	r.metaCount[pl]++
+	ls.metaCount++
 	r.fetchCycles += blockFetchCycles
 }
 
@@ -372,18 +500,39 @@ func (r *run) decoder(s compress.Scheme) *decomp.Module {
 // decompression module, charging traffic and cycles once per query.
 //
 //boss:hotpath one call per block examined; the per-block decode loop.
-//boss:pool-escapes decoded blocks live in r.loaded until releaseRun pools them.
-func (r *run) fetchBlock(pl *index.PostingList, b int) *blockData {
-	blocks := r.loaded[pl]
-	if blocks == nil {
-		blocks = make(map[int]*blockData)
-		r.loaded[pl] = blocks
-	}
-	if bd, ok := blocks[b]; ok {
+//boss:pool-escapes decoded blocks live in r.lists until releaseRun pools them.
+func (r *run) fetchBlock(ls *listState, pl *index.PostingList, b int) *blockData {
+	if bd, ok := ls.blocks[b]; ok {
 		return bd
 	}
 	meta := pl.Blocks[b]
-	r.chargeMeta(pl, b)
+	r.chargeMeta(ls, b)
+
+	ch := r.acc.cache
+	var ent *cache.Entry
+	if ch != nil {
+		ent = ch.Get(cache.Key{List: pl.ID(), Block: uint32(b)})
+	}
+	if ent != nil && r.acc.opts.ModelDRAMCache {
+		// What-if mode: the modeled device holds decoded hot blocks in its
+		// DRAM tier, so a hit costs one DRAM sequential read of the decoded
+		// form — no SCM traffic, no decompression cycles, and no fetch-
+		// queue hop (the DRAM read hides under the pipeline).
+		r.m.CacheHits++
+		r.m.AddCacheRead(int64(len(ent.Docs())+len(ent.Tfs())) * 4)
+		bd := blockDataPool.Get().(*blockData)
+		bd.ent = ent
+		bd.docs, bd.tfs = ent.Docs(), ent.Tfs()
+		ls.blocks[b] = bd
+		return bd
+	}
+
+	// From here on every simulated charge is identical whether the decoded
+	// form comes from the cache or from a fresh decode: the modeled device
+	// has no DRAM block cache (unless ModelDRAMCache above), so a host-side
+	// hit must replay the SCM fetch, the queue hop, and the decode cycles
+	// the entry recorded at publish time. Only host work is saved.
+	//
 	// BOSS fetches blocks in ascending docID order with look-ahead from
 	// the metadata scan, so even post-skip fetches stream at sequential
 	// bandwidth (Section V-B contrasts this with IIU's random access).
@@ -396,9 +545,41 @@ func (r *run) fetchBlock(pl *index.PostingList, b int) *blockData {
 	}
 	r.m.PostingsDecoded += int64(meta.Count)
 
+	if ent != nil {
+		ls.cycles += float64(ent.Cycles())
+		ls.decoded = true
+		bd := blockDataPool.Get().(*blockData)
+		bd.ent = ent
+		bd.docs, bd.tfs = ent.Docs(), ent.Tfs()
+		ls.blocks[b] = bd
+		return bd
+	}
+
 	payload := pl.Data[meta.Offset : meta.Offset+meta.Length]
 	mod := r.decoder(pl.Scheme)
 	bd := blockDataPool.Get().(*blockData)
+	if ch != nil {
+		// Miss with a cache attached: decode straight into a cache-owned
+		// slab and publish so the next query hits.
+		n := int(meta.Count)
+		e := ch.Reserve(n)
+		docs, used, cyc1, err := mod.DecodeInto(e.DocsBuf(n), payload, n, meta.FirstDoc, true)
+		if err != nil {
+			panic(decodeFailure("decompression", err))
+		}
+		tfs, _, cyc2, err := mod.DecodeInto(e.TfsBuf(n), payload[used:], n, 0, false)
+		if err != nil {
+			panic(decodeFailure("tf decompression", err))
+		}
+		cyc := cyc1 + cyc2
+		ls.cycles += float64(cyc)
+		ls.decoded = true
+		e = ch.Publish(cache.Key{List: pl.ID(), Block: uint32(b)}, e, docs, tfs, int64(cyc))
+		bd.ent = e
+		bd.docs, bd.tfs = e.Docs(), e.Tfs()
+		ls.blocks[b] = bd
+		return bd
+	}
 	docs, used, cyc1, err := mod.DecodeInto(bd.docs[:0], payload, int(meta.Count), meta.FirstDoc, true)
 	if err != nil {
 		panic(decodeFailure("decompression", err))
@@ -407,9 +588,10 @@ func (r *run) fetchBlock(pl *index.PostingList, b int) *blockData {
 	if err != nil {
 		panic(decodeFailure("tf decompression", err))
 	}
-	r.decodeCycles[pl] += float64(cyc1 + cyc2)
+	ls.cycles += float64(cyc1 + cyc2)
+	ls.decoded = true
 	bd.docs, bd.tfs = docs, tfs
-	blocks[b] = bd
+	ls.blocks[b] = bd
 	return bd
 }
 

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"boss/internal/index"
 	"boss/internal/mem"
 	"boss/internal/sim"
@@ -23,8 +21,18 @@ const (
 // IIU). Returns the matched documents with per-term postings, sorted by
 // docID.
 func (r *run) intersect(pls []*index.PostingList) []match {
-	ordered := append([]*index.PostingList(nil), pls...)
-	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].DF < ordered[j].DF })
+	if cap(r.ordScratch) < len(pls) {
+		r.ordScratch = make([]*index.PostingList, len(pls))
+	}
+	ordered := r.ordScratch[:0]
+	ordered = append(ordered, pls...)
+	// Stable insertion sort by DF: conjuncts hold at most MaxQueryTerms
+	// lists, and — unlike sort.SliceStable — this never allocates.
+	for i := 1; i < len(ordered); i++ {
+		for j := i; j > 0 && ordered[j].DF < ordered[j-1].DF; j-- {
+			ordered[j], ordered[j-1] = ordered[j-1], ordered[j]
+		}
+	}
 
 	if len(ordered) == 1 {
 		return r.scanList(ordered[0])
@@ -56,14 +64,20 @@ func (r *run) intersect(pls []*index.PostingList) []match {
 // scanList streams one whole posting list (a single-term conjunct inside a
 // mixed query).
 func (r *run) scanList(pl *index.PostingList) []match {
-	out := make([]match, 0, pl.DF)
+	bi, out := r.grabMatchBuf()
+	ls := r.stateFor(pl)
+	var mc int64
 	for b := range pl.Blocks {
-		bd := r.fetchBlock(pl, b)
+		bd := r.fetchBlock(ls, pl, b)
 		for i := range bd.docs {
-			r.mergeCycles++
-			out = append(out, match{doc: bd.docs[i], terms: []termTF{{pl, bd.tfs[i]}}})
+			mc++
+			terms := r.allocTerms(1)
+			terms = append(terms, termTF{pl, bd.tfs[i]})
+			out = append(out, match{doc: bd.docs[i], terms: terms})
 		}
 	}
+	r.mergeCycles += float64(mc)
+	r.putMatchBuf(bi, out)
 	return out
 }
 
@@ -71,14 +85,23 @@ func (r *run) scanList(pl *index.PostingList) []match {
 // checking: a block loads only if its docID range overlaps the other
 // list's current block (Figure 5(a)).
 func (r *run) firstPass(a, b *index.PostingList) []match {
-	var out []match
+	bufI, out := r.grabMatchBuf()
+	lsA, lsB := r.stateFor(a), r.stateFor(b)
 	i, j := 0, 0
 	var A, B *blockData
 	posA, posB := 0, 0
+	metaA, metaB := -1, -1 // last block charged per list (chargeMeta memo)
+	var mc int64
 	for i < len(a.Blocks) && j < len(b.Blocks) {
 		am, bm := &a.Blocks[i], &b.Blocks[j]
-		r.chargeMeta(a, i)
-		r.chargeMeta(b, j)
+		if i != metaA {
+			r.chargeMeta(lsA, i)
+			metaA = i
+		}
+		if j != metaB {
+			r.chargeMeta(lsB, j)
+			metaB = j
+		}
 		if am.LastDoc < bm.FirstDoc {
 			if A == nil {
 				r.m.BlocksSkipped++
@@ -96,13 +119,13 @@ func (r *run) firstPass(a, b *index.PostingList) []match {
 			continue
 		}
 		if A == nil {
-			A = r.fetchBlock(a, i)
+			A = r.fetchBlock(lsA, a, i)
 		}
 		if B == nil {
-			B = r.fetchBlock(b, j)
+			B = r.fetchBlock(lsB, b, j)
 		}
 		for posA < len(A.docs) && posB < len(B.docs) {
-			r.mergeCycles++
+			mc++
 			da, db := A.docs[posA], B.docs[posB]
 			switch {
 			case da < db:
@@ -110,10 +133,9 @@ func (r *run) firstPass(a, b *index.PostingList) []match {
 			case da > db:
 				posB++
 			default:
-				out = append(out, match{
-					doc:   da,
-					terms: []termTF{{a, A.tfs[posA]}, {b, B.tfs[posB]}},
-				})
+				terms := r.allocTerms(2)
+				terms = append(terms, termTF{a, A.tfs[posA]}, termTF{b, B.tfs[posB]})
+				out = append(out, match{doc: da, terms: terms})
 				posA++
 				posB++
 			}
@@ -127,6 +149,8 @@ func (r *run) firstPass(a, b *index.PostingList) []match {
 			B, posB = nil, 0
 		}
 	}
+	r.mergeCycles += float64(mc)
+	r.putMatchBuf(bufI, out)
 	return out
 }
 
@@ -134,13 +158,22 @@ func (r *run) firstPass(a, b *index.PostingList) []match {
 // list: intermediate docIDs feed the block-fetch module, which loads only
 // blocks containing at least one candidate (Figure 5(b)).
 func (r *run) nextPass(candidates []match, c *index.PostingList) []match {
-	var out []match
+	// Surviving matches compact in place over the candidate slice: at most
+	// one match is written per candidate consumed, and the range loop copies
+	// each candidate out before the write can land on it.
+	out := candidates[:0]
+	lsC := r.stateFor(c)
 	ci := 0
 	var C *blockData
 	posC := 0
+	metaC := -1 // last block charged (chargeMeta memo)
+	var mc int64
 	for _, cand := range candidates {
 		for ci < len(c.Blocks) {
-			r.chargeMeta(c, ci)
+			if ci != metaC {
+				r.chargeMeta(lsC, ci)
+				metaC = ci
+			}
 			if c.Blocks[ci].LastDoc >= cand.doc {
 				break
 			}
@@ -157,20 +190,21 @@ func (r *run) nextPass(candidates []match, c *index.PostingList) []match {
 			continue // candidate falls in a gap: not in the list
 		}
 		if C == nil {
-			C = r.fetchBlock(c, ci)
+			C = r.fetchBlock(lsC, c, ci)
 		}
 		for posC < len(C.docs) && C.docs[posC] < cand.doc {
 			posC++
-			r.mergeCycles++
+			mc++
 		}
-		r.mergeCycles++
+		mc++
 		if posC < len(C.docs) && C.docs[posC] == cand.doc {
-			terms := make([]termTF, 0, len(cand.terms)+1)
+			terms := r.allocTerms(len(cand.terms) + 1)
 			terms = append(terms, cand.terms...)
 			terms = append(terms, termTF{c, C.tfs[posC]})
 			out = append(out, match{doc: cand.doc, terms: terms})
 		}
 	}
+	r.mergeCycles += float64(mc)
 	return out
 }
 
@@ -193,15 +227,23 @@ func (r *run) mixed(conjuncts [][]*index.PostingList) {
 		}
 	}
 	r.mergeCycles += maxMerge
-	r.scoreAll(r.mergeConjuncts(lists))
+	r.mergeConjuncts(lists)
 }
 
 // mergeConjuncts merges sorted conjunct outputs by docID, de-duplicating
 // term contributions so a document matched by several conjuncts is scored
-// once with each distinct term.
-func (r *run) mergeConjuncts(lists [][]match) []match {
-	pos := make([]int, len(lists))
-	var out []match
+// once with each distinct term. Merged documents are scored as they emerge
+// (docID order, same as a materialize-then-scoreAll pass) so the merge
+// never allocates a combined match list.
+func (r *run) mergeConjuncts(lists [][]match) {
+	if cap(r.mergePos) < len(lists) {
+		r.mergePos = make([]int, len(lists))
+	}
+	pos := r.mergePos[:len(lists)]
+	for i := range pos {
+		pos[i] = 0
+	}
+	var mc int64
 	for {
 		best := -1
 		var bestDoc uint32
@@ -214,21 +256,23 @@ func (r *run) mergeConjuncts(lists [][]match) []match {
 			}
 		}
 		if best < 0 {
-			return out
+			r.mergeCycles += float64(mc)
+			return
 		}
-		merged := match{doc: bestDoc}
+		terms := r.terms[:0]
 		for i, l := range lists {
 			if pos[i] < len(l) && l[pos[i]].doc == bestDoc {
 				for _, tt := range l[pos[i]].terms {
-					if !hasTerm(merged.terms, tt.pl) {
-						merged.terms = append(merged.terms, tt)
+					if !hasTerm(terms, tt.pl) {
+						terms = append(terms, tt)
 					}
 				}
 				pos[i]++
-				r.mergeCycles++
+				mc++
 			}
 		}
-		out = append(out, merged)
+		r.terms = terms
+		r.scoreDoc(bestDoc, terms)
 	}
 }
 

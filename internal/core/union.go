@@ -8,12 +8,14 @@ import (
 
 // ustream is one term's posting-list stream inside the union path.
 type ustream struct {
-	pl    *index.PostingList
-	ord   int        // position in the query (keeps score-sum order stable)
-	bi    int        // current block index
-	bd    *blockData // decoded block, nil when not (yet) loaded
-	pos   int        // cursor within bd
-	floor uint32     // docIDs below floor were pruned by interval skipping
+	pl      *index.PostingList
+	ls      *listState // the run's bookkeeping record for pl
+	ord     int        // position in the query (keeps score-sum order stable)
+	bi      int        // current block index
+	bd      *blockData // decoded block, nil when not (yet) loaded
+	pos     int        // cursor within bd
+	floor   uint32     // docIDs below floor were pruned by interval skipping
+	charged int        // last block index charged via chargeMeta (memo)
 }
 
 // curBlock returns the stream's current block metadata, or nil at the end.
@@ -45,7 +47,10 @@ func (r *run) normalize(s *ustream) bool {
 		if blk == nil {
 			return false
 		}
-		r.chargeMeta(s.pl, s.bi)
+		if s.bi != s.charged {
+			r.chargeMeta(s.ls, s.bi)
+			s.charged = s.bi
+		}
 		if s.floor > blk.LastDoc {
 			r.advanceBlock(s)
 			continue
@@ -92,7 +97,7 @@ func (r *run) union(pls []*index.PostingList) {
 	r.ustreams = r.ustreams[:len(pls)]
 	streams := r.streams[:0]
 	for i, pl := range pls {
-		r.ustreams[i] = ustream{pl: pl, ord: i}
+		r.ustreams[i] = ustream{pl: pl, ls: r.stateFor(pl), ord: i, charged: -1}
 		streams = append(streams, &r.ustreams[i])
 	}
 	for {
@@ -168,7 +173,7 @@ func (r *run) union(pls []*index.PostingList) {
 func (r *run) scanInterval(covering []*ustream, lo, hi uint32) {
 	for _, s := range covering {
 		if s.bd == nil {
-			s.bd = r.fetchBlock(s.pl, s.bi)
+			s.bd = r.fetchBlock(s.ls, s.pl, s.bi)
 			s.pos = 0
 			for s.pos < len(s.bd.docs) && s.bd.docs[s.pos] < s.floor {
 				s.pos++
@@ -246,12 +251,14 @@ func (r *run) wandStep(active []*ustream, hi uint32) bool {
 	if pivot < 0 {
 		// Even all lists together cannot beat the cutoff: drain the
 		// interval without scoring anything.
+		var mc int64
 		for _, s := range active {
 			for s.pos < len(s.bd.docs) && s.bd.docs[s.pos] <= hi {
 				s.pos++
-				r.mergeCycles++
+				mc++
 			}
 		}
+		r.mergeCycles += float64(mc)
 		return false
 	}
 	pivotDoc := active[pivot].bd.docs[active[pivot].pos]
@@ -278,12 +285,14 @@ func (r *run) wandStep(active []*ustream, hi uint32) bool {
 		return true
 	}
 	// Otherwise pop documents below the pivot — they cannot win.
+	var mc int64
 	for _, s := range active[:pivot] {
 		for s.pos < len(s.bd.docs) && s.bd.docs[s.pos] < pivotDoc {
 			s.pos++
-			r.mergeCycles++
+			mc++
 		}
 	}
+	r.mergeCycles += float64(mc)
 	return true
 }
 

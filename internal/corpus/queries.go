@@ -128,6 +128,38 @@ func SampleQueries(c *Corpus, t QueryType, n int, seed int64) []Query {
 	return queries
 }
 
+// SampleZipfQueries draws n queries of the given type with term ranks
+// following the corpus's own Zipf popularity (P(rank) ~ rank^-s): the
+// queries hit terms with the frequency real traffic hits them, which is
+// what makes cross-query block reuse representative. Terms within one
+// query are distinct.
+func SampleZipfQueries(c *Corpus, t QueryType, n int, s float64, seed int64) []Query {
+	if len(c.Terms) == 0 {
+		panic("corpus: empty corpus")
+	}
+	if s <= 1 {
+		s = 1.07 // the corpus generator's default term-popularity exponent
+	}
+	rng := rand.New(rand.NewSource(seed ^ int64(t)<<32))
+	zipf := rand.NewZipf(rng, s, 1, uint64(len(c.Terms)-1))
+	queries := make([]Query, n)
+	for i := range queries {
+		k := t.NumTerms()
+		terms := make([]string, 0, k)
+		used := make(map[int]struct{}, k)
+		for len(terms) < k {
+			rank := int(zipf.Uint64())
+			if _, dup := used[rank]; dup {
+				continue
+			}
+			used[rank] = struct{}{}
+			terms = append(terms, c.Terms[rank].Term)
+		}
+		queries[i] = Query{Type: t, Terms: terms, Expr: buildExpr(t, terms)}
+	}
+	return queries
+}
+
 // SampleWorkload draws n queries of each of the six types, mirroring the
 // paper's 100-per-shape TREC sample.
 func SampleWorkload(c *Corpus, perType int, seed int64) map[QueryType][]Query {

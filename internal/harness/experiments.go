@@ -283,7 +283,10 @@ func Fig14(ctx *Context) []*Table {
 // Fig15 regenerates the memory-access breakdown.
 func Fig15(ctx *Context) []*Table {
 	s := ctx.ClueWeb()
-	header := append([]string{"query", "system"}, mem.Categories()...)
+	header := []string{"query", "system"}
+	for _, cat := range mem.Categories() {
+		header = append(header, cat.String())
+	}
 	header = append(header, "total")
 	t := &Table{
 		ID:     "fig15",

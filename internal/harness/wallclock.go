@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"time"
 
+	"boss/internal/cache"
 	"boss/internal/core"
 	"boss/internal/engine"
 	"boss/internal/pool"
@@ -33,10 +34,17 @@ type WallclockReport struct {
 	AccelBatchQPS  float64 `json:"accel_batch_qps"`
 
 	// Pooled-memory cluster: per-query shard fan-out (serial vs parallel)
-	// and the pipelined query batch.
-	ClusterSerialQPS   float64 `json:"cluster_serial_qps"`
-	ClusterParallelQPS float64 `json:"cluster_parallel_qps"`
-	ClusterBatchQPS    float64 `json:"cluster_batch_qps"`
+	// and the pipelined query batch. The batch runs twice — once with the
+	// cross-query decoded-block cache disabled and once with the default
+	// budget — so the report tracks what cross-query block reuse buys.
+	ClusterSerialQPS       float64 `json:"cluster_serial_qps"`
+	ClusterParallelQPS     float64 `json:"cluster_parallel_qps"`
+	ClusterBatchQPS        float64 `json:"cluster_batch_qps"`
+	ClusterBatchNoCacheQPS float64 `json:"cluster_batch_nocache_qps"`
+
+	// Cache snapshots the decoded-block cache counters after the cache-on
+	// batch run: hit rate, bytes served from DRAM, decodes avoided.
+	Cache cache.Stats `json:"cache"`
 }
 
 // wallclockMinDuration is how long each measured loop repeats; long enough
@@ -134,6 +142,17 @@ func Wallclock(ctx *Context, shards int) *WallclockReport {
 			panic(br.Err)
 		}
 	})
+	rep.Cache = cl.CacheStats()
+
+	// Same batch with cross-query block reuse off: every query decodes its
+	// own blocks, like the pre-cache serving path.
+	cl.SetCacheBytes(0)
+	rep.ClusterBatchNoCacheQPS = measureQPS(len(exprs), func() {
+		if br := cl.SearchBatch(exprs, k); br.Err != nil {
+			panic(br.Err)
+		}
+	})
+	cl.SetCacheBytes(pool.DefaultCacheBytes)
 	return rep
 }
 
@@ -152,10 +171,14 @@ func (r *WallclockReport) Table() *Table {
 			{"accelerator", f0(r.AccelSerialQPS), f0(r.AccelBatchQPS)},
 			{fmt.Sprintf("cluster-%dnode", r.Shards), f0(r.ClusterSerialQPS), f0(r.ClusterBatchQPS)},
 			{fmt.Sprintf("cluster-%dnode-fanout", r.Shards), f0(r.ClusterSerialQPS), f0(r.ClusterParallelQPS)},
+			{fmt.Sprintf("cluster-%dnode-nocache", r.Shards), f0(r.ClusterSerialQPS), f0(r.ClusterBatchNoCacheQPS)},
 		},
 		Notes: []string{
 			"wall-clock host throughput (not simulated device latency)",
 			"cluster-fanout row: batch column is per-query parallel shard fan-out",
+			"cluster-nocache row: batch with the decoded-block cache disabled",
+			fmt.Sprintf("block cache: %.1f%% hit rate, %.1f MiB decoded bytes served, %d postings' decode avoided",
+				100*r.Cache.HitRate(), float64(r.Cache.ServedBytes)/(1<<20), r.Cache.ServedPostings),
 		},
 	}
 }

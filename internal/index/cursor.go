@@ -1,6 +1,10 @@
 package index
 
-import "sync"
+import (
+	"sync"
+
+	"boss/internal/cache"
+)
 
 // cursorBuf is the decode scratch one cursor owns: docs/tfs slices sized to
 // a block. Buffers cycle through a sync.Pool so query-rate cursor churn does
@@ -34,6 +38,12 @@ type Cursor struct {
 	pos   int
 	done  bool
 	buf   *cursorBuf // pooled owner of docs/tfs; nil after Release
+
+	// cache, when non-nil, is consulted before every block decode; docs/tfs
+	// then alias the pinned entry ent instead of buf (which stays nil).
+	cache  *cache.Cache
+	ent    *cache.Entry
+	listID uint64
 }
 
 // NewCursor returns a cursor positioned at the first posting of pl.
@@ -46,9 +56,28 @@ func NewCursor(idx *Index, pl *PostingList) *Cursor {
 	return c
 }
 
+// NewCursorCached returns a cursor that consults the decoded-block cache
+// before decoding. Decoded blocks live in cache-owned slabs (the cursor
+// holds at most one pinned entry, released on block advance), so a cached
+// cursor needs no pooled decode buffer. A nil cache degrades to NewCursor.
+func NewCursorCached(idx *Index, pl *PostingList, ch *cache.Cache) *Cursor {
+	if ch == nil {
+		return NewCursor(idx, pl)
+	}
+	c := &Cursor{idx: idx, pl: pl, cache: ch, listID: pl.ID()}
+	c.loadNextBlock()
+	return c
+}
+
 // Release returns the cursor's decode buffers to the shared pool. The
 // cursor must not be used afterwards; Release is idempotent.
 func (c *Cursor) Release() {
+	if c.ent != nil {
+		c.cache.Release(c.ent)
+		c.ent = nil
+		c.docs, c.tfs = nil, nil
+		c.done = true
+	}
 	if c.buf == nil {
 		return
 	}
@@ -62,16 +91,47 @@ func (c *Cursor) Release() {
 // loadNextBlock decodes block c.block and advances the block pointer. Sets
 // done when the list is exhausted.
 func (c *Cursor) loadNextBlock() {
+	if c.ent != nil {
+		// Done with the previous block: unpin it for the evictor.
+		c.cache.Release(c.ent)
+		c.ent = nil
+	}
 	if c.block >= len(c.pl.Blocks) {
 		c.done = true
 		return
 	}
+	// OnBlock fires on cache hits too: the simulated models charge the
+	// block's memory traffic identically whether or not the host process
+	// happened to have the decoded form at hand.
 	if c.OnBlock != nil {
 		c.OnBlock(c.block)
 	}
-	c.docs, c.tfs = c.idx.DecodeBlock(c.pl, c.block, c.docs[:0], c.tfs[:0])
+	if c.cache != nil {
+		c.loadBlockCached()
+	} else {
+		c.docs, c.tfs = c.idx.DecodeBlock(c.pl, c.block, c.docs[:0], c.tfs[:0])
+	}
 	c.block++
 	c.pos = 0
+}
+
+// loadBlockCached serves the current block from the cache, decoding into a
+// cache-owned slab on a miss and publishing for later queries.
+//
+//boss:hotpath the cross-query block reuse path of the software engine.
+func (c *Cursor) loadBlockCached() {
+	k := cache.Key{List: c.listID, Block: uint32(c.block)}
+	if e := c.cache.Get(k); e != nil {
+		c.ent = e
+		c.docs, c.tfs = e.Docs(), e.Tfs()
+		return
+	}
+	n := int(c.pl.Blocks[c.block].Count)
+	e := c.cache.Reserve(n)
+	docs, tfs := c.idx.DecodeBlock(c.pl, c.block, e.DocsBuf(n), e.TfsBuf(n))
+	e = c.cache.Publish(k, e, docs, tfs, 0)
+	c.ent = e
+	c.docs, c.tfs = e.Docs(), e.Tfs()
 }
 
 // Valid reports whether the cursor points at a posting.

@@ -1,0 +1,84 @@
+package index
+
+import (
+	"testing"
+
+	"boss/internal/cache"
+)
+
+// TestCursorCachedEquivalence walks and seeks every posting list with a
+// plain cursor and a cached cursor (twice, so the second pass is all hits)
+// and requires identical postings at every step.
+func TestCursorCachedEquivalence(t *testing.T) {
+	c := testCorpus(t)
+	idx := buildHybrid(t, c)
+	ch := cache.New(8 << 20)
+
+	terms := idx.Terms()
+	if len(terms) > 60 {
+		terms = terms[:60]
+	}
+	for pass := 0; pass < 2; pass++ {
+		for _, term := range terms {
+			pl := idx.Lists[term]
+			a := NewCursor(idx, pl)
+			b := NewCursorCached(idx, pl, ch)
+			step := 0
+			for a.Valid() {
+				if !b.Valid() {
+					t.Fatalf("pass %d term %s step %d: cached cursor exhausted early", pass, term, step)
+				}
+				if a.Doc() != b.Doc() || a.TF() != b.TF() {
+					t.Fatalf("pass %d term %s step %d: (%d,%d) != cached (%d,%d)",
+						pass, term, step, a.Doc(), a.TF(), b.Doc(), b.TF())
+				}
+				a.Next()
+				b.Next()
+				step++
+			}
+			if b.Valid() {
+				t.Fatalf("pass %d term %s: cached cursor has extra postings", pass, term)
+			}
+			a.Release()
+			b.Release()
+
+			// Seek path: jump by strides through the list on both cursors.
+			a = NewCursor(idx, pl)
+			b = NewCursorCached(idx, pl, ch)
+			last := pl.Blocks[len(pl.Blocks)-1].LastDoc
+			for target := uint32(0); target <= last; target += last/7 + 1 {
+				okA := a.SeekGEQ(target)
+				okB := b.SeekGEQ(target)
+				if okA != okB {
+					t.Fatalf("pass %d term %s seek %d: ok %v != cached %v", pass, term, target, okA, okB)
+				}
+				if okA && (a.Doc() != b.Doc() || a.TF() != b.TF()) {
+					t.Fatalf("pass %d term %s seek %d: (%d,%d) != cached (%d,%d)",
+						pass, term, target, a.Doc(), a.TF(), b.Doc(), b.TF())
+				}
+			}
+			a.Release()
+			b.Release()
+		}
+	}
+	st := ch.Stats()
+	if st.Hits == 0 {
+		t.Fatal("second pass produced no cache hits")
+	}
+	if st.PinnedEntries != 0 {
+		t.Fatalf("%d entries still pinned after all cursors released", st.PinnedEntries)
+	}
+}
+
+// TestCursorCachedNilCache checks the nil-cache constructor degrades to the
+// pooled-buffer cursor.
+func TestCursorCachedNilCache(t *testing.T) {
+	c := testCorpus(t)
+	idx := buildHybrid(t, c)
+	pl := idx.Lists[idx.Terms()[0]]
+	cur := NewCursorCached(idx, pl, nil)
+	if cur.cache != nil || cur.buf == nil {
+		t.Fatal("nil cache should produce a plain pooled-buffer cursor")
+	}
+	cur.Release()
+}

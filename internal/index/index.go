@@ -13,6 +13,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"boss/internal/compress"
 	"boss/internal/corpus"
@@ -58,6 +59,24 @@ type PostingList struct {
 	// codec is the Scheme's codec, resolved once at build/load time so the
 	// per-block decode path skips the scheme dispatch.
 	codec compress.Codec
+
+	// id is the list's process-wide identity, used as the decoded-block
+	// cache key so the cache package needs no reference to index types.
+	// Assigned at build/load time; lazily for hand-constructed test lists.
+	id atomic.Uint64
+}
+
+// nextListID hands out process-wide posting-list identities (0 is reserved
+// for "unassigned").
+var nextListID atomic.Uint64
+
+// ID returns the list's process-unique identity for cache keying.
+func (pl *PostingList) ID() uint64 {
+	if id := pl.id.Load(); id != 0 {
+		return id
+	}
+	pl.id.CompareAndSwap(0, nextListID.Add(1))
+	return pl.id.Load()
 }
 
 // Codec returns the list's codec, resolving (and caching) it on first use.
@@ -200,6 +219,7 @@ func Build(c *corpus.Corpus, opts BuildOptions) *Index {
 
 	var addr uint64
 	for i, pl := range built {
+		pl.id.Store(nextListID.Add(1))
 		pl.BaseAddr = addr
 		addr += uint64(len(pl.Data)) + uint64(pl.MetadataBytes())
 		idx.Lists[c.Terms[i].Term] = pl

@@ -107,6 +107,7 @@ func Read(r io.Reader) (*Index, error) {
 			return nil, fmt.Errorf("index: list %d term: %w", i, err)
 		}
 		pl := &PostingList{Term: string(termBytes)}
+		pl.id.Store(nextListID.Add(1))
 		var scheme uint8
 		var df, numBlocks, dataLen uint32
 		read(&scheme)

@@ -88,13 +88,13 @@ func (m *MAI) Node() *Node { return m.node }
 func (m *MAI) TLB() *TLB { return m.tlb }
 
 // Read translates and issues a read, returning completion time.
-func (m *MAI) Read(at sim.Time, addr uint64, size int, pattern Pattern, category string) sim.Time {
+func (m *MAI) Read(at sim.Time, addr uint64, size int, pattern Pattern, category Category) sim.Time {
 	at += m.tlb.Lookup(addr)
 	return m.node.Read(at, addr, size, pattern, category)
 }
 
 // Write translates and issues a write, returning completion time.
-func (m *MAI) Write(at sim.Time, addr uint64, size int, category string) sim.Time {
+func (m *MAI) Write(at sim.Time, addr uint64, size int, category Category) sim.Time {
 	at += m.tlb.Lookup(addr)
 	return m.node.Write(at, addr, size, category)
 }

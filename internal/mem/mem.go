@@ -35,19 +35,48 @@ func (p Pattern) String() string {
 	return "rand"
 }
 
-// Traffic category names, matching Figure 15's memory-access breakdown.
+// Category tags device traffic for Figure 15's memory-access breakdown. A
+// small integer (not a string) so the per-block/per-document charging in
+// the engines indexes a fixed array instead of hashing into a map — the
+// accounting is on every model's hottest path.
+type Category uint8
+
+// Traffic categories, matching Figure 15's memory-access breakdown.
 const (
-	CatLoadList    = "LD List"   // posting-list block loads
-	CatLoadInter   = "LD Inter"  // intermediate-result loads
-	CatStoreInter  = "ST Inter"  // intermediate-result stores
-	CatLoadScore   = "LD Score"  // per-document scoring metadata loads
-	CatStoreResult = "ST Result" // result stores (to host-visible memory)
-	CatLoadMeta    = "LD Meta"   // block metadata loads
+	CatLoadList    Category = iota // posting-list block loads
+	CatLoadInter                   // intermediate-result loads
+	CatStoreInter                  // intermediate-result stores
+	CatLoadScore                   // per-document scoring metadata loads
+	CatStoreResult                 // result stores (to host-visible memory)
+	CatLoadMeta                    // block metadata loads
+
+	// NumCategories sizes per-category accounting arrays.
+	NumCategories
 )
 
+// String returns the paper's display name for the category.
+func (c Category) String() string {
+	switch c {
+	case CatLoadList:
+		return "LD List"
+	case CatLoadInter:
+		return "LD Inter"
+	case CatStoreInter:
+		return "ST Inter"
+	case CatLoadScore:
+		return "LD Score"
+	case CatStoreResult:
+		return "ST Result"
+	case CatLoadMeta:
+		return "LD Meta"
+	default:
+		return "?"
+	}
+}
+
 // Categories lists the Figure 15 categories in display order.
-func Categories() []string {
-	return []string{CatLoadList, CatLoadInter, CatStoreInter, CatLoadScore, CatStoreResult}
+func Categories() []Category {
+	return []Category{CatLoadList, CatLoadInter, CatStoreInter, CatLoadScore, CatStoreResult}
 }
 
 // Config describes one memory device type attached to a node.
@@ -172,7 +201,7 @@ func (n *Node) transferTime(size int, gbs float64) sim.Duration {
 // Read performs a read of size bytes at addr starting no earlier than `at`,
 // returning the completion time. pattern selects the bandwidth class;
 // category attributes the traffic for Figure 15-style breakdowns.
-func (n *Node) Read(at sim.Time, addr uint64, size int, pattern Pattern, category string) sim.Time {
+func (n *Node) Read(at sim.Time, addr uint64, size int, pattern Pattern, category Category) sim.Time {
 	if size <= 0 {
 		return at
 	}
@@ -191,7 +220,7 @@ func (n *Node) Read(at sim.Time, addr uint64, size int, pattern Pattern, categor
 }
 
 // Write performs a write of size bytes at addr, returning completion time.
-func (n *Node) Write(at sim.Time, addr uint64, size int, category string) sim.Time {
+func (n *Node) Write(at sim.Time, addr uint64, size int, category Category) sim.Time {
 	if size <= 0 {
 		return at
 	}
@@ -201,9 +230,9 @@ func (n *Node) Write(at sim.Time, addr uint64, size int, category string) sim.Ti
 	return done + n.cfg.WriteLatency
 }
 
-func (n *Node) account(category string, size int, read bool) {
-	n.stats.Add(category+" bytes", int64(size))
-	n.stats.Add(category+" accesses", 1)
+func (n *Node) account(category Category, size int, read bool) {
+	n.stats.Add(category.String()+" bytes", int64(size))
+	n.stats.Add(category.String()+" accesses", 1)
 	if read {
 		n.stats.Add("read bytes", int64(size))
 	} else {
@@ -262,13 +291,13 @@ func NewLink(gbs float64) *Link {
 
 // Transfer moves size bytes across the link starting no earlier than `at`,
 // returning the completion time.
-func (l *Link) Transfer(at sim.Time, size int, category string) sim.Time {
+func (l *Link) Transfer(at sim.Time, size int, category Category) sim.Time {
 	if size <= 0 {
 		return at
 	}
 	d := sim.FromSeconds(float64(size) / (l.gbs * 1e9))
 	done := l.res.Acquire(at, d)
-	l.stats.Add(category+" bytes", int64(size))
+	l.stats.Add(category.String()+" bytes", int64(size))
 	l.stats.Add("bytes", int64(size))
 	return done
 }

@@ -46,8 +46,8 @@ func TestRandomReadRoundsToGranularity(t *testing.T) {
 		t.Fatalf("4B random read (%d) should cost the same as 256B (%d)", done4, done256)
 	}
 	// But accounting records the requested 4 bytes.
-	if n.Stats().Get(CatLoadScore+" bytes") != 4 {
-		t.Fatalf("accounted %d bytes", n.Stats().Get(CatLoadScore+" bytes"))
+	if n.Stats().Get(CatLoadScore.String()+" bytes") != 4 {
+		t.Fatalf("accounted %d bytes", n.Stats().Get(CatLoadScore.String()+" bytes"))
 	}
 }
 
@@ -124,10 +124,10 @@ func TestNodeAccounting(t *testing.T) {
 	n.Read(0, 0, 1000, Sequential, CatLoadList)
 	n.Read(0, 0, 500, Random, CatLoadScore)
 	n.Write(0, 0, 200, CatStoreResult)
-	if got := n.Stats().Get(CatLoadList + " bytes"); got != 1000 {
+	if got := n.Stats().Get(CatLoadList.String() + " bytes"); got != 1000 {
 		t.Fatalf("LD List bytes = %d", got)
 	}
-	if got := n.Stats().Get(CatLoadScore + " accesses"); got != 1 {
+	if got := n.Stats().Get(CatLoadScore.String() + " accesses"); got != 1 {
 		t.Fatalf("LD Score accesses = %d", got)
 	}
 	if got := n.TotalBytes(); got != 1700 {
@@ -229,7 +229,7 @@ func TestMAIChargesTLBAndMemory(t *testing.T) {
 	}
 	// Writes also flow through the MAI.
 	mai.Write(warm, 0, 64, CatStoreResult)
-	if node.Stats().Get(CatStoreResult+" bytes") != 64 {
+	if node.Stats().Get(CatStoreResult.String()+" bytes") != 64 {
 		t.Fatal("MAI write not accounted")
 	}
 }

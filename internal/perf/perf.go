@@ -37,11 +37,13 @@ type Metrics struct {
 	HostBytes int64
 	// ComputeTime is the engine's pipeline/CPU busy time for the query.
 	ComputeTime sim.Duration
-	// Cat breaks device traffic down by Figure 15 category (bytes).
-	Cat map[string]int64
+	// Cat breaks device traffic down by Figure 15 category (bytes). A fixed
+	// array indexed by mem.Category: the engines charge every block and
+	// every scored document here, so the accounting must not hash.
+	Cat [mem.NumCategories]int64
 	// CatAcc counts device accesses per category (Figure 15 plots access
 	// counts; block loads, line fills and spill bursts each count once).
-	CatAcc map[string]int64
+	CatAcc [mem.NumCategories]int64
 
 	// Work counters for Figure 14-style analyses.
 	BlocksFetched    int64
@@ -49,15 +51,25 @@ type Metrics struct {
 	DocsEvaluated    int64
 	PostingsDecoded  int64
 	MembershipProbes int64
+
+	// CacheHits and CacheSeqReadBytes model the what-if DRAM block cache
+	// (core.Options.ModelDRAMCache): blocks served decoded out of the
+	// device's DRAM tier, charged at DRAM sequential bandwidth instead of
+	// SCM. Both stay zero with the flag off, so every reproduction figure
+	// is unaffected by the host-side cache.
+	CacheHits         int64
+	CacheSeqReadBytes int64
 }
 
 // NewMetrics returns an empty metrics record.
 func NewMetrics() *Metrics {
-	return &Metrics{Cat: make(map[string]int64), CatAcc: make(map[string]int64)}
+	return &Metrics{}
 }
 
 // AddSeqRead charges size bytes of sequential device reads to category.
-func (m *Metrics) AddSeqRead(size int64, category string) {
+//
+//boss:hotpath one call per fetched block and per scored document.
+func (m *Metrics) AddSeqRead(size int64, category mem.Category) {
 	m.SeqReadBytes += size
 	m.Cat[category] += size
 	m.CatAcc[category]++
@@ -65,7 +77,7 @@ func (m *Metrics) AddSeqRead(size int64, category string) {
 
 // AddRandRead charges one random device read of size bytes to category.
 // dependent marks reads serialized by data dependencies.
-func (m *Metrics) AddRandRead(size int64, category string, dependent bool) {
+func (m *Metrics) AddRandRead(size int64, category mem.Category, dependent bool) {
 	m.RandReadBytes += size
 	m.RandAccesses++
 	if dependent {
@@ -76,7 +88,7 @@ func (m *Metrics) AddRandRead(size int64, category string, dependent bool) {
 }
 
 // AddWrite charges size bytes of device writes to category.
-func (m *Metrics) AddWrite(size int64, category string) {
+func (m *Metrics) AddWrite(size int64, category mem.Category) {
 	m.WriteBytes += size
 	m.Cat[category] += size
 	m.CatAcc[category]++
@@ -84,17 +96,27 @@ func (m *Metrics) AddWrite(size int64, category string) {
 
 // AddHost charges size bytes over the host interconnect (also recorded
 // under category for breakdowns).
-func (m *Metrics) AddHost(size int64, category string) {
+func (m *Metrics) AddHost(size int64, category mem.Category) {
 	m.HostBytes += size
 }
 
 // AddHostWrite records a result store that crosses the interconnect into
 // host memory: it appears in the category breakdown and in link traffic,
 // but does not occupy the local device's channels.
-func (m *Metrics) AddHostWrite(size int64, category string) {
+func (m *Metrics) AddHostWrite(size int64, category mem.Category) {
 	m.HostBytes += size
 	m.Cat[category] += size
 	m.CatAcc[category]++
+}
+
+// AddCacheRead charges size bytes served decoded from the modeled DRAM
+// block cache (ModelDRAMCache hits). DRAM traffic occupies its own
+// channels, so it is kept out of the SCM byte counters and priced
+// separately by MemOccupancy.
+func (m *Metrics) AddCacheRead(size int64) {
+	m.CacheSeqReadBytes += size
+	m.Cat[mem.CatLoadList] += size
+	m.CatAcc[mem.CatLoadList]++
 }
 
 // AddCompute adds pipeline/CPU busy time.
@@ -115,6 +137,8 @@ func (m *Metrics) Merge(other *Metrics) {
 	m.DocsEvaluated += other.DocsEvaluated
 	m.PostingsDecoded += other.PostingsDecoded
 	m.MembershipProbes += other.MembershipProbes
+	m.CacheHits += other.CacheHits
+	m.CacheSeqReadBytes += other.CacheSeqReadBytes
 	for k, v := range other.Cat {
 		m.Cat[k] += v
 	}
@@ -141,6 +165,8 @@ func (m *Metrics) Scale(n int64) {
 	m.DocsEvaluated /= n
 	m.PostingsDecoded /= n
 	m.MembershipProbes /= n
+	m.CacheHits /= n
+	m.CacheSeqReadBytes /= n
 	for k := range m.Cat {
 		m.Cat[k] /= n
 	}
@@ -169,6 +195,12 @@ func (m *Metrics) MemOccupancy(cfg mem.Config) sim.Duration {
 	secs := float64(m.SeqReadBytes)/(cfg.SeqReadGBs*1e9) +
 		randEffective/(cfg.RandReadGBs*1e9) +
 		float64(m.WriteBytes)/(cfg.WriteGBs*1e9)
+	if m.CacheSeqReadBytes > 0 {
+		// Modeled DRAM block-cache hits stream from the DRAM tier, which
+		// has its own channels; they only matter when DRAM becomes the
+		// bottleneck, so charge them at DRAM sequential bandwidth.
+		secs += float64(m.CacheSeqReadBytes) / (mem.DRAM().SeqReadGBs * 1e9)
+	}
 	return sim.FromSeconds(secs)
 }
 

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 
+	"boss/internal/cache"
 	"boss/internal/compress"
 	"boss/internal/core"
 	"boss/internal/corpus"
@@ -30,6 +31,13 @@ type Cluster struct {
 	// present is the cluster-level term-presence set, built once so query
 	// validation does not rescan every shard's dictionary per term.
 	present map[string]struct{}
+	// shardTerms[si] is shard si's term-presence set, built once so the
+	// query path prunes with map probes instead of re-deriving a presence
+	// closure from the shard dictionary on every Search.
+	shardTerms []map[string]struct{}
+	// cache is the cross-query decoded-block cache shared by every shard's
+	// wall-clock accelerator (nil when Config.CacheBytes <= 0).
+	cache *cache.Cache
 }
 
 // NewCluster partitions the corpus into `shards` docID intervals and builds
@@ -47,7 +55,7 @@ func NewCluster(cfg Config, c *corpus.Corpus, shards int) *Cluster {
 		gs.DF[c.Terms[i].Term] = len(c.Terms[i].Postings)
 	}
 
-	cl := &Cluster{cfg: cfg}
+	cl := &Cluster{cfg: cfg, cache: cache.New(cfg.CacheBytes)}
 	per := (c.Spec.NumDocs + shards - 1) / shards
 	for s := 0; s < shards; s++ {
 		lo := s * per
@@ -62,15 +70,40 @@ func NewCluster(cfg Config, c *corpus.Corpus, shards int) *Cluster {
 		idx := index.Build(sc, index.BuildOptions{Scheme: compress.SchemeHybrid, Global: gs})
 		cl.shards = append(cl.shards, idx)
 		cl.offsets = append(cl.offsets, uint32(lo))
-		cl.accs = append(cl.accs, core.New(idx, cfg.Opts))
+		// All shards share one cache: posting-list identities are process-
+		// wide, so keys never collide across shards, and a shared budget
+		// follows the workload's skew instead of splitting it evenly.
+		cl.accs = append(cl.accs, core.NewCached(idx, cfg.Opts, cl.cache))
 	}
 	cl.present = make(map[string]struct{}, len(c.Terms))
-	for _, idx := range cl.shards {
+	cl.shardTerms = make([]map[string]struct{}, len(cl.shards))
+	for si, idx := range cl.shards {
+		terms := make(map[string]struct{}, len(idx.Lists))
 		for term := range idx.Lists {
+			terms[term] = struct{}{}
 			cl.present[term] = struct{}{}
 		}
+		cl.shardTerms[si] = terms
 	}
 	return cl
+}
+
+// Cache returns the cluster's decoded-block cache, or nil when disabled.
+func (cl *Cluster) Cache() *cache.Cache { return cl.cache }
+
+// CacheStats snapshots the cluster cache's counters (zero value when the
+// cache is disabled).
+func (cl *Cluster) CacheStats() cache.Stats { return cl.cache.Stats() }
+
+// SetCacheBytes replaces the cluster's decoded-block cache with one of the
+// given budget (<= 0 disables caching). Not safe concurrently with queries;
+// meant for setup time and benchmark toggling.
+func (cl *Cluster) SetCacheBytes(budget int64) {
+	cl.cfg.CacheBytes = budget
+	cl.cache = cache.New(budget)
+	for _, acc := range cl.accs {
+		acc.SetCache(cl.cache)
+	}
 }
 
 // shardCorpus extracts the docID interval [lo, hi) with docIDs remapped to
@@ -106,33 +139,53 @@ func (cl *Cluster) Shards() int { return len(cl.shards) }
 // pruneForShard rewrites a query for a shard where some terms may be
 // absent: a conjunction containing an absent term matches nothing; a
 // disjunction drops absent branches. Returns nil when the shard cannot
-// match anything.
-func pruneForShard(node *query.Node, has func(string) bool) *query.Node {
+// match anything. has is the shard's presence set from Cluster.shardTerms,
+// built once at construction.
+func pruneForShard(node *query.Node, has map[string]struct{}) *query.Node {
 	switch node.Op {
 	case query.OpTerm:
-		if has(node.Term) {
+		if _, ok := has[node.Term]; ok {
 			return node
 		}
 		return nil
 	case query.OpAnd:
 		kept := make([]*query.Node, 0, len(node.Children))
+		changed := false
 		for _, c := range node.Children {
 			p := pruneForShard(c, has)
 			if p == nil {
 				return nil // one empty operand empties the conjunction
 			}
+			if p != c {
+				changed = true
+			}
 			kept = append(kept, p)
+		}
+		if !changed {
+			// Nothing pruned: hand back the original node so the caller can
+			// recognize the query survived intact and reuse its shared DNF.
+			return node
 		}
 		return query.And(kept...)
 	case query.OpOr:
 		kept := make([]*query.Node, 0, len(node.Children))
+		changed := false
 		for _, c := range node.Children {
-			if p := pruneForShard(c, has); p != nil {
-				kept = append(kept, p)
+			p := pruneForShard(c, has)
+			if p == nil {
+				changed = true
+				continue
 			}
+			if p != c {
+				changed = true
+			}
+			kept = append(kept, p)
 		}
 		if len(kept) == 0 {
 			return nil
+		}
+		if !changed {
+			return node
 		}
 		return query.Or(kept...)
 	default:
@@ -161,12 +214,25 @@ func (cl *Cluster) validate(expr string) (*query.Node, error) {
 	if err != nil {
 		return nil, err
 	}
+	if n := node.CountTerms(); n > core.MaxQueryTerms {
+		return nil, fmt.Errorf("pool: query has %d terms; hardware handles up to %d", n, core.MaxQueryTerms)
+	}
 	for _, term := range node.Terms() {
 		if _, ok := cl.present[term]; !ok {
 			return nil, fmt.Errorf("pool: term %q not indexed on any shard", term)
 		}
 	}
 	return node, nil
+}
+
+// prepare validates the expression and normalizes it to DNF once, so the
+// per-shard runs share one normalization instead of re-deriving it.
+func (cl *Cluster) prepare(expr string) (*query.Node, [][]string, error) {
+	node, err := cl.validate(expr)
+	if err != nil {
+		return nil, nil, err
+	}
+	return node, node.DNF(), nil
 }
 
 // workers resolves the host-side fan-out width: cfg.Workers, capped at n,
@@ -194,13 +260,17 @@ type shardOut struct {
 
 // runShard executes the query on one shard, pruning terms the shard does
 // not hold. A nil-metrics result means the shard cannot match the query.
-func (cl *Cluster) runShard(node *query.Node, si, k int) shardOut {
-	idx := cl.shards[si]
-	pruned := pruneForShard(node, func(t string) bool { return idx.List(t) != nil })
+// dnf is the query's shared normalization; it applies whenever pruning left
+// the query intact (the common case — hot terms exist on every shard).
+func (cl *Cluster) runShard(node *query.Node, dnf [][]string, si, k int) shardOut {
+	pruned := pruneForShard(node, cl.shardTerms[si])
 	if pruned == nil {
 		return shardOut{}
 	}
-	out, err := cl.accs[si].Run(pruned, k)
+	if pruned != node {
+		dnf = pruned.DNF()
+	}
+	out, err := cl.accs[si].RunDNF(dnf, k)
 	if err != nil {
 		return shardOut{err: fmt.Errorf("pool: shard %d: %w", si, err)}
 	}
@@ -235,7 +305,7 @@ func (cl *Cluster) mergeShardOuts(outs []shardOut, k int) (*ClusterResult, error
 // GOMAXPROCS); results are bit-identical to SearchSerial because per-shard
 // execution is independent and the root merge preserves shard order.
 func (cl *Cluster) Search(expr string, k int) (*ClusterResult, error) {
-	node, err := cl.validate(expr)
+	node, dnf, err := cl.prepare(expr)
 	if err != nil {
 		return nil, err
 	}
@@ -243,7 +313,7 @@ func (cl *Cluster) Search(expr string, k int) (*ClusterResult, error) {
 	workers := cl.workers(len(cl.shards))
 	if workers == 1 {
 		for si := range cl.shards {
-			outs[si] = cl.runShard(node, si, k)
+			outs[si] = cl.runShard(node, dnf, si, k)
 		}
 		return cl.mergeShardOuts(outs, k)
 	}
@@ -254,7 +324,7 @@ func (cl *Cluster) Search(expr string, k int) (*ClusterResult, error) {
 		go func() {
 			defer wg.Done()
 			for si := range next {
-				outs[si] = cl.runShard(node, si, k)
+				outs[si] = cl.runShard(node, dnf, si, k)
 			}
 		}()
 	}
@@ -270,13 +340,13 @@ func (cl *Cluster) Search(expr string, k int) (*ClusterResult, error) {
 // the reference implementation the parallel path is tested against, and the
 // baseline the wall-clock benchmarks compare to.
 func (cl *Cluster) SearchSerial(expr string, k int) (*ClusterResult, error) {
-	node, err := cl.validate(expr)
+	node, dnf, err := cl.prepare(expr)
 	if err != nil {
 		return nil, err
 	}
 	outs := make([]shardOut, len(cl.shards))
 	for si := range cl.shards {
-		outs[si] = cl.runShard(node, si, k)
+		outs[si] = cl.runShard(node, dnf, si, k)
 		if outs[si].err != nil {
 			break // match the parallel path: first shard error wins
 		}
@@ -357,7 +427,7 @@ func (cl *Cluster) RunBatch(exprs []string, gap sim.Duration, cfg Config) (*Clus
 		}
 		at := sim.Time(qi) * gap
 		for si, d := range devices {
-			pruned := pruneForShard(node, func(t string) bool { return cl.shards[si].List(t) != nil })
+			pruned := pruneForShard(node, cl.shardTerms[si])
 			if pruned == nil {
 				continue
 			}

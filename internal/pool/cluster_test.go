@@ -134,7 +134,7 @@ func TestClusterLinkTrafficIsPerShardTopK(t *testing.T) {
 }
 
 func TestPruneForShard(t *testing.T) {
-	has := func(t string) bool { return t == "a" || t == "b" }
+	has := map[string]struct{}{"a": {}, "b": {}}
 	cases := []struct {
 		expr string
 		want string // "" means pruned to nothing

@@ -37,16 +37,29 @@ type Config struct {
 	// shard fan-out and Cluster.SearchBatch uses to pipeline queries
 	// (0 = GOMAXPROCS). It does not affect the simulated device models.
 	Workers int
+	// CacheBytes is the byte budget of the cluster's cross-query decoded-
+	// block cache, shared by all shards' wall-clock accelerators (Search/
+	// SearchSerial/SearchBatch). <= 0 disables the cache. It never touches
+	// the event-driven simulated Device (RunBatch), whose modeled figures
+	// must not depend on host-side caching.
+	CacheBytes int64
 }
 
+// DefaultCacheBytes is the default decoded-block cache budget for wall-
+// clock serving: 64 MiB comfortably holds the hot Zipf head of the
+// harness corpora without approaching the index's own footprint.
+const DefaultCacheBytes = 64 << 20
+
 // DefaultConfig is the paper's node: 8 cores over SCM, one CXL-class link.
+// Wall-clock serving APIs get the decoded-block cache by default.
 func DefaultConfig() Config {
 	return Config{
-		Cores:   8,
-		Mem:     mem.SCM(),
-		LinkGBs: mem.DefaultLinkGBs,
-		K:       core.DefaultK,
-		Opts:    core.DefaultOptions(),
+		Cores:      8,
+		Mem:        mem.SCM(),
+		LinkGBs:    mem.DefaultLinkGBs,
+		K:          core.DefaultK,
+		Opts:       core.DefaultOptions(),
+		CacheBytes: DefaultCacheBytes,
 	}
 }
 

@@ -75,6 +75,20 @@ func (n *Node) walk(fn func(*Node)) {
 // NumTerms reports the number of term occurrences.
 func (n *Node) NumTerms() int { return len(n.Terms()) }
 
+// CountTerms reports the number of term occurrences without materializing
+// them (NumTerms allocates the term slice; the serving path calls this once
+// per query per shard).
+func (n *Node) CountTerms() int {
+	c := 0
+	if n.Op == OpTerm {
+		c = 1
+	}
+	for _, child := range n.Children {
+		c += child.CountTerms()
+	}
+	return c
+}
+
 // String renders the expression in the API syntax with minimal parentheses
 // (AND binds tighter than OR).
 func (n *Node) String() string {

@@ -10,7 +10,6 @@
 package topk
 
 import (
-	"container/heap"
 	"math"
 	"sort"
 )
@@ -62,32 +61,55 @@ func NewHeap(k int) Selector {
 	return &heapSelector{k: k}
 }
 
+// entryHeap is a min-heap by rank: the *worst* entry is at the root. The
+// sift operations are open-coded rather than going through container/heap —
+// its interface{} methods box every Entry pushed, and Insert runs once per
+// scored document on the serving path.
 type entryHeap []Entry
 
-func (h entryHeap) Len() int { return len(h) }
-func (h entryHeap) Less(i, j int) bool {
-	// Min-heap by rank: the *worst* entry is at the root.
-	return less(h[j], h[i])
-}
-func (h entryHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *entryHeap) Push(x interface{}) { *h = append(*h, x.(Entry)) }
-func (h *entryHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+// worse reports whether h[i] ranks strictly worse than h[j].
+func (h entryHeap) worse(i, j int) bool { return less(h[j], h[i]) }
+
+func (h entryHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.worse(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
 }
 
+func (h entryHeap) down(i int) {
+	n := len(h)
+	for {
+		worst := i
+		if l := 2*i + 1; l < n && h.worse(l, worst) {
+			worst = l
+		}
+		if r := 2*i + 2; r < n && h.worse(r, worst) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		h[i], h[worst] = h[worst], h[i]
+		i = worst
+	}
+}
+
+//boss:hotpath one call per scored document on the software serving path.
 func (s *heapSelector) Insert(docID uint32, score float64) {
 	e := Entry{DocID: docID, Score: score}
 	if len(s.entries) < s.k {
-		heap.Push(&s.entries, e)
+		s.entries = append(s.entries, e)
+		s.entries.up(len(s.entries) - 1)
 		return
 	}
 	if less(e, s.entries[0]) {
 		s.entries[0] = e
-		heap.Fix(&s.entries, 0)
+		s.entries.down(0)
 	}
 }
 
@@ -154,6 +176,13 @@ func (q *ShiftRegisterQueue) Reset(k int) {
 func (q *ShiftRegisterQueue) Insert(docID uint32, score float64) {
 	q.inserts++
 	e := Entry{DocID: docID, Score: score}
+	// Fast reject: a full queue whose tail outranks e cannot admit it. This
+	// is exactly the binary search landing at pos == len(q.slots), so no
+	// shift count or slot state changes — it just skips the O(log k) probe
+	// for the overwhelmingly common below-threshold case.
+	if len(q.slots) == q.k && !less(e, q.slots[q.k-1]) {
+		return
+	}
 	// Find insertion point: the first slot that e outranks. Open-coded
 	// binary search rather than sort.Search — the closure the latter takes
 	// is an allocation hazard the hot path must not rely on escape
