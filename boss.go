@@ -24,6 +24,7 @@
 package boss
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -199,6 +200,10 @@ type BatchItem struct {
 	Stats *SimStats
 	// Err reports why this query failed (parse error, unknown term, ...).
 	Err error
+	// Degraded, on the resilient sharded paths (SearchBatchCtx), is a
+	// bitmask of memory nodes whose shard results are missing from Hits;
+	// zero means the result is complete. Always zero elsewhere.
+	Degraded uint64
 }
 
 // SearchBatch runs many queries concurrently on the software engine (one
@@ -422,8 +427,9 @@ type ShardedIndex struct {
 }
 
 // Shard builds a sharded deployment of a synthetic corpus over the given
-// number of memory nodes.
-func Shard(kind SyntheticKind, scale float64, nodes int) *ShardedIndex {
+// number of memory nodes. An unknown corpus kind or an invalid shard
+// count (nodes <= 0, or more nodes than documents) returns an error.
+func Shard(kind SyntheticKind, scale float64, nodes int) (*ShardedIndex, error) {
 	var spec corpus.Spec
 	switch kind {
 	case ClueWebLike:
@@ -431,10 +437,14 @@ func Shard(kind SyntheticKind, scale float64, nodes int) *ShardedIndex {
 	case CCNewsLike:
 		spec = corpus.CCNewsLike(scale)
 	default:
-		panic("boss: unknown synthetic corpus kind")
+		return nil, fmt.Errorf("boss: unknown synthetic corpus kind %d", kind)
 	}
 	c := corpus.Generate(spec)
-	return &ShardedIndex{cluster: pool.NewCluster(pool.DefaultConfig(), c, nodes)}
+	cl, err := pool.NewCluster(pool.DefaultConfig(), c, nodes)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedIndex{cluster: cl}, nil
 }
 
 // Nodes reports how many memory nodes hold shards.
@@ -484,6 +494,99 @@ func (s *ShardedIndex) SearchBatch(exprs []string, k int) []BatchItem {
 				agg.Merge(m)
 			}
 		}
+		items[i].Hits = make([]Hit, len(res.TopK))
+		for j, e := range res.TopK {
+			items[i].Hits[j] = Hit{Doc: fmt.Sprintf("doc%d", e.DocID), DocID: e.DocID, Score: e.Score}
+		}
+		items[i].Stats = simStats(agg, mem.SCM(), 8)
+	}
+	return items
+}
+
+// FaultConfig describes deterministic fault injection across a sharded
+// deployment: every probabilistic decision derives from Seed, so a run
+// is exactly reproducible. The zero value injects nothing.
+type FaultConfig struct {
+	// Seed drives every fault draw.
+	Seed int64
+	// TransientRate is the per-access probability of a retryable read
+	// error in [0, 1).
+	TransientRate float64
+	// UncorrectableRate is the per-access probability of a permanent
+	// media error in [0, 1).
+	UncorrectableRate float64
+	// DeadNodes lists memory nodes that never answer.
+	DeadNodes []int
+}
+
+// InjectFaults applies a fault configuration to the deployment's memory
+// nodes (the zero value restores pristine devices). Setup-time only: not
+// safe concurrently with searches.
+func (s *ShardedIndex) InjectFaults(fc FaultConfig) {
+	s.cluster.SetFaultPlan(&mem.FaultPlan{
+		Seed:              fc.Seed,
+		TransientRate:     fc.TransientRate,
+		UncorrectableRate: fc.UncorrectableRate,
+		DeadDevices:       fc.DeadNodes,
+	})
+}
+
+// ShardedResult is a resilient sharded query's outcome: the merged hits,
+// aggregate statistics over the surviving nodes, and a bitmask of nodes
+// whose shard results are missing (zero = complete).
+type ShardedResult struct {
+	Hits     []Hit
+	Stats    *SimStats
+	Degraded uint64
+}
+
+// SearchCtx is Search with deadlines, bounded retry, per-node circuit
+// breaking, and graceful degradation: when a node fails permanently its
+// shard is dropped from the merge and flagged in Degraded rather than
+// failing the query. The error is non-nil only when the context dies,
+// the query is invalid, or every node fails.
+func (s *ShardedIndex) SearchCtx(ctx context.Context, expr string, k int) (*ShardedResult, error) {
+	res, err := s.cluster.SearchCtx(ctx, expr, k)
+	if err != nil {
+		return nil, err
+	}
+	agg := perf.NewMetrics()
+	for _, m := range res.PerShard {
+		if m != nil {
+			agg.Merge(m)
+		}
+	}
+	out := &ShardedResult{
+		Hits:     make([]Hit, len(res.TopK)),
+		Stats:    simStats(agg, mem.SCM(), 8),
+		Degraded: res.Degraded,
+	}
+	for i, e := range res.TopK {
+		out.Hits[i] = Hit{Doc: fmt.Sprintf("doc%d", e.DocID), DocID: e.DocID, Score: e.Score}
+	}
+	return out, nil
+}
+
+// SearchBatchCtx is SearchBatch with per-query resilience: node failures
+// degrade individual results (see BatchItem.Degraded) instead of
+// failing them, and cancelling the context fails the remaining queries
+// promptly.
+func (s *ShardedIndex) SearchBatchCtx(ctx context.Context, exprs []string, k int) []BatchItem {
+	br := s.cluster.SearchBatchCtx(ctx, exprs, k)
+	items := make([]BatchItem, len(exprs))
+	for i := range exprs {
+		if err := br.Errs[i]; err != nil {
+			items[i].Err = err
+			continue
+		}
+		res := br.Results[i]
+		agg := perf.NewMetrics()
+		for _, m := range res.PerShard {
+			if m != nil {
+				agg.Merge(m)
+			}
+		}
+		items[i].Degraded = res.Degraded
 		items[i].Hits = make([]Hit, len(res.TopK))
 		for j, e := range res.TopK {
 			items[i].Hits[j] = Hit{Doc: fmt.Sprintf("doc%d", e.DocID), DocID: e.DocID, Score: e.Score}

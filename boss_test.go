@@ -2,6 +2,8 @@ package boss
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"reflect"
 	"strings"
 	"testing"
@@ -264,7 +266,10 @@ func TestSetBM25(t *testing.T) {
 
 func TestShardedIndexMatchesSingleNode(t *testing.T) {
 	single := BuildSynthetic(CCNewsLike, 0.006)
-	sharded := Shard(CCNewsLike, 0.006, 4)
+	sharded, err := Shard(CCNewsLike, 0.006, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if sharded.Nodes() != 4 {
 		t.Fatalf("nodes = %d", sharded.Nodes())
 	}
@@ -297,8 +302,77 @@ func TestShardedIndexMatchesSingleNode(t *testing.T) {
 }
 
 func TestShardedIndexErrors(t *testing.T) {
-	sharded := Shard(CCNewsLike, 0.004, 2)
+	sharded, err := Shard(CCNewsLike, 0.004, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, _, err := sharded.Search(`"missing"`, 5); err == nil {
 		t.Fatal("unknown term should error")
+	}
+	if _, err := Shard(SyntheticKind(99), 0.004, 2); err == nil {
+		t.Fatal("unknown corpus kind should error")
+	}
+	if _, err := Shard(CCNewsLike, 0.004, 0); err == nil {
+		t.Fatal("zero nodes should error")
+	}
+}
+
+func TestShardedIndexSearchCtx(t *testing.T) {
+	sharded, err := Shard(CCNewsLike, 0.006, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expr := `"t1" AND "t3"`
+	want, _, err := sharded.Search(expr, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sharded.SearchCtx(context.Background(), expr, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degraded != 0 {
+		t.Fatalf("clean SearchCtx degraded mask = %b", res.Degraded)
+	}
+	if len(res.Hits) != len(want) {
+		t.Fatalf("%d hits vs %d", len(res.Hits), len(want))
+	}
+	for i := range want {
+		if res.Hits[i].DocID != want[i].DocID {
+			t.Fatalf("hit %d differs (%d vs %d)", i, res.Hits[i].DocID, want[i].DocID)
+		}
+	}
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	items := sharded.SearchBatchCtx(cancelled, []string{expr, expr}, 20)
+	for i, it := range items {
+		if !errors.Is(it.Err, context.Canceled) {
+			t.Fatalf("item %d: err = %v, want context.Canceled", i, it.Err)
+		}
+	}
+}
+
+func TestShardedIndexInjectFaults(t *testing.T) {
+	sharded, err := Shard(CCNewsLike, 0.006, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded.InjectFaults(FaultConfig{Seed: 42, DeadNodes: []int{1}})
+	res, err := sharded.SearchCtx(context.Background(), `"t0" OR "t2"`, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degraded != 1<<1 {
+		t.Fatalf("degraded mask = %b, want node 1 only", res.Degraded)
+	}
+	// Clearing the plan restores full availability.
+	sharded.InjectFaults(FaultConfig{})
+	res, err = sharded.SearchCtx(context.Background(), `"t0" OR "t2"`, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degraded != 0 {
+		t.Fatalf("degraded mask after clearing plan = %b", res.Degraded)
 	}
 }

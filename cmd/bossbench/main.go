@@ -10,6 +10,7 @@
 //	bossbench -scale 0.05 -k 500   # custom scope
 //	bossbench -wallclock           # real host QPS (serial vs batch/parallel)
 //	bossbench -wallclock -json     # same, machine-readable
+//	bossbench -chaos               # availability/QPS under fault injection
 //	bossbench -profile out         # also write out.cpu.pprof + out.heap.pprof
 package main
 
@@ -20,6 +21,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"boss/internal/harness"
 )
@@ -35,8 +37,9 @@ func main() {
 		seed    = flag.Int64("seed", 0, "override workload seed (0 = config default)")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		wall    = flag.Bool("wallclock", false, "measure real host QPS (serial vs batch/parallel) instead of simulated experiments")
-		shards  = flag.Int("shards", 4, "cluster shard count for -wallclock")
-		jsonOut = flag.Bool("json", false, "with -wallclock, emit the report as JSON")
+		chaos   = flag.Bool("chaos", false, "sweep fault-injection rates and report availability/QPS of the resilient serving path")
+		shards  = flag.Int("shards", 4, "cluster shard count for -wallclock and -chaos")
+		jsonOut = flag.Bool("json", false, "with -wallclock or -chaos, emit the report as JSON")
 		profile = flag.String("profile", "", "write <prefix>.cpu.pprof and <prefix>.heap.pprof covering the run")
 	)
 	flag.Parse()
@@ -93,6 +96,25 @@ func main() {
 	}
 
 	ctx := harness.NewContext(cfg)
+
+	if *chaos {
+		rep := harness.Chaos(ctx, *shards)
+		rep.Created = time.Now().UTC().Format(time.RFC3339)
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(rep); err != nil {
+				fmt.Fprintf(os.Stderr, "bossbench: %v\n", err)
+				os.Exit(1)
+			}
+		} else if *csv {
+			t := rep.Table()
+			fmt.Printf("# %s: %s\n%s\n", t.ID, t.Title, t.CSV())
+		} else {
+			fmt.Println(rep.Table().String())
+		}
+		return
+	}
 
 	if *wall {
 		rep := harness.Wallclock(ctx, *shards)

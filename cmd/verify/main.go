@@ -42,7 +42,11 @@ func main() {
 	c := corpus.Generate(corpus.CCNewsLike(*scale))
 	hybrid := index.Build(c, index.BuildOptions{Scheme: compress.SchemeHybrid})
 	fixed := index.Build(c, index.BuildOptions{Scheme: compress.BP})
-	cluster := pool.NewCluster(pool.DefaultConfig(), c, *shards)
+	cluster, err := pool.NewCluster(pool.DefaultConfig(), c, *shards)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	type system struct {
 		name string

@@ -74,7 +74,7 @@ func ExampleTokenize() {
 // statistics (Figure 1(b)'s root/leaf deployment).
 func ExampleShard() {
 	single := boss.BuildSynthetic(boss.CCNewsLike, 0.004)
-	sharded := boss.Shard(boss.CCNewsLike, 0.004, 3)
+	sharded, _ := boss.Shard(boss.CCNewsLike, 0.004, 3)
 
 	a, _ := single.Search(`"t0" OR "t3"`, 3)
 	b, _, _ := sharded.Search(`"t0" OR "t3"`, 3)

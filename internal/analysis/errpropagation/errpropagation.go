@@ -12,10 +12,18 @@
 //
 // Everything else — file Close, Flush, binary.Write, and friends — must be
 // handled or visibly dropped.
+//
+// The analyzer also forbids matching errors by their rendered text: comparing
+// err.Error() against a string with == / !=, or passing it to
+// strings.Contains / HasPrefix / HasSuffix, breaks the moment a message is
+// reworded and silently ignores wrapping. Typed sentinel errors exist for
+// exactly this (mem.ErrMediaUncorrectable, core.ErrDeadlineExceeded, ...);
+// identity checks must go through errors.Is / errors.As.
 package errpropagation
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 
@@ -25,7 +33,7 @@ import (
 // Analyzer is the errpropagation check.
 var Analyzer = &analysis.Analyzer{
 	Name: "errpropagation",
-	Doc:  "forbid silently discarded error returns outside _test.go files",
+	Doc:  "forbid silently discarded error returns and err.Error() string matching outside _test.go files",
 	Run:  run,
 }
 
@@ -45,6 +53,10 @@ func run(pass *analysis.Pass) error {
 				check(pass, x.Call, "deferred ")
 			case *ast.GoStmt:
 				check(pass, x.Call, "spawned ")
+			case *ast.BinaryExpr:
+				checkTextCompare(pass, x)
+			case *ast.CallExpr:
+				checkTextMatch(pass, x)
 			}
 			return true
 		})
@@ -67,6 +79,56 @@ func check(pass *analysis.Pass, call *ast.CallExpr, how string) {
 	}
 	name := calleeName(info, call)
 	pass.Reportf(call.Pos(), "%scall to %s discards its error result; handle it or make the discard explicit with _ =", how, name)
+}
+
+// checkTextCompare flags `err.Error() == "..."` and its != twin: error
+// identity must use errors.Is / errors.As, not the rendered message.
+func checkTextCompare(pass *analysis.Pass, b *ast.BinaryExpr) {
+	if b.Op != token.EQL && b.Op != token.NEQ {
+		return
+	}
+	if errorTextCall(pass.TypesInfo, b.X) || errorTextCall(pass.TypesInfo, b.Y) {
+		pass.Reportf(b.Pos(), "comparing err.Error() text with %s; match errors with errors.Is or errors.As", b.Op)
+	}
+}
+
+// checkTextMatch flags strings.Contains/HasPrefix/HasSuffix over an
+// err.Error() operand — substring matching on error text is the same
+// fragility as direct comparison.
+func checkTextMatch(pass *analysis.Pass, call *ast.CallExpr) {
+	fn, ok := analysis.CalleeObj(pass.TypesInfo, call).(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "strings" {
+		return
+	}
+	switch fn.Name() {
+	case "Contains", "HasPrefix", "HasSuffix", "EqualFold", "Index":
+	default:
+		return
+	}
+	for _, arg := range call.Args {
+		if errorTextCall(pass.TypesInfo, arg) {
+			pass.Reportf(call.Pos(), "matching err.Error() text with strings.%s; match errors with errors.Is or errors.As", fn.Name())
+			return
+		}
+	}
+}
+
+// errorTextCall reports whether e is a call of the Error() string method on
+// an error value.
+func errorTextCall(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" {
+		return false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return types.AssignableTo(tv.Type, errorType)
 }
 
 // returnsError reports whether t (a call's result type) includes an error.

@@ -48,6 +48,56 @@ func indirect(f func() error) {
 	f() // want `call to f discards its error result`
 }
 
+// result/cluster mimic the resilient serving API shape: SearchCtx returns
+// (*result, error), and the error must not be dropped on the floor.
+type result struct{ degraded uint64 }
+
+type cluster struct{}
+
+func (*cluster) SearchCtx(expr string, k int) (*result, error) { return nil, errBoom }
+
+func servingPath(cl *cluster) {
+	cl.SearchCtx("a AND b", 10) // want `call to cl\.SearchCtx discards its error result`
+	res, _ := cl.SearchCtx("a AND b", 10)
+	_ = res
+}
+
+var errSentinel = errors.New("pool: shard unavailable")
+
+func textMatching(err error) bool {
+	if err.Error() == "pool: shard unavailable" { // want `comparing err\.Error\(\) text with ==`
+		return true
+	}
+	if "boom" != err.Error() { // want `comparing err\.Error\(\) text with !=`
+		return false
+	}
+	if strings.Contains(err.Error(), "unavailable") { // want `matching err\.Error\(\) text with strings\.Contains`
+		return true
+	}
+	if strings.HasPrefix(err.Error(), "pool:") { // want `matching err\.Error\(\) text with strings\.HasPrefix`
+		return true
+	}
+	return errors.Is(err, errSentinel) // the typed check this rule steers toward
+}
+
+// textUses shows the legal uses: rendering the message, comparing other
+// strings, and method names that merely look like Error.
+type misnamed struct{}
+
+func (misnamed) Error() int { return 0 } // not an error: wrong signature
+
+func textUses(err error, m misnamed, s string) {
+	msg := err.Error()
+	_ = msg
+	if s == "pool: shard unavailable" {
+		return
+	}
+	if m.Error() == 0 {
+		return
+	}
+	_ = strings.Contains(s, "unavailable")
+}
+
 func printing(w io.Writer, b *strings.Builder, buf *bytes.Buffer) {
 	fmt.Println("ok")
 	fmt.Fprintf(os.Stderr, "ok %d\n", 1)

@@ -1,0 +1,69 @@
+package hot
+
+// Retry-loop fixtures modeled on the pool's resilient shard path: the hot
+// loop may branch, count attempts, and compute jittered backoff, but error
+// rendering and event recording must be outlined to cold helpers.
+
+import "fmt"
+
+type attemptErr struct {
+	shard   int
+	attempt int
+}
+
+func (e *attemptErr) Error() string { return "attempt failed" }
+
+// recordEvent stands in for the outlined (unannotated, cold) bookkeeping
+// helpers the real retry loop calls.
+func recordEvent(shard, attempt int) {}
+
+func tryShard(shard, attempt int) error { return nil }
+
+// backoffStep mirrors backoffDelay: pure integer mixing, nothing escapes.
+//
+//boss:hotpath
+func backoffStep(seed uint64, shard, attempt int) uint64 {
+	h := seed ^ (uint64(shard)+1)*0x9e3779b97f4a7c15 + uint64(attempt)*0xbf58476d1ce4e5b9
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	return h
+}
+
+// retryLoop is the good twin: attempt/branch/backoff with all allocation
+// outlined — draws nothing.
+//
+//boss:hotpath
+func retryLoop(shard, maxRetries int) error {
+	var last error
+	for attempt := 0; ; attempt++ {
+		recordEvent(shard, attempt)
+		err := tryShard(shard, attempt)
+		if err == nil {
+			return nil
+		}
+		last = err
+		if attempt >= maxRetries {
+			return last
+		}
+		_ = backoffStep(7, shard, attempt)
+	}
+}
+
+// retryLoopAllocs is the bad twin: formatting the error and deferring
+// cleanup through a closure both allocate per attempt.
+//
+//boss:hotpath
+func retryLoopAllocs(shard, maxRetries int) error {
+	for attempt := 0; ; attempt++ {
+		err := tryShard(shard, attempt)
+		if err == nil {
+			return nil
+		}
+		if attempt >= maxRetries {
+			return fmt.Errorf("shard %d: %v", shard, err) // want `fmt\.Errorf in hot path`
+		}
+		cleanup := func() { recordEvent(shard, attempt) } // want `closure allocation in hot path`
+		cleanup()
+	}
+}

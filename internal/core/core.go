@@ -14,6 +14,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -49,6 +51,16 @@ const (
 
 // DefaultK is the paper's default top-k depth.
 const DefaultK = 1000
+
+// ErrDeadlineExceeded reports that a query's context expired while the
+// pipeline was still fetching blocks. It wraps the causing
+// context.DeadlineExceeded, so both errors.Is targets match.
+var ErrDeadlineExceeded = errors.New("core: query deadline exceeded")
+
+// maxFetchAttempts bounds inline re-reads of a block after injected
+// transient faults before the run gives up (device firmware retry
+// budget).
+const maxFetchAttempts = 4
 
 // MaxQueryTerms is the largest term count the device handles in hardware
 // (four BOSS cores with chained mergers, Section IV-D); wider queries are
@@ -122,6 +134,11 @@ type Accelerator struct {
 	// cache, when non-nil, is the cross-query decoded-block cache shared by
 	// every run (and, in a cluster, by every shard's accelerator).
 	cache *cache.Cache
+
+	// fault, when non-nil, injects the attached FaultPlan's read errors
+	// into every block fetch. Nil keeps the fetch path byte-identical
+	// to the fault-free model.
+	fault *mem.Injector
 }
 
 // New returns a BOSS accelerator with the given options.
@@ -141,6 +158,13 @@ func (a *Accelerator) SetCache(c *cache.Cache) { a.cache = c }
 
 // Cache returns the attached decoded-block cache, or nil.
 func (a *Accelerator) Cache() *cache.Cache { return a.cache }
+
+// SetFault attaches a fault injector (nil restores the pristine model).
+// Not safe concurrently with Run; meant for setup time and chaos tests.
+func (a *Accelerator) SetFault(inj *mem.Injector) { a.fault = inj }
+
+// Fault returns the attached injector, or nil.
+func (a *Accelerator) Fault() *mem.Injector { return a.fault }
 
 // Result is the outcome of one query.
 type Result struct {
@@ -190,6 +214,13 @@ type run struct {
 	topkInserts float64
 
 	nTerms int
+
+	// ctx, when non-nil, is the query's deadline/cancellation context,
+	// checked once per block fetch. err latches the first failure on
+	// any execution path; once set, the paths unwind without further
+	// fetches and RunDNF returns it instead of a Result.
+	ctx context.Context
+	err error
 
 	// Union-path scratch, reused across intervals and across pooled runs
 	// (union.go). Nothing retained beyond a call references these.
@@ -267,6 +298,8 @@ func (a *Accelerator) newRun(k, nTerms int) *run {
 	r.m = perf.NewMetrics()
 	r.sel.Reset(k)
 	r.nTerms = nTerms
+	r.ctx = nil
+	r.err = nil
 	return r
 }
 
@@ -311,16 +344,26 @@ func (a *Accelerator) releaseRun(r *run) {
 	}
 	r.matchBufN = 0
 	r.m = nil
+	r.ctx = nil
+	r.err = nil
 	r.fetchCycles, r.mergeCycles, r.scoreOps, r.topkInserts = 0, 0, 0, 0
 	a.runs.Put(r)
 }
 
 // Run executes a query with the given top-k depth.
 func (a *Accelerator) Run(node *query.Node, k int) (Result, error) {
+	return a.RunCtx(nil, node, k)
+}
+
+// RunCtx executes a query under a context: the pipeline checks for
+// cancellation once per block fetch and returns an error wrapping
+// ErrDeadlineExceeded (deadline) or context.Canceled (cancellation)
+// instead of a result. A nil context behaves exactly like Run.
+func (a *Accelerator) RunCtx(ctx context.Context, node *query.Node, k int) (Result, error) {
 	if n := node.CountTerms(); n > MaxQueryTerms {
 		return Result{}, fmt.Errorf("core: query has %d terms; hardware handles up to %d (split into subqueries on the host, Section IV-D)", n, MaxQueryTerms)
 	}
-	return a.RunDNF(node.DNF(), k)
+	return a.runDNF(ctx, node.DNF(), k)
 }
 
 // RunDNF executes a query already normalized to disjunctive normal form.
@@ -328,12 +371,27 @@ func (a *Accelerator) Run(node *query.Node, k int) (Result, error) {
 // normalize once and share the DNF; the term-count limit is the caller's to
 // enforce (Run checks it against the AST).
 func (a *Accelerator) RunDNF(dnf [][]string, k int) (Result, error) {
+	return a.runDNF(nil, dnf, k)
+}
+
+// RunDNFCtx is RunDNF under a deadline/cancellation context.
+func (a *Accelerator) RunDNFCtx(ctx context.Context, dnf [][]string, k int) (Result, error) {
+	return a.runDNF(ctx, dnf, k)
+}
+
+func (a *Accelerator) runDNF(ctx context.Context, dnf [][]string, k int) (Result, error) {
+	if ctx != nil {
+		if cause := ctx.Err(); cause != nil {
+			return Result{}, ctxError(cause)
+		}
+	}
 	conjuncts, lists, err := a.plan(dnf)
 	if err != nil {
 		return Result{}, err
 	}
 	r := a.newRun(k, len(lists))
 	defer a.releaseRun(r)
+	r.ctx = ctx
 
 	switch {
 	case allSingleTerm(conjuncts):
@@ -346,11 +404,16 @@ func (a *Accelerator) RunDNF(dnf [][]string, k int) (Result, error) {
 		r.union(streams)
 	case len(conjuncts) == 1:
 		// Pure conjunction: the pipelined intersection path.
-		r.scoreAll(r.intersect(conjuncts[0]))
+		if ms := r.intersect(conjuncts[0]); r.err == nil {
+			r.scoreAll(ms)
+		}
 	default:
 		// Mixed query: intersections first (the paper's execution order),
 		// then an on-chip union of the conjunct outputs.
 		r.mixed(conjuncts)
+	}
+	if r.err != nil {
+		return Result{}, r.err
 	}
 
 	// The hardware top-k module hands exactly k entries to the host over
@@ -475,18 +538,22 @@ func (r *run) chargeMeta(ls *listState, b int) {
 
 // decoder returns the programmable decompression module configured for a
 // scheme (one per scheme per query, modeling reconfiguration at init()).
+// On a misconfiguration it latches a typed error on the run and returns
+// nil instead of panicking.
 func (r *run) decoder(s compress.Scheme) *decomp.Module {
 	d, ok := r.decoders[s]
 	if !ok {
 		if cfgs := r.acc.opts.decompConfigs; cfgs != nil {
 			cfg, ok := cfgs[s]
 			if !ok {
-				panic(fmt.Sprintf("core: configuration file programs no decoder for scheme %s", s))
+				r.fail(fmt.Errorf("core: configuration file programs no decoder for scheme %s", s))
+				return nil
 			}
 			var err error
 			d, err = decomp.NewModule(cfg)
 			if err != nil {
-				panic(fmt.Sprintf("core: bad decoder configuration for %s: %v", s, err))
+				r.fail(fmt.Errorf("core: bad decoder configuration for %s: %w", s, err))
+				return nil
 			}
 		} else {
 			d = decomp.NewModuleFor(s)
@@ -499,11 +566,21 @@ func (r *run) decoder(s compress.Scheme) *decomp.Module {
 // fetchBlock loads and decodes a block through the programmable
 // decompression module, charging traffic and cycles once per query.
 //
+// On any failure — expired context, injected device fault, checksum
+// mismatch, decode error — it latches a typed error on the run (r.err)
+// and returns nil; callers unwind on nil and RunDNF surfaces the error.
+//
 //boss:hotpath one call per block examined; the per-block decode loop.
 //boss:pool-escapes decoded blocks live in r.lists until releaseRun pools them.
 func (r *run) fetchBlock(ls *listState, pl *index.PostingList, b int) *blockData {
 	if bd, ok := ls.blocks[b]; ok {
 		return bd
+	}
+	if r.ctx != nil {
+		if cause := r.ctx.Err(); cause != nil {
+			r.failCtx(cause)
+			return nil
+		}
 	}
 	meta := pl.Blocks[b]
 	r.chargeMeta(ls, b)
@@ -536,7 +613,19 @@ func (r *run) fetchBlock(ls *listState, pl *index.PostingList, b int) *blockData
 	// BOSS fetches blocks in ascending docID order with look-ahead from
 	// the metadata scan, so even post-skip fetches stream at sequential
 	// bandwidth (Section V-B contrasts this with IIU's random access).
-	r.m.AddSeqRead(int64(meta.Length), mem.CatLoadList)
+	// With a fault injector attached, the stream charge goes through the
+	// fault-aware path (which may retry or fail the run); the nil branch
+	// is the byte-identical pristine model.
+	if inj := r.acc.fault; inj != nil {
+		if !r.chargeFaultyRead(inj, pl, meta, b) {
+			if ent != nil {
+				ch.Release(ent)
+			}
+			return nil
+		}
+	} else {
+		r.m.AddSeqRead(int64(meta.Length), mem.CatLoadList)
+	}
 	r.m.BlocksFetched++
 	// The block-fetch module keeps a bounded number of requests in flight;
 	// each windowful exposes one device read latency on the pipeline.
@@ -556,20 +645,40 @@ func (r *run) fetchBlock(ls *listState, pl *index.PostingList, b int) *blockData
 	}
 
 	payload := pl.Data[meta.Offset : meta.Offset+meta.Length]
+	// Integrity gate: verify the payload CRC before decoding so real
+	// corruption is detected and typed instead of silently scored (and
+	// never published to the shared cache). Zero means unchecksummed.
+	if meta.Checksum != 0 && index.ChecksumPayload(payload) != meta.Checksum {
+		r.m.IntegrityFailures++
+		r.failCorrupt(pl, b)
+		return nil
+	}
 	mod := r.decoder(pl.Scheme)
+	if mod == nil {
+		return nil // r.err latched by decoder
+	}
 	bd := blockDataPool.Get().(*blockData)
 	if ch != nil {
 		// Miss with a cache attached: decode straight into a cache-owned
-		// slab and publish so the next query hits.
+		// slab and publish so the next query hits. A failed decode
+		// releases the reserved (never published) entry.
 		n := int(meta.Count)
 		e := ch.Reserve(n)
 		docs, used, cyc1, err := mod.DecodeInto(e.DocsBuf(n), payload, n, meta.FirstDoc, true)
 		if err != nil {
-			panic(decodeFailure("decompression", err))
+			ch.Release(e)
+			bd.docs, bd.tfs = bd.docs[:0], bd.tfs[:0]
+			blockDataPool.Put(bd)
+			r.failDecode("decompression", pl, b, err)
+			return nil
 		}
 		tfs, _, cyc2, err := mod.DecodeInto(e.TfsBuf(n), payload[used:], n, 0, false)
 		if err != nil {
-			panic(decodeFailure("tf decompression", err))
+			ch.Release(e)
+			bd.docs, bd.tfs = bd.docs[:0], bd.tfs[:0]
+			blockDataPool.Put(bd)
+			r.failDecode("tf decompression", pl, b, err)
+			return nil
 		}
 		cyc := cyc1 + cyc2
 		ls.cycles += float64(cyc)
@@ -582,11 +691,16 @@ func (r *run) fetchBlock(ls *listState, pl *index.PostingList, b int) *blockData
 	}
 	docs, used, cyc1, err := mod.DecodeInto(bd.docs[:0], payload, int(meta.Count), meta.FirstDoc, true)
 	if err != nil {
-		panic(decodeFailure("decompression", err))
+		blockDataPool.Put(bd)
+		r.failDecode("decompression", pl, b, err)
+		return nil
 	}
 	tfs, _, cyc2, err := mod.DecodeInto(bd.tfs[:0], payload[used:], int(meta.Count), 0, false)
 	if err != nil {
-		panic(decodeFailure("tf decompression", err))
+		bd.docs = docs
+		blockDataPool.Put(bd)
+		r.failDecode("tf decompression", pl, b, err)
+		return nil
 	}
 	ls.cycles += float64(cyc1 + cyc2)
 	ls.decoded = true
@@ -595,10 +709,85 @@ func (r *run) fetchBlock(ls *listState, pl *index.PostingList, b int) *blockData
 	return bd
 }
 
-// decodeFailure formats the message for a corrupt-block panic. Outlined
-// from fetchBlock so the hot path carries no fmt call (hotpathalloc).
-func decodeFailure(what string, err error) string {
-	return fmt.Sprintf("core: %s failed: %v", what, err)
+// chargeFaultyRead streams one block from the device under the fault
+// injector, retrying transient faults inline: the device firmware
+// re-reads the block (each attempt re-charges its traffic) up to
+// maxFetchAttempts times. Returns false after latching a typed error on
+// an unrecoverable fault.
+//
+//boss:hotpath the fault-aware arm of the per-block fetch loop.
+func (r *run) chargeFaultyRead(inj *mem.Injector, pl *index.PostingList, meta index.BlockMeta, b int) bool {
+	if inj.Dead() {
+		r.failDown(pl, b)
+		return false
+	}
+	key := mem.StableKey(pl.Term)
+	for attempt := uint32(0); ; attempt++ {
+		r.m.AddSeqRead(int64(meta.Length), mem.CatLoadList)
+		switch inj.BlockFault(key, uint32(b), attempt) {
+		case mem.FaultNone:
+			return true
+		case mem.FaultUncorrectable:
+			// The device's own ECC/CRC detected an unrecoverable media
+			// error — same detection path as a host-side checksum miss.
+			r.m.IntegrityFailures++
+			r.failMedia(pl, b)
+			return false
+		case mem.FaultDeviceDown:
+			r.failDown(pl, b)
+			return false
+		default: // mem.FaultTransient
+			r.m.TransientRetries++
+			if attempt+1 >= maxFetchAttempts {
+				r.failTransient(pl, b)
+				return false
+			}
+		}
+	}
+}
+
+// fail latches the first error of the run; later paths unwind on it.
+//
+//boss:hotpath called from the per-block fetch loop.
+func (r *run) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+// The fail* helpers build wrapped, typed errors. Outlined from the hot
+// fetch path so it carries no fmt calls (hotpathalloc); they only run
+// when a query is already failing.
+
+func (r *run) failCtx(cause error) { r.fail(ctxError(cause)) }
+
+// ctxError types a context failure: deadline expiries additionally wrap
+// ErrDeadlineExceeded; plain cancellations propagate context.Canceled.
+func ctxError(cause error) error {
+	if errors.Is(cause, context.DeadlineExceeded) {
+		return fmt.Errorf("%w: %w", ErrDeadlineExceeded, cause)
+	}
+	return cause
+}
+
+func (r *run) failCorrupt(pl *index.PostingList, b int) {
+	r.fail(fmt.Errorf("core: list %q block %d: checksum mismatch: %w", pl.Term, b, mem.ErrMediaUncorrectable))
+}
+
+func (r *run) failMedia(pl *index.PostingList, b int) {
+	r.fail(fmt.Errorf("core: list %q block %d: %w", pl.Term, b, mem.ErrMediaUncorrectable))
+}
+
+func (r *run) failDown(pl *index.PostingList, b int) {
+	r.fail(fmt.Errorf("core: list %q block %d: %w", pl.Term, b, mem.ErrDeviceDown))
+}
+
+func (r *run) failTransient(pl *index.PostingList, b int) {
+	r.fail(fmt.Errorf("core: list %q block %d: retries exhausted: %w", pl.Term, b, mem.ErrTransientRead))
+}
+
+func (r *run) failDecode(what string, pl *index.PostingList, b int, err error) {
+	r.fail(fmt.Errorf("core: %s of list %q block %d failed: %w", what, pl.Term, b, err))
 }
 
 // cutoff returns the current top-k threshold (-Inf while not full).

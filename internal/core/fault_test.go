@@ -1,0 +1,210 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"boss/internal/corpus"
+	"boss/internal/index"
+	"boss/internal/mem"
+	"boss/internal/query"
+)
+
+// sampleNodes returns a handful of parsed queries spanning all types.
+func sampleNodes(t *testing.T, f *fixture) []*query.Node {
+	t.Helper()
+	var nodes []*query.Node
+	for _, qt := range corpus.AllQueryTypes() {
+		for _, q := range corpus.SampleQueries(f.c, qt, 4, 99) {
+			nodes = append(nodes, query.MustParse(q.Expr))
+		}
+	}
+	if len(nodes) == 0 {
+		t.Fatal("no sample queries")
+	}
+	return nodes
+}
+
+func TestRunCtxCancelled(t *testing.T) {
+	f := newFixture(t)
+	acc := New(f.idx, DefaultOptions())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, node := range sampleNodes(t, f) {
+		_, err := acc.RunCtx(ctx, node, 10)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled ctx: got %v, want context.Canceled", err)
+		}
+	}
+}
+
+func TestRunCtxDeadlineExceeded(t *testing.T) {
+	f := newFixture(t)
+	acc := New(f.idx, DefaultOptions())
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	node := sampleNodes(t, f)[0]
+	_, err := acc.RunCtx(ctx, node, 10)
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("expired deadline: got %v, want ErrDeadlineExceeded", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired deadline: %v must also wrap context.DeadlineExceeded", err)
+	}
+}
+
+// A nil context must behave exactly like Run.
+func TestRunCtxNilContext(t *testing.T) {
+	f := newFixture(t)
+	acc := New(f.idx, DefaultOptions())
+	for _, node := range sampleNodes(t, f) {
+		a, err := acc.RunCtx(nil, node, 10) //nolint:staticcheck // nil ctx is part of the contract
+		if err != nil {
+			t.Fatalf("RunCtx(nil): %v", err)
+		}
+		b, err := acc.Run(node, 10)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if !sameResults(a.TopK, b.TopK) {
+			t.Fatal("RunCtx(nil) diverged from Run")
+		}
+	}
+}
+
+// A block whose payload no longer matches its build-time CRC must surface
+// a typed media error, never a silently wrong score.
+func TestCorruptBlockReturnsTypedError(t *testing.T) {
+	f := newFixture(t)
+	acc := New(f.idx, DefaultOptions())
+
+	// Pick a term and corrupt its first block in place.
+	var pl *index.PostingList
+	var term string
+	for _, tm := range f.idx.Terms() {
+		if len(f.idx.Lists[tm].Blocks) >= 1 {
+			term, pl = tm, f.idx.Lists[tm]
+			break
+		}
+	}
+	pl.Data[pl.Blocks[0].Offset] ^= 0x5a
+
+	_, err := acc.RunDNF([][]string{{term}}, 10)
+	if err == nil {
+		t.Fatal("query over corrupt block succeeded")
+	}
+	if !errors.Is(err, mem.ErrMediaUncorrectable) {
+		t.Fatalf("corrupt block: got %v, want wrap of mem.ErrMediaUncorrectable", err)
+	}
+
+	// Restore and confirm the accelerator recovers fully.
+	pl.Data[pl.Blocks[0].Offset] ^= 0x5a
+	if _, err := acc.RunDNF([][]string{{term}}, 10); err != nil {
+		t.Fatalf("after restore: %v", err)
+	}
+}
+
+// Transient faults at realistic rates must be absorbed by bounded retry:
+// queries succeed, metrics record the retries, and results match the
+// fault-free run exactly.
+func TestTransientFaultsRetriedTransparently(t *testing.T) {
+	f := newFixture(t)
+	clean := New(f.idx, DefaultOptions())
+	faulty := New(f.idx, DefaultOptions())
+	plan := &mem.FaultPlan{Seed: 7, TransientRate: 0.01}
+	faulty.SetFault(plan.InjectorFor(0))
+
+	var retries int64
+	for _, node := range sampleNodes(t, f) {
+		want, err := clean.RunCtx(nil, node, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := faulty.RunCtx(nil, node, 10)
+		if err != nil {
+			t.Fatalf("transient plan must be survivable: %v", err)
+		}
+		if !sameResults(got.TopK, want.TopK) {
+			t.Fatal("results diverged under transient faults")
+		}
+		retries += got.M.TransientRetries
+		if got.M.IntegrityFailures != 0 {
+			t.Fatalf("transient-only plan recorded %d integrity failures", got.M.IntegrityFailures)
+		}
+	}
+	if retries == 0 {
+		t.Fatal("1% transient rate produced zero retries across the sample set")
+	}
+}
+
+// An uncorrectable media error is permanent: retries must not mask it and
+// the query fails with the typed error.
+func TestUncorrectableFaultReturnsTypedError(t *testing.T) {
+	f := newFixture(t)
+	acc := New(f.idx, DefaultOptions())
+	plan := &mem.FaultPlan{Seed: 3, UncorrectableRate: 0.5}
+	acc.SetFault(plan.InjectorFor(0))
+
+	sawTyped := false
+	for _, node := range sampleNodes(t, f) {
+		_, err := acc.RunCtx(nil, node, 10)
+		if err != nil {
+			if !errors.Is(err, mem.ErrMediaUncorrectable) {
+				t.Fatalf("failure is not typed: %v", err)
+			}
+			sawTyped = true
+		}
+	}
+	if !sawTyped {
+		t.Fatal("50% uncorrectable rate never failed a query")
+	}
+}
+
+func TestDeadDeviceReturnsErrDeviceDown(t *testing.T) {
+	f := newFixture(t)
+	acc := New(f.idx, DefaultOptions())
+	plan := &mem.FaultPlan{Seed: 1, DeadDevices: []int{0}}
+	acc.SetFault(plan.InjectorFor(0))
+	node := sampleNodes(t, f)[0]
+	_, err := acc.RunCtx(nil, node, 10)
+	if !errors.Is(err, mem.ErrDeviceDown) {
+		t.Fatalf("dead device: got %v, want wrap of mem.ErrDeviceDown", err)
+	}
+}
+
+// Fault decisions are a pure function of the plan: the same plan over the
+// same queries yields identical errors and identical retry counts.
+func TestFaultReplayDeterministic(t *testing.T) {
+	f := newFixture(t)
+	plan := &mem.FaultPlan{Seed: 42, TransientRate: 0.05, UncorrectableRate: 0.002}
+	nodes := sampleNodes(t, f)
+
+	type outcome struct {
+		errText string
+		retries int64
+	}
+	runOnce := func() []outcome {
+		acc := New(f.idx, DefaultOptions())
+		acc.SetFault(plan.InjectorFor(0))
+		out := make([]outcome, 0, len(nodes))
+		for _, node := range nodes {
+			res, err := acc.RunCtx(nil, node, 10)
+			o := outcome{}
+			if err != nil {
+				o.errText = err.Error()
+			} else {
+				o.retries = res.M.TransientRetries
+			}
+			out = append(out, o)
+		}
+		return out
+	}
+	a, b := runOnce(), runOnce()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("query %d: replay diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -39,7 +39,7 @@ func (r *run) intersect(pls []*index.PostingList) []match {
 	}
 	out := r.firstPass(ordered[0], ordered[1])
 	for _, pl := range ordered[2:] {
-		if len(out) == 0 {
+		if len(out) == 0 || r.err != nil {
 			return out
 		}
 		if r.acc.opts.SpillIntermediates {
@@ -69,6 +69,9 @@ func (r *run) scanList(pl *index.PostingList) []match {
 	var mc int64
 	for b := range pl.Blocks {
 		bd := r.fetchBlock(ls, pl, b)
+		if bd == nil {
+			break // r.err latched; unwind with what we have
+		}
 		for i := range bd.docs {
 			mc++
 			terms := r.allocTerms(1)
@@ -119,10 +122,14 @@ func (r *run) firstPass(a, b *index.PostingList) []match {
 			continue
 		}
 		if A == nil {
-			A = r.fetchBlock(lsA, a, i)
+			if A = r.fetchBlock(lsA, a, i); A == nil {
+				break // r.err latched
+			}
 		}
 		if B == nil {
-			B = r.fetchBlock(lsB, b, j)
+			if B = r.fetchBlock(lsB, b, j); B == nil {
+				break // r.err latched
+			}
 		}
 		for posA < len(A.docs) && posB < len(B.docs) {
 			mc++
@@ -190,7 +197,9 @@ func (r *run) nextPass(candidates []match, c *index.PostingList) []match {
 			continue // candidate falls in a gap: not in the list
 		}
 		if C == nil {
-			C = r.fetchBlock(lsC, c, ci)
+			if C = r.fetchBlock(lsC, c, ci); C == nil {
+				break // r.err latched
+			}
 		}
 		for posC < len(C.docs) && C.docs[posC] < cand.doc {
 			posC++
@@ -224,6 +233,9 @@ func (r *run) mixed(conjuncts [][]*index.PostingList) {
 		r.mergeCycles = before
 		if delta > maxMerge {
 			maxMerge = delta
+		}
+		if r.err != nil {
+			return // failed query: skip the union of partial outputs
 		}
 	}
 	r.mergeCycles += maxMerge

@@ -155,6 +155,9 @@ func (r *run) union(pls []*index.PostingList) {
 		}
 
 		r.scanInterval(covering, lo, hi)
+		if r.err != nil {
+			return
+		}
 
 		// Streams whose block ended inside the interval move on.
 		for _, s := range covering {
@@ -174,6 +177,9 @@ func (r *run) scanInterval(covering []*ustream, lo, hi uint32) {
 	for _, s := range covering {
 		if s.bd == nil {
 			s.bd = r.fetchBlock(s.ls, s.pl, s.bi)
+			if s.bd == nil {
+				return // r.err latched; union loop unwinds
+			}
 			s.pos = 0
 			for s.pos < len(s.bd.docs) && s.bd.docs[s.pos] < s.floor {
 				s.pos++

@@ -1,0 +1,237 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"boss/internal/corpus"
+	"boss/internal/mem"
+	"boss/internal/pool"
+)
+
+// ChaosPoint is one fault-rate operating point of the chaos sweep: the
+// cluster serves the same Zipfian batch while the fault plan injects
+// transient and uncorrectable media errors at the given per-access rate,
+// and the point records how much of the workload survived and at what
+// wall-clock cost.
+type ChaosPoint struct {
+	// FaultRate is the per-access probability applied to both transient
+	// read errors (retried transparently by the device layer) and
+	// uncorrectable media errors (non-retryable; these are what degrade
+	// results).
+	FaultRate float64 `json:"fault_rate"`
+	// Queries is how many query executions the point measured.
+	Queries int `json:"queries"`
+	// FullyOK counts executions whose every shard answered.
+	FullyOK int `json:"fully_ok"`
+	// Degraded counts executions that returned results with at least one
+	// shard missing (ClusterResult.Degraded != 0).
+	Degraded int `json:"degraded"`
+	// Failed counts executions that returned no result at all.
+	Failed int `json:"failed"`
+	// Availability is the fraction of executions that returned a result,
+	// degraded or not: (FullyOK + Degraded) / Queries.
+	Availability float64 `json:"availability"`
+	// TransientRetries counts device reads the accelerators retried
+	// transparently (core-level, from the per-shard metrics).
+	TransientRetries int64 `json:"transient_retries"`
+	// ShardRetries counts pool-level shard re-attempts (backoff events),
+	// and BreakerOpens counts circuit-breaker opens, both summed across
+	// shards from the resilience event logs.
+	ShardRetries int `json:"shard_retries"`
+	BreakerOpens int `json:"breaker_opens"`
+	// QPS is real host-side throughput over the measured executions.
+	QPS float64 `json:"qps"`
+	// P50LatencyUS / P99LatencyUS are per-query wall-clock latency
+	// percentiles in microseconds.
+	P50LatencyUS float64 `json:"p50_latency_us"`
+	P99LatencyUS float64 `json:"p99_latency_us"`
+}
+
+// ChaosReport is the -chaos benchmark: availability and throughput of the
+// resilient cluster serving path at increasing fault-injection rates. Rate
+// zero is the control — it runs with a nil fault plan, i.e. the exact
+// fault-free fast path every simulated figure uses.
+type ChaosReport struct {
+	Corpus  string       `json:"corpus"`
+	Shards  int          `json:"shards"`
+	K       int          `json:"k"`
+	Batch   int          `json:"batch"`
+	Seed    int64        `json:"seed"`
+	Points  []ChaosPoint `json:"points"`
+	Created string       `json:"created,omitempty"`
+}
+
+// chaosRates are the sweep's operating points: clean, 0.1%, 1%.
+var chaosRates = []float64{0, 0.001, 0.01}
+
+// chaosBatch is how many Zipfian queries each operating point serves per
+// measurement pass.
+const chaosBatch = 200
+
+// chaosExprs samples the conjunctive Zipfian serving mix (Q2/Q4, the
+// decode-bound shapes) cycled up to n queries.
+func chaosExprs(c *corpus.Corpus, seed int64, n int) []string {
+	types := []corpus.QueryType{corpus.Q2, corpus.Q4}
+	per := (n + len(types) - 1) / len(types)
+	exprs := make([]string, 0, n)
+	for _, qt := range types {
+		for _, q := range corpus.SampleZipfQueries(c, qt, per, 0, seed) {
+			if len(exprs) == n {
+				break
+			}
+			exprs = append(exprs, q.Expr)
+		}
+	}
+	return exprs
+}
+
+// chaosPoint measures one fault rate: a fresh cluster (so breaker state
+// and the decoded-block cache never leak across points), the rate's fault
+// plan, and repeated serial passes over the batch until the minimum
+// duration elapses.
+//
+//boss:wallclock this report intentionally measures real host-side latency.
+func chaosPoint(ctx *Context, shards int, seed int64, exprs []string, k int, rate float64) ChaosPoint {
+	s := ctx.ClueWeb()
+	cfg := pool.DefaultConfig()
+	// Cache off: faults are drawn on the decode path, so a warm decoded-block
+	// cache would absorb the fault plan after the first pass and every point
+	// would trivially report full availability.
+	cfg.CacheBytes = 0
+	cl, err := pool.NewCluster(cfg, s.Corpus, shards)
+	if err != nil {
+		panic(err)
+	}
+	if rate > 0 {
+		cl.SetFaultPlan(&mem.FaultPlan{
+			Seed:              seed,
+			TransientRate:     rate,
+			UncorrectableRate: rate,
+		})
+	}
+
+	pt := ChaosPoint{FaultRate: rate}
+	var lat []time.Duration
+	start := time.Now()
+	for {
+		for _, expr := range exprs {
+			q0 := time.Now()
+			res, err := cl.SearchCtx(context.Background(), expr, k)
+			lat = append(lat, time.Since(q0))
+			pt.Queries++
+			switch {
+			case err != nil:
+				pt.Failed++
+			case res.Degraded != 0:
+				pt.Degraded++
+			default:
+				pt.FullyOK++
+			}
+			if err == nil {
+				for _, m := range res.PerShard {
+					if m != nil {
+						pt.TransientRetries += m.TransientRetries
+					}
+				}
+			}
+		}
+		if time.Since(start) >= wallclockMinDuration {
+			break
+		}
+	}
+	elapsed := time.Since(start)
+
+	pt.Availability = float64(pt.FullyOK+pt.Degraded) / float64(pt.Queries)
+	pt.QPS = float64(pt.Queries) / elapsed.Seconds()
+	for si := 0; si < shards; si++ {
+		for _, ev := range cl.Events(si) {
+			switch ev.Kind {
+			case pool.EvBackoff:
+				pt.ShardRetries++
+			case pool.EvBreakerOpen:
+				pt.BreakerOpens++
+			}
+		}
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pt.P50LatencyUS = float64(lat[percentileIdx(len(lat), 50)]) / float64(time.Microsecond)
+	pt.P99LatencyUS = float64(lat[percentileIdx(len(lat), 99)]) / float64(time.Microsecond)
+	return pt
+}
+
+// percentileIdx maps a percentile to a sorted-slice index (nearest-rank).
+func percentileIdx(n, pct int) int {
+	i := n*pct/100 - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
+// Chaos sweeps the resilient serving path across fault-injection rates and
+// reports availability, retry/breaker activity, and wall-clock throughput
+// at each point. Rate zero serves as the control: it must report full
+// availability and zero resilience events.
+func Chaos(ctx *Context, shards int) *ChaosReport {
+	if shards <= 0 {
+		shards = 4
+	}
+	s := ctx.ClueWeb()
+	k := ctx.Cfg.K
+	seed := ctx.Cfg.Seed
+	exprs := chaosExprs(s.Corpus, seed, chaosBatch)
+
+	rep := &ChaosReport{
+		Corpus: s.Spec.Name,
+		Shards: shards,
+		K:      k,
+		Batch:  len(exprs),
+		Seed:   seed,
+	}
+	for _, rate := range chaosRates {
+		rep.Points = append(rep.Points, chaosPoint(ctx, shards, seed, exprs, k, rate))
+	}
+	return rep
+}
+
+// Table renders the report in the harness table format so -chaos composes
+// with the text output path too.
+func (r *ChaosReport) Table() *Table {
+	rows := make([][]string, 0, len(r.Points))
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.2f%%", 100*p.FaultRate),
+			fmt.Sprintf("%d", p.Queries),
+			fmt.Sprintf("%d", p.FullyOK),
+			fmt.Sprintf("%d", p.Degraded),
+			fmt.Sprintf("%d", p.Failed),
+			fmt.Sprintf("%.4f", p.Availability),
+			fmt.Sprintf("%d", p.TransientRetries),
+			fmt.Sprintf("%d", p.ShardRetries),
+			fmt.Sprintf("%d", p.BreakerOpens),
+			fmt.Sprintf("%.0f", p.QPS),
+			fmt.Sprintf("%.0f", p.P99LatencyUS),
+		})
+	}
+	return &Table{
+		ID:    "chaos",
+		Title: fmt.Sprintf("Availability under fault injection on %s (%d shards, %d-query batch, k=%d)", r.Corpus, r.Shards, r.Batch, r.K),
+		Header: []string{
+			"fault-rate", "queries", "ok", "degraded", "failed",
+			"availability", "dev-retries", "shard-retries", "breaker-opens",
+			"qps", "p99-us",
+		},
+		Rows: rows,
+		Notes: []string{
+			"fault-rate is the per-access probability of both transient and uncorrectable errors",
+			"availability counts degraded (partial) results as available",
+			"wall-clock host throughput/latency (not simulated device latency)",
+		},
+	}
+}

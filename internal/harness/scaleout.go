@@ -29,7 +29,10 @@ func Scaleout(ctx *Context) []*Table {
 			"system QPS (hw topk)", "system QPS (host topk)"},
 	}
 	for _, nodes := range []int{1, 2, 4, 8} {
-		cl := pool.NewCluster(pool.DefaultConfig(), s.Corpus, nodes)
+		cl, err := pool.NewCluster(pool.DefaultConfig(), s.Corpus, nodes)
+		if err != nil {
+			panic(err)
+		}
 		perShard := make([]*perf.Metrics, cl.Shards())
 		var linkBytes, hostTopkBytes float64
 		n := 0

@@ -122,7 +122,10 @@ func Wallclock(ctx *Context, shards int) *WallclockReport {
 		}
 	})
 
-	cl := pool.NewCluster(pool.DefaultConfig(), s.Corpus, shards)
+	cl, err := pool.NewCluster(pool.DefaultConfig(), s.Corpus, shards)
+	if err != nil {
+		panic(err)
+	}
 	rep.ClusterSerialQPS = measureQPS(len(exprs), func() {
 		for _, e := range exprs {
 			if _, err := cl.SearchSerial(e, k); err != nil {

@@ -1,6 +1,7 @@
 package index
 
 import (
+	"fmt"
 	"sync"
 
 	"boss/internal/cache"
@@ -44,6 +45,11 @@ type Cursor struct {
 	cache  *cache.Cache
 	ent    *cache.Entry
 	listID uint64
+
+	// err records a block integrity failure; the cursor then reports
+	// done so corrupt postings are never scored. Callers that must
+	// distinguish exhaustion from corruption check Err.
+	err error
 }
 
 // NewCursor returns a cursor positioned at the first posting of pl.
@@ -100,6 +106,12 @@ func (c *Cursor) loadNextBlock() {
 		c.done = true
 		return
 	}
+	// Integrity gate: a block whose payload fails its CRC must neither
+	// be scored nor published to the shared decoded-block cache.
+	if !c.pl.VerifyBlock(c.block) {
+		c.failBlock(c.block)
+		return
+	}
 	// OnBlock fires on cache hits too: the simulated models charge the
 	// block's memory traffic identically whether or not the host process
 	// happened to have the decoded form at hand.
@@ -133,6 +145,19 @@ func (c *Cursor) loadBlockCached() {
 	c.ent = e
 	c.docs, c.tfs = e.Docs(), e.Tfs()
 }
+
+// failBlock latches a corruption error and terminates iteration.
+// Outlined from the block-load path (hotpath: no fmt inline).
+func (c *Cursor) failBlock(b int) {
+	c.err = fmt.Errorf("index: list %q block %d: checksum mismatch: %w", c.pl.Term, b, ErrCorrupt)
+	c.done = true
+	c.docs, c.tfs = c.docs[:0], c.tfs[:0]
+	c.pos = 0
+}
+
+// Err reports the integrity failure that terminated iteration, if any.
+// A cursor that ran off the end of its list returns nil.
+func (c *Cursor) Err() error { return c.err }
 
 // Valid reports whether the cursor points at a posting.
 func (c *Cursor) Valid() bool { return !c.done }

@@ -10,6 +10,7 @@ package index
 
 import (
 	"fmt"
+	"hash/crc32"
 	"runtime"
 	"sort"
 	"sync"
@@ -40,6 +41,13 @@ type BlockMeta struct {
 	Offset   uint32  // byte offset of the compressed payload within the list
 	Length   uint32  // byte length of the compressed payload
 	Count    uint16  // number of postings in the block (≤ block size)
+	// Checksum is the CRC32-C of the compressed payload, computed at
+	// build time and verified on fetch so media corruption is detected
+	// instead of silently scored. Zero means "unchecksummed" (lists
+	// hand-built before PR 5, e.g. in tests). It is not part of the
+	// paper's 19-byte metadata budget: SCM devices keep block CRCs in
+	// the per-line ECC/spare area, so BlockMetaBytes is unchanged.
+	Checksum uint32
 }
 
 // PostingList is one term's compressed posting list.
@@ -295,12 +303,32 @@ func buildList(idx *Index, term string, postings []corpus.Posting, opts BuildOpt
 			Offset:   offset,
 			Length:   uint32(len(pl.Data)) - offset,
 			Count:    uint16(len(blk)),
+			Checksum: ChecksumPayload(pl.Data[offset:]),
 		})
 		if maxScore > pl.MaxScore {
 			pl.MaxScore = maxScore
 		}
 	}
 	return pl
+}
+
+// castagnoli is the CRC32-C polynomial table used for block integrity
+// (the same polynomial SCM/NVMe devices use for end-to-end protection).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ChecksumPayload computes the CRC32-C integrity checksum of a block
+// payload. Allocation-free, so fetch paths may call it inline.
+func ChecksumPayload(p []byte) uint32 { return crc32.Checksum(p, castagnoli) }
+
+// VerifyBlock recomputes block b's payload checksum, reporting whether
+// the payload is intact. Unchecksummed blocks (Checksum == 0) always
+// verify.
+func (pl *PostingList) VerifyBlock(b int) bool {
+	meta := pl.Blocks[b]
+	if meta.Checksum == 0 {
+		return true
+	}
+	return ChecksumPayload(pl.Data[meta.Offset:meta.Offset+meta.Length]) == meta.Checksum
 }
 
 // List returns the posting list for term, or nil if the term is not

@@ -3,26 +3,51 @@ package index
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 
 	"boss/internal/compress"
 )
 
-// Binary index format:
+// Binary index format (version 2):
 //
-//	magic "BOSSIDX1"
+//	magic "BOSSIDX2"
 //	numDocs u32 | avgDocLen f64 | k1 f64 | b f64 | numLists u32
 //	per list:
 //	  termLen u16 | term bytes | scheme u8 | df u32 | idf f64 |
 //	  maxScore f64 | baseAddr u64 | numBlocks u32 |
 //	  per block: first u32 | last u32 | maxScore f32 | offset u32 |
-//	             length u32 | count u16
+//	             length u32 | count u16 | checksum u32
 //	  dataLen u32 | data bytes
 //	normBaseAddr u64
 //	docNorms: numDocs × f32
-const indexMagic = "BOSSIDX1"
+//	footer: magic "BOSSEND2" | crc u32 (CRC32-C of every preceding byte)
+//
+// The footer CRC turns every truncation or bit-flip anywhere in the file
+// into a typed ErrCorrupt at load time instead of undefined behaviour at
+// query time; per-block checksums additionally catch media corruption at
+// fetch time after a clean load.
+const (
+	indexMagic  = "BOSSIDX2"
+	footerMagic = "BOSSEND2"
+)
+
+// Structural sanity bounds: a corrupt length field must produce
+// ErrCorrupt, not a multi-gigabyte allocation.
+const (
+	maxLists     = 1 << 26
+	maxBlocks    = 1 << 26
+	maxDataBytes = 1 << 30
+	maxDocs      = 1 << 30
+)
+
+// ErrCorrupt reports a structurally invalid, truncated, or
+// checksum-mismatched index file. All load failures wrap it, so callers
+// test with errors.Is(err, index.ErrCorrupt).
+var ErrCorrupt = errors.New("index: corrupt or truncated index file")
 
 // WriteTo serializes the index. It implements io.WriterTo.
 func (idx *Index) WriteTo(w io.Writer) (int64, error) {
@@ -55,6 +80,7 @@ func (idx *Index) WriteTo(w io.Writer) (int64, error) {
 			write(b.Offset)
 			write(b.Length)
 			write(b.Count)
+			write(b.Checksum)
 		}
 		write(uint32(len(pl.Data)))
 		_, _ = cw.Write(pl.Data) // countingWriter latches the first error in cw.err
@@ -63,26 +89,33 @@ func (idx *Index) WriteTo(w io.Writer) (int64, error) {
 	for _, n := range idx.DocNorms {
 		write(float32(n))
 	}
+	// Footer: seal everything written so far under a stream CRC. The
+	// footer magic itself is covered by nothing (it is the seal).
+	sum := cw.crc
+	cw.WriteString(footerMagic)
+	write(sum)
 	if cw.err == nil {
 		cw.err = cw.w.(*bufio.Writer).Flush()
 	}
 	return cw.n, cw.err
 }
 
-// Read deserializes an index written by WriteTo.
+// Read deserializes an index written by WriteTo. Any truncation, bad
+// length field, or checksum mismatch yields an error wrapping
+// ErrCorrupt.
 func Read(r io.Reader) (*Index, error) {
-	br := bufio.NewReader(r)
+	cr := &crcReader{r: bufio.NewReader(r)}
 	magic := make([]byte, len(indexMagic))
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("index: reading magic: %w", err)
+	if _, err := io.ReadFull(cr, magic); err != nil {
+		return nil, fmt.Errorf("%w: reading magic: %w", ErrCorrupt, err)
 	}
 	if string(magic) != indexMagic {
-		return nil, fmt.Errorf("index: bad magic %q", magic)
+		return nil, fmt.Errorf("%w: bad magic %q (want %q)", ErrCorrupt, magic, indexMagic)
 	}
 	var err error
 	read := func(v interface{}) {
 		if err == nil {
-			err = binary.Read(br, binary.LittleEndian, v)
+			err = binary.Read(cr, binary.LittleEndian, v)
 		}
 	}
 	idx := &Index{Lists: make(map[string]*PostingList)}
@@ -93,18 +126,21 @@ func Read(r io.Reader) (*Index, error) {
 	read(&idx.Params.B)
 	read(&numLists)
 	if err != nil {
-		return nil, fmt.Errorf("index: reading header: %w", err)
+		return nil, fmt.Errorf("%w: reading header: %w", ErrCorrupt, err)
+	}
+	if numDocs > maxDocs || numLists > maxLists {
+		return nil, fmt.Errorf("%w: implausible header (docs=%d lists=%d)", ErrCorrupt, numDocs, numLists)
 	}
 	idx.NumDocs = int(numDocs)
 	for i := uint32(0); i < numLists; i++ {
 		var termLen uint16
 		read(&termLen)
 		if err != nil {
-			return nil, fmt.Errorf("index: list %d: %w", i, err)
+			return nil, fmt.Errorf("%w: list %d: %w", ErrCorrupt, i, err)
 		}
 		termBytes := make([]byte, termLen)
-		if _, err = io.ReadFull(br, termBytes); err != nil {
-			return nil, fmt.Errorf("index: list %d term: %w", i, err)
+		if _, err = io.ReadFull(cr, termBytes); err != nil {
+			return nil, fmt.Errorf("%w: list %d term: %w", ErrCorrupt, i, err)
 		}
 		pl := &PostingList{Term: string(termBytes)}
 		pl.id.Store(nextListID.Add(1))
@@ -117,7 +153,10 @@ func Read(r io.Reader) (*Index, error) {
 		read(&pl.BaseAddr)
 		read(&numBlocks)
 		if err != nil {
-			return nil, fmt.Errorf("index: list %q header: %w", pl.Term, err)
+			return nil, fmt.Errorf("%w: list %q header: %w", ErrCorrupt, pl.Term, err)
+		}
+		if numBlocks > maxBlocks {
+			return nil, fmt.Errorf("%w: list %q: implausible block count %d", ErrCorrupt, pl.Term, numBlocks)
 		}
 		pl.Scheme = compress.Scheme(scheme)
 		pl.codec = compress.ForScheme(pl.Scheme)
@@ -132,15 +171,25 @@ func Read(r io.Reader) (*Index, error) {
 			read(&b.Offset)
 			read(&b.Length)
 			read(&b.Count)
+			read(&b.Checksum)
 			b.MaxScore = float64(ms)
 		}
 		read(&dataLen)
 		if err != nil {
-			return nil, fmt.Errorf("index: list %q blocks: %w", pl.Term, err)
+			return nil, fmt.Errorf("%w: list %q blocks: %w", ErrCorrupt, pl.Term, err)
+		}
+		if dataLen > maxDataBytes {
+			return nil, fmt.Errorf("%w: list %q: implausible data length %d", ErrCorrupt, pl.Term, dataLen)
 		}
 		pl.Data = make([]byte, dataLen)
-		if _, err = io.ReadFull(br, pl.Data); err != nil {
-			return nil, fmt.Errorf("index: list %q data: %w", pl.Term, err)
+		if _, err = io.ReadFull(cr, pl.Data); err != nil {
+			return nil, fmt.Errorf("%w: list %q data: %w", ErrCorrupt, pl.Term, err)
+		}
+		for bi := range pl.Blocks {
+			b := &pl.Blocks[bi]
+			if uint64(b.Offset)+uint64(b.Length) > uint64(dataLen) {
+				return nil, fmt.Errorf("%w: list %q block %d exceeds payload", ErrCorrupt, pl.Term, bi)
+			}
 		}
 		idx.Lists[pl.Term] = pl
 	}
@@ -152,16 +201,35 @@ func Read(r io.Reader) (*Index, error) {
 		idx.DocNorms[d] = float64(n)
 	}
 	if err != nil {
-		return nil, fmt.Errorf("index: reading norms: %w", err)
+		return nil, fmt.Errorf("%w: reading norms: %w", ErrCorrupt, err)
+	}
+	// Footer: the stream CRC accumulated so far must match the sealed
+	// value. Read the footer outside the CRC accounting.
+	sum := cr.crc
+	footer := make([]byte, len(footerMagic))
+	if _, err := io.ReadFull(cr, footer); err != nil {
+		return nil, fmt.Errorf("%w: reading footer: %w", ErrCorrupt, err)
+	}
+	if string(footer) != footerMagic {
+		return nil, fmt.Errorf("%w: bad footer magic %q (truncated file?)", ErrCorrupt, footer)
+	}
+	var sealed uint32
+	if err := binary.Read(cr, binary.LittleEndian, &sealed); err != nil {
+		return nil, fmt.Errorf("%w: reading footer checksum: %w", ErrCorrupt, err)
+	}
+	if sealed != sum {
+		return nil, fmt.Errorf("%w: checksum mismatch (file %08x, computed %08x)", ErrCorrupt, sealed, sum)
 	}
 	idx.TotalBytes = idx.NormBaseAddr + uint64(idx.NumDocs*DocNormBytes)
 	return idx, nil
 }
 
-// countingWriter tracks bytes written and the first error.
+// countingWriter tracks bytes written, the running stream CRC, and the
+// first error.
 type countingWriter struct {
 	w   io.Writer
 	n   int64
+	crc uint32
 	err error
 }
 
@@ -171,12 +239,25 @@ func (cw *countingWriter) Write(p []byte) (int, error) {
 	}
 	n, err := cw.w.Write(p)
 	cw.n += int64(n)
+	cw.crc = crc32.Update(cw.crc, castagnoli, p[:n])
 	cw.err = err
 	return n, err
 }
 
 func (cw *countingWriter) WriteString(s string) {
 	_, _ = cw.Write([]byte(s)) // error latched in cw.err
+}
+
+// crcReader accumulates the CRC32-C of everything read through it.
+type crcReader struct {
+	r   io.Reader
+	crc uint32
+}
+
+func (cr *crcReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.crc = crc32.Update(cr.crc, castagnoli, p[:n])
+	return n, err
 }
 
 // approxEqual allows for float32 rounding introduced by serialization.

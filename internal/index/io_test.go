@@ -1,0 +1,140 @@
+package index
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"boss/internal/compress"
+	"boss/internal/corpus"
+)
+
+func serialized(t *testing.T) ([]byte, *Index) {
+	t.Helper()
+	idx := Build(corpus.Generate(corpus.CCNewsLike(0.003)), BuildOptions{Scheme: compress.SchemeHybrid})
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	return buf.Bytes(), idx
+}
+
+func TestBlockChecksumsPopulatedAndVerify(t *testing.T) {
+	data, idx := serialized(t)
+	for _, term := range idx.Terms()[:20] {
+		pl := idx.Lists[term]
+		for b := range pl.Blocks {
+			if pl.Blocks[b].Checksum == 0 {
+				t.Fatalf("list %q block %d has zero checksum", term, b)
+			}
+			if !pl.VerifyBlock(b) {
+				t.Fatalf("list %q block %d fails verification at build time", term, b)
+			}
+		}
+	}
+	got, err := Read(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	for _, term := range got.Terms()[:20] {
+		pl := got.Lists[term]
+		for b := range pl.Blocks {
+			if pl.Blocks[b].Checksum != idx.Lists[term].Blocks[b].Checksum {
+				t.Fatalf("list %q block %d checksum not preserved by serialization", term, b)
+			}
+		}
+	}
+}
+
+func TestVerifyBlockDetectsCorruption(t *testing.T) {
+	_, idx := serialized(t)
+	term := idx.Terms()[0]
+	pl := idx.Lists[term]
+	off := pl.Blocks[0].Offset
+	pl.Data[off] ^= 0x40
+	if pl.VerifyBlock(0) {
+		t.Fatal("corrupted payload passed verification")
+	}
+	pl.Data[off] ^= 0x40
+	if !pl.VerifyBlock(0) {
+		t.Fatal("restored payload failed verification")
+	}
+}
+
+// Flipping any single byte anywhere in the file must yield ErrCorrupt —
+// the footer stream CRC seals regions no structural check covers.
+func TestReadRejectsBitFlips(t *testing.T) {
+	data, _ := serialized(t)
+	for _, pos := range []int{0, 11, len(data) / 3, len(data) / 2, len(data) - 20, len(data) - 1} {
+		mut := bytes.Clone(data)
+		mut[pos] ^= 0x01
+		_, err := Read(bytes.NewReader(mut))
+		if err == nil {
+			t.Fatalf("byte flip at %d/%d went undetected", pos, len(data))
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("byte flip at %d: error %v does not wrap ErrCorrupt", pos, err)
+		}
+	}
+}
+
+func TestReadRejectsTruncation(t *testing.T) {
+	data, _ := serialized(t)
+	for _, keep := range []int{0, 4, len(data) / 4, len(data) / 2, len(data) - 5, len(data) - 1} {
+		_, err := Read(bytes.NewReader(data[:keep]))
+		if err == nil {
+			t.Fatalf("truncation to %d/%d bytes went undetected", keep, len(data))
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation to %d: error %v does not wrap ErrCorrupt", keep, err)
+		}
+	}
+}
+
+func TestReadRejectsImplausibleLengths(t *testing.T) {
+	data, _ := serialized(t)
+	// numLists lives right after magic(8) + numDocs(4) + avgDocLen(8) +
+	// k1(8) + b(8) = offset 36. Blast it to the maximum.
+	mut := bytes.Clone(data)
+	for i := 0; i < 4; i++ {
+		mut[36+i] = 0xff
+	}
+	_, err := Read(bytes.NewReader(mut))
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("implausible list count: error %v does not wrap ErrCorrupt", err)
+	}
+}
+
+// A cursor over a corrupted block must stop with a typed error rather
+// than score garbage or publish it to a cache.
+func TestCursorStopsOnCorruptBlock(t *testing.T) {
+	_, idx := serialized(t)
+	var pl *PostingList
+	for _, term := range idx.Terms() {
+		if len(idx.Lists[term].Blocks) >= 3 {
+			pl = idx.Lists[term]
+			break
+		}
+	}
+	if pl == nil {
+		t.Skip("no multi-block list in test corpus")
+	}
+	pl.Data[pl.Blocks[1].Offset] ^= 0xff
+
+	cur := NewCursor(idx, pl)
+	defer cur.Release()
+	seen := 0
+	for cur.Valid() {
+		seen++
+		cur.Next()
+	}
+	if cur.Err() == nil {
+		t.Fatal("cursor consumed a corrupt block without error")
+	}
+	if !errors.Is(cur.Err(), ErrCorrupt) {
+		t.Fatalf("cursor error %v does not wrap ErrCorrupt", cur.Err())
+	}
+	if want := int(pl.Blocks[0].Count); seen != want {
+		t.Fatalf("cursor consumed %d postings, want exactly the %d intact ones", seen, want)
+	}
+}

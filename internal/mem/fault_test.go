@@ -1,0 +1,219 @@
+package mem
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"boss/internal/sim"
+)
+
+func TestFaultPlanEmpty(t *testing.T) {
+	var p *FaultPlan
+	if !p.Empty() {
+		t.Fatal("nil plan should be empty")
+	}
+	if p.InjectorFor(0) != nil {
+		t.Fatal("nil plan must yield nil injector")
+	}
+	zero := &FaultPlan{Seed: 42}
+	if !zero.Empty() || zero.InjectorFor(3) != nil {
+		t.Fatal("zero-rate plan must be empty and yield nil injector")
+	}
+	live := &FaultPlan{Seed: 42, TransientRate: 0.01}
+	if live.Empty() || live.InjectorFor(0) == nil {
+		t.Fatal("plan with a rate must yield an injector")
+	}
+}
+
+func TestBlockFaultDeterministic(t *testing.T) {
+	p := &FaultPlan{Seed: 7, TransientRate: 0.05, UncorrectableRate: 0.01}
+	a := p.InjectorFor(2)
+	b := p.InjectorFor(2)
+	for key := uint64(0); key < 64; key++ {
+		for blk := uint32(0); blk < 16; blk++ {
+			for att := uint32(0); att < 4; att++ {
+				if got, want := a.BlockFault(key, blk, att), b.BlockFault(key, blk, att); got != want {
+					t.Fatalf("nondeterministic decision key=%d blk=%d att=%d: %v vs %v", key, blk, att, got, want)
+				}
+			}
+		}
+	}
+	other := p.InjectorFor(3)
+	same := 0
+	total := 0
+	for key := uint64(0); key < 256; key++ {
+		total++
+		if a.BlockFault(key, 0, 0) == other.BlockFault(key, 0, 0) &&
+			a.BlockFault(key, 0, 0) != FaultNone {
+			same++
+		}
+	}
+	if same == total {
+		t.Fatal("different devices should not share fault patterns")
+	}
+}
+
+func TestBlockFaultRates(t *testing.T) {
+	p := &FaultPlan{Seed: 99, TransientRate: 0.10, UncorrectableRate: 0.02}
+	in := p.InjectorFor(0)
+	const n = 200000
+	var transient, uncorrectable int
+	for i := 0; i < n; i++ {
+		switch in.BlockFault(uint64(i), uint32(i%7), 0) {
+		case FaultTransient:
+			transient++
+		case FaultUncorrectable:
+			uncorrectable++
+		}
+	}
+	if got := float64(transient) / n; math.Abs(got-0.10) > 0.01 {
+		t.Errorf("transient rate %.4f, want ~0.10", got)
+	}
+	if got := float64(uncorrectable) / n; math.Abs(got-0.02) > 0.005 {
+		t.Errorf("uncorrectable rate %.4f, want ~0.02", got)
+	}
+}
+
+// A block the plan declares uncorrectable must stay uncorrectable on
+// every re-read: retrying media errors must not clear them.
+func TestUncorrectablePersistsAcrossAttempts(t *testing.T) {
+	p := &FaultPlan{Seed: 5, UncorrectableRate: 0.05}
+	in := p.InjectorFor(1)
+	checked := 0
+	for key := uint64(0); key < 5000 && checked < 25; key++ {
+		if in.BlockFault(key, 3, 0) != FaultUncorrectable {
+			continue
+		}
+		checked++
+		for att := uint32(1); att < 8; att++ {
+			if got := in.BlockFault(key, 3, att); got != FaultUncorrectable {
+				t.Fatalf("key %d attempt %d: uncorrectable block returned %v", key, att, got)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no uncorrectable blocks sampled")
+	}
+}
+
+// Transient faults must usually clear on retry (attempt-salted draw).
+func TestTransientClearsOnRetry(t *testing.T) {
+	p := &FaultPlan{Seed: 11, TransientRate: 0.05}
+	in := p.InjectorFor(0)
+	cleared, hit := 0, 0
+	for key := uint64(0); key < 20000; key++ {
+		if in.BlockFault(key, 0, 0) != FaultTransient {
+			continue
+		}
+		hit++
+		for att := uint32(1); att < 4; att++ {
+			if in.BlockFault(key, 0, att) == FaultNone {
+				cleared++
+				break
+			}
+		}
+	}
+	if hit == 0 {
+		t.Fatal("no transient faults sampled")
+	}
+	if float64(cleared)/float64(hit) < 0.8 {
+		t.Errorf("only %d/%d transient faults cleared within 3 retries", cleared, hit)
+	}
+}
+
+func TestDeadDevice(t *testing.T) {
+	p := &FaultPlan{Seed: 1, DeadDevices: []int{2}}
+	if in := p.InjectorFor(2); !in.Dead() || in.BlockFault(1, 1, 0) != FaultDeviceDown {
+		t.Fatal("device 2 should be dead")
+	}
+	if in := p.InjectorFor(0); in.Dead() {
+		t.Fatal("device 0 should be alive")
+	}
+	node := NewNode(SCM())
+	node.SetFault(p.InjectorFor(2))
+	if _, err := node.ReadChecked(0, 0, 4096, Sequential, CatLoadList, 0); !errors.Is(err, ErrDeviceDown) {
+		t.Fatalf("read on dead device: err=%v, want ErrDeviceDown", err)
+	}
+}
+
+func TestChannelDegradationSlowsReads(t *testing.T) {
+	clean := NewNode(SCM())
+	slow := NewNode(SCM())
+	p := &FaultPlan{Seed: 1, Degraded: []ChannelDegradation{
+		{Device: 0, Channel: -1, BandwidthMult: 0.5, LatencyMult: 2},
+	}}
+	slow.SetFault(p.InjectorFor(0))
+
+	const size = 64 << 10
+	tClean := clean.Read(0, 0, size, Sequential, CatLoadList)
+	tSlow := slow.Read(0, 0, size, Sequential, CatLoadList)
+	if tSlow <= tClean {
+		t.Fatalf("degraded read (%v) should be slower than clean (%v)", tSlow, tClean)
+	}
+	// Occupancy doubles (bw x0.5) and latency doubles: with both
+	// components scaled by exactly 2 the total must double.
+	if tSlow != 2*tClean {
+		t.Fatalf("degraded read %v, want exactly 2x clean %v", tSlow, tClean)
+	}
+
+	// A degradation scoped to channel 1 must not touch channel 0.
+	scoped := NewNode(SCM())
+	ps := &FaultPlan{Seed: 1, Degraded: []ChannelDegradation{
+		{Device: 0, Channel: 1, BandwidthMult: 0.25},
+	}}
+	scoped.SetFault(ps.InjectorFor(0))
+	if got := scoped.Read(0, 0, size, Sequential, CatLoadList); got != tClean {
+		t.Fatalf("channel-0 read %v changed by channel-1 degradation (clean %v)", got, tClean)
+	}
+}
+
+// With an injector attached but nothing degraded and zero rates the plan
+// is Empty, so InjectorFor returns nil and timings cannot drift. Guard
+// the next-closest case too: live injector, but clean channel.
+func TestNilInjectorIdentical(t *testing.T) {
+	a := NewNode(SCM())
+	b := NewNode(SCM())
+	b.SetFault(nil)
+	var addr uint64
+	for i := 0; i < 100; i++ {
+		ta := a.Read(sim.Time(i), addr, 300, Random, CatLoadScore)
+		tb := b.Read(sim.Time(i), addr, 300, Random, CatLoadScore)
+		if ta != tb {
+			t.Fatalf("nil-injector read diverged at %d: %v vs %v", i, ta, tb)
+		}
+		addr += 8192
+	}
+}
+
+func TestReadCheckedInjectsTypedErrors(t *testing.T) {
+	p := &FaultPlan{Seed: 3, TransientRate: 0.2, UncorrectableRate: 0.05}
+	node := NewNode(SCM())
+	node.SetFault(p.InjectorFor(0))
+	var transient, uncorrectable, ok int
+	for i := uint64(0); i < 2000; i++ {
+		_, err := node.ReadChecked(0, i*4096, 512, Sequential, CatLoadList, i)
+		switch {
+		case err == nil:
+			ok++
+		case errors.Is(err, ErrTransientRead):
+			transient++
+		case errors.Is(err, ErrMediaUncorrectable):
+			uncorrectable++
+		default:
+			t.Fatalf("unexpected error type: %v", err)
+		}
+	}
+	if transient == 0 || uncorrectable == 0 || ok == 0 {
+		t.Fatalf("want a mix of outcomes, got ok=%d transient=%d uncorrectable=%d", ok, transient, uncorrectable)
+	}
+}
+
+func TestStableKeyDeterministic(t *testing.T) {
+	if StableKey("retrieval") != StableKey("retrieval") {
+		t.Fatal("StableKey must be deterministic")
+	}
+	if StableKey("a") == StableKey("b") {
+		t.Fatal("distinct terms should hash apart")
+	}
+}

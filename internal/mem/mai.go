@@ -93,6 +93,13 @@ func (m *MAI) Read(at sim.Time, addr uint64, size int, pattern Pattern, category
 	return m.node.Read(at, addr, size, pattern, category)
 }
 
+// ReadChecked translates and issues a read under the node's fault
+// injector, returning completion time and any injected error.
+func (m *MAI) ReadChecked(at sim.Time, addr uint64, size int, pattern Pattern, category Category, ordinal uint64) (sim.Time, error) {
+	at += m.tlb.Lookup(addr)
+	return m.node.ReadChecked(at, addr, size, pattern, category, ordinal)
+}
+
 // Write translates and issues a write, returning completion time.
 func (m *MAI) Write(at sim.Time, addr uint64, size int, category Category) sim.Time {
 	at += m.tlb.Lookup(addr)

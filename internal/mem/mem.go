@@ -163,6 +163,10 @@ type Node struct {
 	cfg      Config
 	channels []*sim.Resource
 	stats    *sim.Stats
+	// fault, when non-nil, degrades channels and injects read errors.
+	// Nil keeps every timing computation byte-identical to the
+	// fault-free model.
+	fault *Injector
 }
 
 // NewNode builds a memory node from cfg.
@@ -180,14 +184,25 @@ func NewNode(cfg Config) *Node {
 // Config returns the node's device configuration.
 func (n *Node) Config() Config { return n.cfg }
 
+// SetFault attaches a fault injector (nil restores the pristine model).
+func (n *Node) SetFault(inj *Injector) { n.fault = inj }
+
+// Fault returns the attached injector, nil when none.
+func (n *Node) Fault() *Injector { return n.fault }
+
 // Stats returns the node's traffic counters. Byte counts are kept per
 // category under "<cat> bytes" and per direction under "read bytes" /
 // "write bytes"; access counts under "<cat> accesses".
 func (n *Node) Stats() *sim.Stats { return n.stats }
 
+// channelIndex picks the channel serving addr (page-stripe interleaving).
+func (n *Node) channelIndex(addr uint64) int {
+	return int((addr / stripeBytes) % uint64(len(n.channels)))
+}
+
 // channelFor picks the channel serving addr (page-stripe interleaving).
 func (n *Node) channelFor(addr uint64) *sim.Resource {
-	return n.channels[(addr/stripeBytes)%uint64(len(n.channels))]
+	return n.channels[n.channelIndex(addr)]
 }
 
 // transferTime computes channel occupancy for size bytes at an aggregate
@@ -213,10 +228,34 @@ func (n *Node) Read(at sim.Time, addr uint64, size int, pattern Pattern, categor
 			effective = size + n.cfg.Granularity - rem
 		}
 	}
-	ch := n.channelFor(addr)
-	done := ch.Acquire(at, n.transferTime(effective, bw))
+	ci := n.channelIndex(addr)
+	occupancy := n.transferTime(effective, bw)
+	latency := n.cfg.ReadLatency
+	if n.fault != nil {
+		occupancy, latency = n.fault.degrade(ci, occupancy, latency)
+	}
+	done := n.channels[ci].Acquire(at, occupancy)
 	n.account(category, size, true)
-	return done + n.cfg.ReadLatency
+	return done + latency
+}
+
+// ReadChecked is Read plus fault-plan error injection: the channel time
+// for the access is still charged (a failed read occupies the bus), and
+// the injected outcome for the access ordinal decides the error. Callers
+// that retry should re-issue with a fresh ordinal.
+func (n *Node) ReadChecked(at sim.Time, addr uint64, size int, pattern Pattern, category Category, ordinal uint64) (sim.Time, error) {
+	if n.fault != nil {
+		switch n.fault.AccessFault(ordinal) {
+		case FaultDeviceDown:
+			// A dead device does not answer: no traffic moves.
+			return at, ErrDeviceDown
+		case FaultTransient:
+			return n.Read(at, addr, size, pattern, category), ErrTransientRead
+		case FaultUncorrectable:
+			return n.Read(at, addr, size, pattern, category), ErrMediaUncorrectable
+		}
+	}
+	return n.Read(at, addr, size, pattern, category), nil
 }
 
 // Write performs a write of size bytes at addr, returning completion time.
@@ -224,10 +263,15 @@ func (n *Node) Write(at sim.Time, addr uint64, size int, category Category) sim.
 	if size <= 0 {
 		return at
 	}
-	ch := n.channelFor(addr)
-	done := ch.Acquire(at, n.transferTime(size, n.cfg.WriteGBs))
+	ci := n.channelIndex(addr)
+	occupancy := n.transferTime(size, n.cfg.WriteGBs)
+	latency := n.cfg.WriteLatency
+	if n.fault != nil {
+		occupancy, latency = n.fault.degrade(ci, occupancy, latency)
+	}
+	done := n.channels[ci].Acquire(at, occupancy)
 	n.account(category, size, false)
-	return done + n.cfg.WriteLatency
+	return done + latency
 }
 
 func (n *Node) account(category Category, size int, read bool) {

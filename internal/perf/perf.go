@@ -59,6 +59,18 @@ type Metrics struct {
 	// is unaffected by the host-side cache.
 	CacheHits         int64
 	CacheSeqReadBytes int64
+
+	// Resilience counters (PR 5). Both stay zero with an empty
+	// FaultPlan, so every reproduction figure is unaffected.
+	//
+	// TransientRetries counts block reads re-issued after an injected
+	// transient fault (each retry re-streams the block, so its traffic
+	// also appears in SeqReadBytes).
+	TransientRetries int64
+	// IntegrityFailures counts blocks whose CRC/ECC verification
+	// failed — injected uncorrectable media errors and real checksum
+	// mismatches both land here.
+	IntegrityFailures int64
 }
 
 // NewMetrics returns an empty metrics record.
@@ -139,6 +151,8 @@ func (m *Metrics) Merge(other *Metrics) {
 	m.MembershipProbes += other.MembershipProbes
 	m.CacheHits += other.CacheHits
 	m.CacheSeqReadBytes += other.CacheSeqReadBytes
+	m.TransientRetries += other.TransientRetries
+	m.IntegrityFailures += other.IntegrityFailures
 	for k, v := range other.Cat {
 		m.Cat[k] += v
 	}
@@ -167,6 +181,8 @@ func (m *Metrics) Scale(n int64) {
 	m.MembershipProbes /= n
 	m.CacheHits /= n
 	m.CacheSeqReadBytes /= n
+	m.TransientRetries /= n
+	m.IntegrityFailures /= n
 	for k := range m.Cat {
 		m.Cat[k] /= n
 	}

@@ -13,7 +13,7 @@ import (
 func cacheTestCluster(t *testing.T, cfg Config) (*Cluster, []string) {
 	t.Helper()
 	c := corpus.Generate(corpus.CCNewsLike(0.004))
-	cl := NewCluster(cfg, c, 3)
+	cl := mustCluster(t, cfg, c, 3)
 	var exprs []string
 	for _, qt := range corpus.AllQueryTypes() {
 		for _, q := range corpus.SampleZipfQueries(c, qt, 6, 0, 7) {

@@ -1,10 +1,13 @@
 package pool
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"boss/internal/cache"
 	"boss/internal/compress"
@@ -38,13 +41,35 @@ type Cluster struct {
 	// cache is the cross-query decoded-block cache shared by every shard's
 	// wall-clock accelerator (nil when Config.CacheBytes <= 0).
 	cache *cache.Cache
+
+	// Resilience machinery (see resilient.go): normalized policy, one
+	// breaker + event log per shard, and injectable clock/sleep hooks so
+	// breaker tests run on a fake clock.
+	res     Resilience
+	states  []*shardState
+	now     func() time.Time                                 //boss:wallclock serving-path breaker clock
+	sleepFn func(ctx context.Context, d time.Duration) error //boss:wallclock retry backoff
 }
 
+// ErrBadConfig reports an invalid cluster construction request. All
+// NewCluster validation failures wrap it.
+var ErrBadConfig = errors.New("pool: invalid cluster configuration")
+
 // NewCluster partitions the corpus into `shards` docID intervals and builds
-// one globally-consistent index per node.
-func NewCluster(cfg Config, c *corpus.Corpus, shards int) *Cluster {
+// one globally-consistent index per node. Invalid requests — a
+// non-positive shard count, a nil or empty corpus, or more shards than
+// documents (which would leave shards with no documents) — return an
+// error wrapping ErrBadConfig instead of panicking.
+func NewCluster(cfg Config, c *corpus.Corpus, shards int) (*Cluster, error) {
 	if shards <= 0 {
-		panic("pool: need at least one shard")
+		return nil, fmt.Errorf("%w: need at least one shard, got %d", ErrBadConfig, shards)
+	}
+	if c == nil || c.Spec.NumDocs == 0 {
+		return nil, fmt.Errorf("%w: corpus is nil or empty", ErrBadConfig)
+	}
+	if shards > c.Spec.NumDocs {
+		return nil, fmt.Errorf("%w: %d shards over %d documents would leave empty shards",
+			ErrBadConfig, shards, c.Spec.NumDocs)
 	}
 	gs := &index.GlobalStats{
 		NumDocs:   c.Spec.NumDocs,
@@ -85,7 +110,8 @@ func NewCluster(cfg Config, c *corpus.Corpus, shards int) *Cluster {
 		}
 		cl.shardTerms[si] = terms
 	}
-	return cl
+	cl.initResilience(cfg.Resilience)
+	return cl, nil
 }
 
 // Cache returns the cluster's decoded-block cache, or nil when disabled.
@@ -203,6 +229,14 @@ type ClusterResult struct {
 	// LinkBytes is the total result traffic all nodes pushed over the
 	// shared interconnect for this query.
 	LinkBytes int64
+	// Degraded is a bitmask of shards whose results are missing from
+	// TopK (bit si set = shard si failed). Zero means the result is
+	// complete. Only the resilient paths (SearchCtx/SearchBatchCtx)
+	// degrade; plain Search fails the query on any shard error.
+	Degraded uint64
+	// ShardErrs, non-nil only for degraded results, holds each failed
+	// shard's error at its shard index.
+	ShardErrs []error
 }
 
 // validate parses the expression and rejects terms entirely absent from the
@@ -419,6 +453,9 @@ func (cl *Cluster) RunBatch(exprs []string, gap sim.Duration, cfg Config) (*Clus
 	devices := make([]*Device, len(cl.shards))
 	for i, idx := range cl.shards {
 		devices[i] = New(cfg, idx)
+		if !cfg.Faults.Empty() {
+			devices[i].SetFault(cfg.Faults.InjectorFor(i))
+		}
 	}
 	for qi, expr := range exprs {
 		node, err := query.Parse(expr)

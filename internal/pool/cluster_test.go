@@ -16,8 +16,17 @@ func clusterFixture(t testing.TB, shards int) (*corpus.Corpus, *index.Index, *Cl
 	t.Helper()
 	c := corpus.Generate(corpus.CCNewsLike(0.006))
 	global := index.Build(c, index.BuildOptions{Scheme: compress.SchemeHybrid})
-	cl := NewCluster(DefaultConfig(), c, shards)
-	return c, global, cl
+	return c, global, mustCluster(t, DefaultConfig(), c, shards)
+}
+
+// mustCluster builds a cluster or fails the test.
+func mustCluster(t testing.TB, cfg Config, c *corpus.Corpus, shards int) *Cluster {
+	t.Helper()
+	cl, err := NewCluster(cfg, c, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
 }
 
 func entriesEqual(a, b []topk.Entry) bool {
@@ -63,14 +72,14 @@ func TestClusterShardCounts(t *testing.T) {
 	}
 	// One shard degenerates to the single-node case.
 	c := corpus.Generate(corpus.CCNewsLike(0.004))
-	one := NewCluster(DefaultConfig(), c, 1)
+	one := mustCluster(t, DefaultConfig(), c, 1)
 	if one.Shards() != 1 {
 		t.Fatalf("single shard cluster has %d shards", one.Shards())
 	}
 	// More shards than documents: builder stops at populated intervals.
 	tiny := &corpus.Corpus{}
 	*tiny = *c
-	many := NewCluster(DefaultConfig(), tiny, 7)
+	many := mustCluster(t, DefaultConfig(), tiny, 7)
 	if many.Shards() < 2 {
 		t.Fatal("sharding produced too few nodes")
 	}
@@ -208,7 +217,7 @@ func TestClusterRunBatch(t *testing.T) {
 	}
 	// Sharding the work should let the pool beat a single node holding
 	// everything (each shard processes ~1/3 of the postings per query).
-	single := NewCluster(DefaultConfig(), c, 1)
+	single := mustCluster(t, DefaultConfig(), c, 1)
 	sRep, err := single.RunBatch(exprs, 0, cfg)
 	if err != nil {
 		t.Fatal(err)

@@ -39,7 +39,7 @@ func TestClusterSearchParallelMatchesSerial(t *testing.T) {
 // including the inline workers==1 path.
 func TestClusterSearchWorkerWidths(t *testing.T) {
 	c, _, _ := clusterFixture(t, 4)
-	ref := NewCluster(DefaultConfig(), c, 4)
+	ref := mustCluster(t, DefaultConfig(), c, 4)
 	want, err := ref.SearchSerial(`"t0" OR "t1"`, 20)
 	if err != nil {
 		t.Fatal(err)
@@ -47,7 +47,7 @@ func TestClusterSearchWorkerWidths(t *testing.T) {
 	for _, w := range []int{1, 2, 4, 16} {
 		cfg := DefaultConfig()
 		cfg.Workers = w
-		cl := NewCluster(cfg, c, 4)
+		cl := mustCluster(t, cfg, c, 4)
 		got, err := cl.Search(`"t0" OR "t1"`, 20)
 		if err != nil {
 			t.Fatal(err)

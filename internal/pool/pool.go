@@ -10,6 +10,7 @@
 package pool
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -43,6 +44,14 @@ type Config struct {
 	// the event-driven simulated Device (RunBatch), whose modeled figures
 	// must not depend on host-side caching.
 	CacheBytes int64
+	// Resilience configures the cluster's serving-path fault handling
+	// (SearchCtx/SearchBatchCtx). Zero fields take DefaultResilience
+	// values.
+	Resilience Resilience
+	// Faults, when non-empty, is the fault plan RunBatch applies to its
+	// simulated devices (shard si plays device si). Nil injects nothing
+	// and keeps every modeled figure byte-identical.
+	Faults *mem.FaultPlan
 }
 
 // DefaultCacheBytes is the default decoded-block cache budget for wall-
@@ -71,6 +80,9 @@ type Job struct {
 	Submit sim.Time
 	Start  sim.Time
 	Done   sim.Time
+	// Err is the typed fault that killed the job's replay, nil on
+	// success. Always nil when the device has no fault injector.
+	Err error
 }
 
 // Latency reports the job's queueing + execution time.
@@ -88,6 +100,14 @@ type Device struct {
 	mai  *mem.MAI
 	link *mem.Link
 	acc  *core.Accelerator
+
+	// inj, when non-nil, injects faults into the replay: degraded
+	// channels slow reads via the node model, and per-access fault draws
+	// can fail a job with a typed error.
+	inj *mem.Injector
+	// ordinal numbers the device's checked accesses so fault draws are a
+	// pure function of the (deterministic) replay order.
+	ordinal uint64
 
 	// command queue (Figure 4's front end)
 	queue []*Job
@@ -114,6 +134,13 @@ func New(cfg Config, idx *index.Index) *Device {
 		acc:      core.New(idx, cfg.Opts),
 		coreFree: make([]sim.Time, cfg.Cores),
 	}
+}
+
+// SetFault attaches a fault injector to the device's replay (nil
+// restores the pristine model). Setup-time only.
+func (d *Device) SetFault(inj *mem.Injector) {
+	d.inj = inj
+	d.node.SetFault(inj)
 }
 
 // Submit enqueues a query at the given simulated arrival time. It returns
@@ -173,6 +200,9 @@ func (d *Device) nextFreeCore(at sim.Time) int {
 // execute replays one job's traffic against the shared node starting at
 // start and returns its completion time.
 func (d *Device) execute(j *Job, start sim.Time) sim.Time {
+	if d.inj != nil {
+		return d.executeFaulty(j, start)
+	}
 	m := j.m
 	// Memory traffic: sequential bytes stream in stripe-sized chunks,
 	// random accesses go one device line at a time, writes in chunks.
@@ -224,6 +254,82 @@ func (d *Device) execute(j *Job, start sim.Time) sim.Time {
 	return done
 }
 
+// replayMaxAttempts bounds the device's simulated re-reads of a
+// transiently-failing access (matches the core model's fetch retry).
+const replayMaxAttempts = 4
+
+// executeFaulty is execute under an attached fault injector: reads go
+// through the checked path, transient errors retry (re-charging channel
+// time), and a permanent fault kills the job with a typed error. The
+// pristine path never runs this code, so fault-free figures stay
+// byte-identical.
+func (d *Device) executeFaulty(j *Job, start sim.Time) sim.Time {
+	if d.inj.Dead() {
+		j.Err = mem.ErrDeviceDown
+		return start
+	}
+	m := j.m
+	var memDone sim.Time
+	addr := uint64(j.Submit)
+	issue := start
+	charge := func(done sim.Time) {
+		if done > memDone {
+			memDone = done
+		}
+	}
+	read := func(a uint64, size int, pattern mem.Pattern) bool {
+		for attempt := 0; ; attempt++ {
+			d.ordinal++
+			done, err := d.mai.ReadChecked(issue, a, size, pattern, mem.CatLoadList, d.ordinal)
+			charge(done)
+			if err == nil {
+				return true
+			}
+			if errors.Is(err, mem.ErrTransientRead) && attempt+1 < replayMaxAttempts {
+				continue // re-read: the retry recharges the channel
+			}
+			j.Err = err
+			return false
+		}
+	}
+	ok := true
+	for remaining := m.SeqReadBytes; ok && remaining > 0; remaining -= chunkBytes {
+		size := int64(chunkBytes)
+		if remaining < size {
+			size = remaining
+		}
+		ok = read(addr, int(size), mem.Sequential)
+		addr += chunkBytes
+	}
+	if ok && m.RandAccesses > 0 {
+		per := m.RandReadBytes / m.RandAccesses
+		if per <= 0 {
+			per = 1
+		}
+		for i := int64(0); ok && i < m.RandAccesses; i++ {
+			addr = addr*6364136223846793005 + 1442695040888963407 // LCG scatter
+			ok = read(addr%(1<<41), int(per), mem.Random)
+		}
+	}
+	if !ok {
+		// The job died mid-replay: it occupied the node until the failing
+		// access returned, but ships no results over the link.
+		return maxTime(start+m.ComputeTime, memDone)
+	}
+	for remaining := m.WriteBytes; remaining > 0; remaining -= chunkBytes {
+		size := int64(chunkBytes)
+		if remaining < size {
+			size = remaining
+		}
+		charge(d.mai.Write(issue, addr, int(size), mem.CatStoreResult))
+		addr += chunkBytes
+	}
+	charge(d.link.Transfer(issue, int(m.HostBytes), mem.CatStoreResult))
+	done := maxTime(start+m.ComputeTime, memDone)
+	done += sim.Duration(m.DependentRandAccesses+m.SerialFetchHops) * d.cfg.Mem.ReadLatency
+	return done
+}
+
 func maxTime(a, b sim.Time) sim.Time {
 	if a > b {
 		return a
@@ -250,6 +356,11 @@ type Report struct {
 	LinkUtilization float64
 	// PeakChannelUtilization is the busiest channel's utilization.
 	PeakChannelUtilization float64
+	// Failed counts jobs whose replay died on an injected fault;
+	// Availability is the surviving fraction. Failed is always 0 (and
+	// Availability 1) without a fault injector.
+	Failed       int
+	Availability float64
 }
 
 func (d *Device) report() *Report {
@@ -261,6 +372,9 @@ func (d *Device) report() *Report {
 	var sumLat sim.Duration
 	var makespan sim.Time
 	for _, j := range d.jobs {
+		if j.Err != nil {
+			r.Failed++
+		}
 		l := j.Latency()
 		lats = append(lats, l)
 		sumLat += l
@@ -268,6 +382,7 @@ func (d *Device) report() *Report {
 			makespan = j.Done
 		}
 	}
+	r.Availability = float64(len(d.jobs)-r.Failed) / float64(len(d.jobs))
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 	r.Makespan = makespan
 	r.MeanLatency = sumLat / sim.Duration(len(lats))
@@ -282,11 +397,16 @@ func (d *Device) report() *Report {
 	return r
 }
 
-// String renders the report.
+// String renders the report. Fault fields appear only when something
+// failed, so fault-free output stays byte-identical to earlier versions.
 func (r *Report) String() string {
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"jobs=%d makespan=%.3fms qps=%.0f latency(mean/p50/p99)=%.1f/%.1f/%.1fus node=%.2fGB/s link=%.1f%% peak-channel=%.1f%%",
 		r.Jobs, sim.Seconds(r.Makespan)*1e3, r.QPS,
 		sim.Seconds(r.MeanLatency)*1e6, sim.Seconds(r.P50Latency)*1e6, sim.Seconds(r.P99Latency)*1e6,
 		r.NodeBandwidthGBs, 100*r.LinkUtilization, 100*r.PeakChannelUtilization)
+	if r.Failed > 0 {
+		s += fmt.Sprintf(" failed=%d avail=%.3f", r.Failed, r.Availability)
+	}
+	return s
 }

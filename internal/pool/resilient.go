@@ -1,0 +1,558 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"boss/internal/mem"
+	"boss/internal/perf"
+	"boss/internal/query"
+	"boss/internal/topk"
+)
+
+// Resilience configures the cluster's fault-handling policy: per-shard
+// deadlines, bounded retry with jittered exponential backoff, and a
+// per-shard circuit breaker. The zero value is normalized to
+// DefaultResilience by NewCluster.
+type Resilience struct {
+	// ShardTimeout bounds one shard attempt's wall-clock time
+	// (0 disables the per-attempt deadline; the parent context still
+	// applies).
+	ShardTimeout time.Duration
+	// MaxRetries is how many times a retryable shard failure is retried
+	// (so a shard sees at most MaxRetries+1 attempts). Negative disables
+	// retry entirely.
+	MaxRetries int
+	// BackoffBase is the pre-jitter delay before the first retry; it
+	// doubles per attempt up to BackoffMax.
+	BackoffBase time.Duration
+	// BackoffMax caps the exponential backoff.
+	BackoffMax time.Duration
+	// Seed drives backoff jitter. Delays are a pure function of
+	// (Seed, shard, attempt), so a replayed plan backs off identically.
+	Seed int64
+	// BreakerThreshold is the consecutive-failure count that opens a
+	// shard's circuit breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker rejects attempts
+	// before letting a half-open probe through.
+	BreakerCooldown time.Duration
+}
+
+// DefaultResilience is the serving default: two retries with 1–16 ms
+// jittered backoff, a breaker that opens after 5 consecutive failures
+// and probes again after 50 ms, and no per-attempt timeout (simulated
+// devices answer in microseconds of host time; a wall-clock deadline
+// would only add CI flakiness).
+func DefaultResilience() Resilience {
+	return Resilience{
+		MaxRetries:       2,
+		BackoffBase:      time.Millisecond,
+		BackoffMax:       16 * time.Millisecond,
+		BreakerThreshold: 5,
+		BreakerCooldown:  50 * time.Millisecond,
+	}
+}
+
+// normalize fills zero fields with their defaults.
+func (r Resilience) normalize() Resilience {
+	def := DefaultResilience()
+	if r.BackoffBase <= 0 {
+		r.BackoffBase = def.BackoffBase
+	}
+	if r.BackoffMax <= 0 {
+		r.BackoffMax = def.BackoffMax
+	}
+	if r.BreakerThreshold <= 0 {
+		r.BreakerThreshold = def.BreakerThreshold
+	}
+	if r.BreakerCooldown <= 0 {
+		r.BreakerCooldown = def.BreakerCooldown
+	}
+	return r
+}
+
+// ErrShardUnavailable reports that a shard's circuit breaker rejected
+// the attempt without issuing it.
+var ErrShardUnavailable = errors.New("pool: shard unavailable (breaker open)")
+
+// EventKind labels one entry in a shard's resilience event log.
+type EventKind uint8
+
+const (
+	EvAttempt EventKind = iota
+	EvFailure
+	EvBackoff
+	EvBreakerOpen
+	EvBreakerHalfOpen
+	EvBreakerClose
+	EvBreakerReject
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvAttempt:
+		return "attempt"
+	case EvFailure:
+		return "failure"
+	case EvBackoff:
+		return "backoff"
+	case EvBreakerOpen:
+		return "breaker-open"
+	case EvBreakerHalfOpen:
+		return "breaker-half-open"
+	case EvBreakerClose:
+		return "breaker-close"
+	case EvBreakerReject:
+		return "breaker-reject"
+	}
+	return "unknown"
+}
+
+// Event is one retry/breaker transition on one shard. The per-shard
+// sequence is deterministic given a fault plan and a query order.
+type Event struct {
+	Shard   int
+	Kind    EventKind
+	Attempt int
+	Backoff time.Duration
+	Err     error
+}
+
+// breaker states.
+const (
+	brClosed = iota
+	brOpen
+	brHalfOpen
+)
+
+// shardState is one shard's breaker plus its resilience event log, under
+// one mutex so log order matches breaker-transition order.
+type shardState struct {
+	mu       sync.Mutex
+	state    int
+	fails    int
+	openedAt time.Time
+	probing  bool
+	events   []Event
+}
+
+// record appends an event while holding s.mu.
+func (s *shardState) record(si int, kind EventKind, attempt int, backoff time.Duration, err error) {
+	s.events = append(s.events, Event{Shard: si, Kind: kind, Attempt: attempt, Backoff: backoff, Err: err})
+}
+
+// allow reports whether an attempt may be issued, applying the
+// open → half-open transition after the cooldown.
+func (s *shardState) allow(si int, now time.Time, cooldown time.Duration) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch s.state {
+	case brClosed:
+		return true
+	case brOpen:
+		if now.Sub(s.openedAt) < cooldown {
+			s.record(si, EvBreakerReject, 0, 0, nil)
+			return false
+		}
+		s.state = brHalfOpen
+		s.probing = true
+		s.record(si, EvBreakerHalfOpen, 0, 0, nil)
+		return true
+	default: // half-open: one probe in flight at a time
+		if s.probing {
+			s.record(si, EvBreakerReject, 0, 0, nil)
+			return false
+		}
+		s.probing = true
+		return true
+	}
+}
+
+// success closes the breaker.
+func (s *shardState) success(si int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state != brClosed {
+		s.record(si, EvBreakerClose, 0, 0, nil)
+	}
+	s.state = brClosed
+	s.fails = 0
+	s.probing = false
+}
+
+// failure records a failed attempt and opens the breaker when the
+// consecutive-failure threshold is reached (immediately in half-open).
+func (s *shardState) failure(si, attempt int, now time.Time, threshold int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.record(si, EvFailure, attempt, 0, err)
+	if s.state == brHalfOpen {
+		s.state = brOpen
+		s.openedAt = now
+		s.probing = false
+		s.record(si, EvBreakerOpen, attempt, 0, nil)
+		return
+	}
+	s.fails++
+	if s.state == brClosed && s.fails >= threshold {
+		s.state = brOpen
+		s.openedAt = now
+		s.record(si, EvBreakerOpen, attempt, 0, nil)
+	}
+}
+
+// Events snapshots one shard's resilience event log.
+func (cl *Cluster) Events(si int) []Event {
+	s := cl.states[si]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Event(nil), s.events...)
+}
+
+// ResetEvents clears every shard's event log (test/benchmark setup).
+func (cl *Cluster) ResetEvents() {
+	for _, s := range cl.states {
+		s.mu.Lock()
+		s.events = nil
+		s.mu.Unlock()
+	}
+}
+
+// initResilience wires the cluster's resilience machinery; called from
+// NewCluster.
+func (cl *Cluster) initResilience(r Resilience) {
+	cl.res = r.normalize()
+	cl.states = make([]*shardState, len(cl.shards))
+	for i := range cl.states {
+		cl.states[i] = &shardState{}
+	}
+	cl.now = time.Now
+	cl.sleepFn = sleepCtx
+}
+
+// sleepCtx waits d or until the context is done, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// backoffDelay computes the jittered exponential backoff before retry
+// `attempt` (0-based). It is a pure function of (seed, shard, attempt):
+// replays back off identically, and no two shards share a jitter stream.
+//
+//boss:hotpath one call per retried shard attempt.
+func (r Resilience) backoffDelay(shard, attempt int) time.Duration {
+	d := r.BackoffBase
+	for i := 0; i < attempt && d < r.BackoffMax; i++ {
+		d *= 2
+	}
+	if d > r.BackoffMax {
+		d = r.BackoffMax
+	}
+	// Jitter in [d/2, d): splitmix64 over the decision coordinates.
+	h := splitmix64(uint64(r.Seed) ^ (uint64(shard)+1)*0x9e3779b97f4a7c15 + uint64(attempt)*0xbf58476d1ce4e5b9)
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	return half + time.Duration(h%uint64(half))
+}
+
+// splitmix64 is the standard 64-bit finalizer (same construction the
+// fault injector uses; duplicated here because mem keeps its unexported).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// SetFaultPlan applies a fault plan across the cluster: shard si plays
+// the role of device si. A nil or empty plan restores pristine shards.
+// Not safe concurrently with queries; meant for setup time.
+func (cl *Cluster) SetFaultPlan(plan *mem.FaultPlan) {
+	for si, acc := range cl.accs {
+		acc.SetFault(plan.InjectorFor(si))
+	}
+}
+
+// retryable reports whether a shard failure is worth retrying:
+// transient read errors and per-attempt timeouts are; permanent media
+// errors, dead devices, and parent-context cancellation are not.
+func retryable(err error) bool {
+	switch {
+	case errors.Is(err, mem.ErrMediaUncorrectable):
+		return false
+	case errors.Is(err, mem.ErrDeviceDown):
+		return false
+	case errors.Is(err, context.Canceled):
+		return false
+	default:
+		return true
+	}
+}
+
+// runShardCtx issues one shard attempt under the per-attempt deadline.
+func (cl *Cluster) runShardCtx(ctx context.Context, node *query.Node, dnf [][]string, si, k int) shardOut {
+	pruned := pruneForShard(node, cl.shardTerms[si])
+	if pruned == nil {
+		return shardOut{}
+	}
+	if pruned != node {
+		dnf = pruned.DNF()
+	}
+	if cl.res.ShardTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cl.res.ShardTimeout)
+		defer cancel()
+	}
+	out, err := cl.accs[si].RunDNFCtx(ctx, dnf, k)
+	if err != nil {
+		return shardOut{err: shardError(si, err)}
+	}
+	return shardOut{m: out.M, topk: out.TopK}
+}
+
+// shardError tags an error with its shard (outlined: the retry loop is a
+// hot path and must not construct errors inline).
+func shardError(si int, err error) error {
+	return fmt.Errorf("pool: shard %d: %w", si, err)
+}
+
+// runShardResilient drives one shard's attempt loop: breaker gate,
+// bounded retry with jittered backoff, parent-context awareness.
+//
+// event recording is outlined.
+//
+//boss:hotpath one call per (query, shard); all error construction and
+func (cl *Cluster) runShardResilient(ctx context.Context, node *query.Node, dnf [][]string, si, k int) shardOut {
+	st := cl.states[si]
+	for attempt := 0; ; attempt++ {
+		if cause := ctx.Err(); cause != nil {
+			return shardOut{err: shardError(si, cause)}
+		}
+		if !st.allow(si, cl.now(), cl.res.BreakerCooldown) {
+			return shardOut{err: breakerError(si)}
+		}
+		recordAttempt(st, si, attempt)
+		out := cl.runShardCtx(ctx, node, dnf, si, k)
+		if out.err == nil {
+			st.success(si)
+			return out
+		}
+		st.failure(si, attempt, cl.now(), cl.res.BreakerThreshold, out.err)
+		if attempt >= cl.res.MaxRetries || !retryable(out.err) {
+			return out
+		}
+		if cause := ctx.Err(); cause != nil {
+			return out
+		}
+		d := cl.res.backoffDelay(si, attempt)
+		recordBackoff(st, si, attempt, d)
+		if cl.sleepFn(ctx, d) != nil {
+			return out // context died during backoff: report the last failure
+		}
+	}
+}
+
+// recordAttempt / recordBackoff / breakerError are outlined from the
+// retry loop so the hot path stays free of composite construction.
+func recordAttempt(st *shardState, si, attempt int) {
+	st.mu.Lock()
+	st.record(si, EvAttempt, attempt, 0, nil)
+	st.mu.Unlock()
+}
+
+func recordBackoff(st *shardState, si, attempt int, d time.Duration) {
+	st.mu.Lock()
+	st.record(si, EvBackoff, attempt, d, nil)
+	st.mu.Unlock()
+}
+
+func breakerError(si int) error {
+	return fmt.Errorf("pool: shard %d: %w", si, ErrShardUnavailable)
+}
+
+// mergePartial folds per-shard results into the root-merged ranking,
+// degrading gracefully: failed shards set their bit in Degraded and park
+// their error in ShardErrs instead of failing the query. Only when every
+// populated shard failed does the query itself error.
+func (cl *Cluster) mergePartial(outs []shardOut, k int) (*ClusterResult, error) {
+	res := &ClusterResult{PerShard: make([]*perf.Metrics, len(outs))}
+	merged := topk.NewHeap(k)
+	failed := 0
+	var firstErr error
+	for si, out := range outs {
+		if out.err != nil {
+			failed++
+			if firstErr == nil {
+				firstErr = out.err
+			}
+			if si < 64 {
+				res.Degraded |= 1 << uint(si)
+			}
+			if res.ShardErrs == nil {
+				res.ShardErrs = make([]error, len(outs))
+			}
+			res.ShardErrs[si] = out.err
+			continue
+		}
+		if out.m == nil {
+			continue
+		}
+		res.PerShard[si] = out.m
+		res.LinkBytes += out.m.HostBytes
+		for _, e := range out.topk {
+			merged.Insert(e.DocID+cl.offsets[si], e.Score)
+		}
+	}
+	if failed == len(outs) && failed > 0 {
+		return nil, firstErr
+	}
+	res.TopK = merged.Results()
+	return res, nil
+}
+
+// SearchCtx is Search with deadlines, retries, circuit breaking, and
+// graceful degradation: surviving shards' top-k merge into a partial
+// result whose Degraded mask and ShardErrs name the missing shards. The
+// query errors only when the context dies or every shard fails.
+func (cl *Cluster) SearchCtx(ctx context.Context, expr string, k int) (*ClusterResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	node, dnf, err := cl.prepare(expr)
+	if err != nil {
+		return nil, err
+	}
+	outs := make([]shardOut, len(cl.shards))
+	workers := cl.workers(len(cl.shards))
+	if workers == 1 {
+		for si := range cl.shards {
+			outs[si] = cl.runShardResilient(ctx, node, dnf, si, k)
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for si := range next {
+					outs[si] = cl.runShardResilient(ctx, node, dnf, si, k)
+				}
+			}()
+		}
+		dispatched := 0
+	dispatch:
+		for si := range cl.shards {
+			select {
+			case next <- si:
+				dispatched++
+			case <-ctx.Done():
+				break dispatch
+			}
+		}
+		close(next)
+		wg.Wait()
+		for si := dispatched; si < len(cl.shards); si++ {
+			outs[si] = shardOut{err: shardError(si, ctx.Err())}
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return cl.mergePartial(outs, k)
+}
+
+// searchSerialCtx sweeps one query across all shards on the calling
+// goroutine with the full resilience machinery.
+func (cl *Cluster) searchSerialCtx(ctx context.Context, expr string, k int) (*ClusterResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	node, dnf, err := cl.prepare(expr)
+	if err != nil {
+		return nil, err
+	}
+	outs := make([]shardOut, len(cl.shards))
+	for si := range cl.shards {
+		outs[si] = cl.runShardResilient(ctx, node, dnf, si, k)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return cl.mergePartial(outs, k)
+}
+
+// SearchBatchCtx pipelines a batch with per-query resilience: each
+// worker owns one in-flight query and sweeps it across all shards.
+// Unlike SearchBatch, a shard failure degrades that query's result
+// instead of failing it. A dead context fails the remaining queries
+// promptly; no goroutines outlive the call.
+func (cl *Cluster) SearchBatchCtx(ctx context.Context, exprs []string, k int) *BatchResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	br := &BatchResult{
+		Results: make([]*ClusterResult, len(exprs)),
+		Errs:    make([]error, len(exprs)),
+	}
+	if err := ctx.Err(); err != nil {
+		for qi := range exprs {
+			br.Errs[qi] = err
+		}
+		br.Err = err
+		return br
+	}
+	workers := cl.workers(len(exprs))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for qi := range next {
+				br.Results[qi], br.Errs[qi] = cl.searchSerialCtx(ctx, exprs[qi], k)
+			}
+		}()
+	}
+	dispatched := 0
+dispatch:
+	for qi := range exprs {
+		select {
+		case next <- qi:
+			dispatched++
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(next)
+	wg.Wait()
+	for qi := dispatched; qi < len(exprs); qi++ {
+		br.Errs[qi] = ctx.Err()
+	}
+	for _, err := range br.Errs {
+		if err != nil {
+			br.Err = err
+			break
+		}
+	}
+	return br
+}

@@ -29,7 +29,11 @@ var (
 func sharedCluster() *pool.Cluster {
 	benchClusterOnce.Do(func() {
 		s := sharedCtx().ClueWeb()
-		benchCluster = pool.NewCluster(pool.DefaultConfig(), s.Corpus, benchShards)
+		var err error
+		benchCluster, err = pool.NewCluster(pool.DefaultConfig(), s.Corpus, benchShards)
+		if err != nil {
+			panic(err)
+		}
 	})
 	return benchCluster
 }
