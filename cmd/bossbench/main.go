@@ -11,6 +11,7 @@
 //	bossbench -wallclock           # real host QPS (serial vs batch/parallel)
 //	bossbench -wallclock -json     # same, machine-readable
 //	bossbench -chaos               # availability/QPS under fault injection
+//	bossbench -overload            # front-door goodput/tail-latency under overload
 //	bossbench -profile out         # also write out.cpu.pprof + out.heap.pprof
 package main
 
@@ -38,8 +39,9 @@ func main() {
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		wall    = flag.Bool("wallclock", false, "measure real host QPS (serial vs batch/parallel) instead of simulated experiments")
 		chaos   = flag.Bool("chaos", false, "sweep fault-injection rates and report availability/QPS of the resilient serving path")
-		shards  = flag.Int("shards", 4, "cluster shard count for -wallclock and -chaos")
-		jsonOut = flag.Bool("json", false, "with -wallclock or -chaos, emit the report as JSON")
+		over    = flag.Bool("overload", false, "sweep offered load past capacity and report front-door goodput, shedding, and tail latency")
+		shards  = flag.Int("shards", 4, "cluster shard count for -wallclock, -chaos, and -overload")
+		jsonOut = flag.Bool("json", false, "with -wallclock, -chaos, or -overload, emit the report as JSON")
 		profile = flag.String("profile", "", "write <prefix>.cpu.pprof and <prefix>.heap.pprof covering the run")
 	)
 	flag.Parse()
@@ -96,6 +98,25 @@ func main() {
 	}
 
 	ctx := harness.NewContext(cfg)
+
+	if *over {
+		rep := harness.Overload(ctx, *shards)
+		rep.Created = time.Now().UTC().Format(time.RFC3339)
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(rep); err != nil {
+				fmt.Fprintf(os.Stderr, "bossbench: %v\n", err)
+				os.Exit(1)
+			}
+		} else if *csv {
+			t := rep.Table()
+			fmt.Printf("# %s: %s\n%s\n", t.ID, t.Title, t.CSV())
+		} else {
+			fmt.Println(rep.Table().String())
+		}
+		return
+	}
 
 	if *chaos {
 		rep := harness.Chaos(ctx, *shards)

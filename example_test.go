@@ -1,7 +1,10 @@
 package boss_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"time"
 
 	"boss"
 )
@@ -87,4 +90,42 @@ func ExampleShard() {
 	fmt.Println("nodes:", sharded.Nodes(), "identical ranking:", same)
 	// Output:
 	// nodes: 3 identical ranking: true
+}
+
+// The front-door serving tier coalesces identical concurrent queries
+// into one execution and sheds load once its admission queue fills:
+// here two "alpha" lookups share one device pass, and a fourth request
+// arriving over a full queue is refused instead of blowing the
+// deadlines of the admitted ones.
+func ExampleAccelerator_Serve() {
+	b := boss.NewBuilder()
+	b.Add("doc1", "alpha beta")
+	b.Add("doc2", "alpha gamma")
+	ix := b.Build()
+	acc := ix.Accelerator(boss.AccelOptions{})
+
+	// A tiny queue and a far deadline make the example deterministic:
+	// nothing flushes until we ask.
+	srv, _ := acc.Serve(boss.FrontConfig{MaxQueue: 2, BatchTarget: 16, Timeout: time.Hour})
+	defer srv.Close()
+
+	t1, _ := srv.Submit(boss.ServeRequest{Expr: `"alpha"`, K: 10})
+	t2, _ := srv.Submit(boss.ServeRequest{Expr: `"alpha"`, K: 10}) // coalesces with t1
+	t3, _ := srv.Submit(boss.ServeRequest{Expr: `"beta"`, K: 10})
+	_, err := srv.Submit(boss.ServeRequest{Expr: `"gamma"`, K: 10}) // queue full
+	fmt.Println("overloaded:", errors.Is(err, boss.ErrOverloaded))
+
+	srv.Flush()
+	r1, _ := t1.Wait(context.Background())
+	r2, _ := t2.Wait(context.Background())
+	r3, _ := t3.Wait(context.Background())
+	fmt.Println("alpha hits:", len(r1.Hits), "coalesced:", r2.DedupHit)
+	fmt.Println("beta hits:", len(r3.Hits))
+	st := srv.Stats()
+	fmt.Println("executed:", st.Executed, "dedup hits:", st.DedupHits)
+	// Output:
+	// overloaded: true
+	// alpha hits: 2 coalesced: true
+	// beta hits: 1
+	// executed: 2 dedup hits: 1
 }

@@ -1,0 +1,115 @@
+package hot
+
+// Front-door fixtures modeled on the serving tier's admission and dedup
+// hot path: the good twin threads waiters through intrusive links and
+// recycles them via a free list, so admitting or attaching a request
+// draws nothing; the bad twin does the obvious thing — a closure per
+// waiter, a freshly-grown waiter list, a formatted flight key — and
+// every one of those allocates per request.
+
+import "fmt"
+
+// waiter is one queued request; prev/next make the per-flight waiter
+// list intrusive, free links recycled waiters.
+type waiter struct {
+	key        string
+	prev, next *waiter
+	free       *waiter
+}
+
+// flightTable owns the pending-flight queue and the waiter free list,
+// mirroring the front's arena discipline: everything admission touches
+// is preallocated or recycled, never freshly heap-allocated.
+type flightTable struct {
+	head, tail  *waiter
+	freeWaiters *waiter
+}
+
+// getWaiter pops the free list; refilling an empty free list is the
+// cold constructor's job, not the hot path's.
+//
+//boss:hotpath
+func getWaiter(t *flightTable) *waiter {
+	w := t.freeWaiters
+	if w != nil {
+		t.freeWaiters = w.free
+		w.free = nil
+	}
+	return w
+}
+
+// admitIntrusive is the good twin: open-coded tail insertion into the
+// intrusive queue — no container allocation, no closure, nothing boxed.
+//
+//boss:hotpath
+func admitIntrusive(t *flightTable, w *waiter, key string) {
+	w.key = key
+	w.prev = t.tail
+	if t.tail != nil {
+		t.tail.next = w
+	} else {
+		t.head = w
+	}
+	t.tail = w
+}
+
+// attachIntrusive is the dedup hit path: walk the queue comparing keys;
+// a plain string compare draws nothing.
+//
+//boss:hotpath
+func attachIntrusive(t *flightTable, key string) *waiter {
+	for w := t.head; w != nil; w = w.next {
+		if w.key == key {
+			return w
+		}
+	}
+	return nil
+}
+
+// releaseWaiter unlinks a waiter and returns it to the free list.
+//
+//boss:hotpath
+func releaseWaiter(t *flightTable, w *waiter) {
+	if w.prev != nil {
+		w.prev.next = w.next
+	} else {
+		t.head = w.next
+	}
+	if w.next != nil {
+		w.next.prev = w.prev
+	} else {
+		t.tail = w.prev
+	}
+	w.prev, w.next = nil, nil
+	w.free = t.freeWaiters
+	t.freeWaiters = w
+}
+
+// badFlights is the naive table the bad twin builds around: a waiter
+// slice per flight and a callback per waiter.
+type badFlights struct {
+	waiters map[string][]func(string)
+}
+
+// admitAllocs is the bad twin: rendering the flight key with fmt,
+// capturing the request in a closure, and growing a fresh waiter list
+// all allocate on every admission.
+//
+//boss:hotpath
+func admitAllocs(t *badFlights, canon string, k int, results []string) {
+	key := fmt.Sprintf("%s/%d", canon, k) // want `fmt\.Sprintf in hot path`
+	notify := func(res string) {          // want `closure allocation in hot path`
+		results = append(results, res)
+	}
+	fresh := make([]func(string), 0, 1)
+	fresh = append(fresh, notify) // want `append grows a slice that originates in this function`
+	t.waiters[key] = fresh
+}
+
+// attachAllocs is the bad dedup twin: concatenating the key allocates on
+// every lookup, hit or miss.
+//
+//boss:hotpath
+func attachAllocs(t *badFlights, canon, suffix string) []func(string) {
+	return t.waiters[canon+suffix] // want `string concatenation allocates in hot path`
+}

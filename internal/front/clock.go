@@ -1,0 +1,135 @@
+package front
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts the front door's two time dependencies — reading "now"
+// for deadlines and token-bucket refill, and scheduling the batch flush
+// timer — so every batching and shedding decision the tier makes is a pure
+// function of (config, arrival sequence, clock readings). Production uses
+// the wall clock; tests drive a FakeClock and replay identical arrival
+// sequences into byte-identical decision logs.
+type Clock interface {
+	Now() time.Time
+	// AfterFunc schedules fn to run once after d, on an unspecified
+	// goroutine, and returns a timer that can be retargeted.
+	AfterFunc(d time.Duration, fn func()) Timer
+}
+
+// Timer is the retargetable flush timer handle; *time.Timer satisfies it.
+type Timer interface {
+	Reset(d time.Duration) bool
+	Stop() bool
+}
+
+// wallClock is the production Clock.
+type wallClock struct{}
+
+func (wallClock) Now() time.Time { return time.Now() }
+
+func (wallClock) AfterFunc(d time.Duration, fn func()) Timer {
+	return time.AfterFunc(d, fn)
+}
+
+// WallClock returns the production wall clock.
+func WallClock() Clock { return wallClock{} }
+
+// FakeClock is a deterministic Clock for tests: time moves only through
+// Advance, which fires due timers inline on the calling goroutine in
+// (deadline, registration) order. Replaying an arrival script against a
+// FakeClock therefore reproduces the exact same flush/shed decisions.
+type FakeClock struct {
+	mu     sync.Mutex
+	now    time.Time
+	seq    int
+	timers []*fakeTimer
+}
+
+// NewFakeClock returns a fake clock seeded at start.
+func NewFakeClock(start time.Time) *FakeClock {
+	return &FakeClock{now: start}
+}
+
+// Now returns the fake clock's current time.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// AfterFunc registers fn to fire when the clock advances past d from now.
+func (c *FakeClock) AfterFunc(d time.Duration, fn func()) Timer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	t := &fakeTimer{c: c, fn: fn, at: c.now.Add(d), seq: c.seq, active: true}
+	c.timers = append(c.timers, t)
+	return t
+}
+
+// Advance moves the clock forward by d, firing every due timer inline in
+// (deadline, registration) order. Callbacks run without the clock's lock
+// held, so they may read Now and retarget timers freely.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	end := c.now.Add(d)
+	for {
+		t := c.nextDueLocked(end)
+		if t == nil {
+			break
+		}
+		if t.at.After(c.now) {
+			c.now = t.at
+		}
+		t.active = false
+		fn := t.fn
+		c.mu.Unlock()
+		fn()
+		c.mu.Lock()
+	}
+	c.now = end
+	c.mu.Unlock()
+}
+
+// nextDueLocked picks the earliest active timer at or before end.
+func (c *FakeClock) nextDueLocked(end time.Time) *fakeTimer {
+	var best *fakeTimer
+	for _, t := range c.timers {
+		if !t.active || t.at.After(end) {
+			continue
+		}
+		if best == nil || t.at.Before(best.at) || (t.at.Equal(best.at) && t.seq < best.seq) {
+			best = t
+		}
+	}
+	return best
+}
+
+type fakeTimer struct {
+	c      *FakeClock
+	fn     func()
+	at     time.Time
+	seq    int
+	active bool
+}
+
+func (t *fakeTimer) Reset(d time.Duration) bool {
+	t.c.mu.Lock()
+	defer t.c.mu.Unlock()
+	was := t.active
+	t.c.seq++
+	t.at = t.c.now.Add(d)
+	t.seq = t.c.seq
+	t.active = true
+	return was
+}
+
+func (t *fakeTimer) Stop() bool {
+	t.c.mu.Lock()
+	defer t.c.mu.Unlock()
+	was := t.active
+	t.active = false
+	return was
+}

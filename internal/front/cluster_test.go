@@ -1,0 +1,125 @@
+package front
+
+import (
+	"context"
+	"math/bits"
+	"testing"
+	"time"
+
+	"boss/internal/corpus"
+	"boss/internal/pool"
+)
+
+func newTestCluster(t *testing.T) *pool.Cluster {
+	t.Helper()
+	c := corpus.Generate(corpus.ClueWebLike(0.01))
+	cl, err := pool.NewCluster(pool.DefaultConfig(), c, 4)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	return cl
+}
+
+// TestClusterBackendMatchesDirectSearch verifies the front door is
+// transparent: results served through admission, batching, and
+// coalescing are identical to direct resilient cluster searches.
+func TestClusterBackendMatchesDirectSearch(t *testing.T) {
+	cl := newTestCluster(t)
+	f, err := New(Config{BatchTarget: 4, Timeout: 50 * time.Millisecond}, NewClusterBackend(cl))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer f.Close()
+
+	exprs := []string{
+		`"t1"`,
+		`"t2" AND "t3"`,
+		`"t3" AND "t2"`, // canonical twin of the previous
+		`"t1" OR ("t4" AND "t5")`,
+		`"t10"`,
+	}
+	const k = 50
+	tickets := make([]*Ticket, len(exprs))
+	for i, e := range exprs {
+		tickets[i], err = f.Submit(Request{Expr: e, K: k})
+		if err != nil {
+			t.Fatalf("Submit(%q): %v", e, err)
+		}
+	}
+	f.Flush()
+	for i, e := range exprs {
+		res := tickets[i].Wait(context.Background())
+		if res.Err != nil {
+			t.Fatalf("front search %q: %v", e, res.Err)
+		}
+		if res.Degraded != 0 {
+			t.Fatalf("front search %q degraded: %064b", e, res.Degraded)
+		}
+		want, err := cl.SearchCtx(context.Background(), e, k)
+		if err != nil {
+			t.Fatalf("direct search %q: %v", e, err)
+		}
+		if len(res.TopK) != len(want.TopK) {
+			t.Fatalf("%q: front returned %d hits, direct %d", e, len(res.TopK), len(want.TopK))
+		}
+		for j := range want.TopK {
+			if res.TopK[j] != want.TopK[j] {
+				t.Fatalf("%q hit %d: front %+v, direct %+v", e, j, res.TopK[j], want.TopK[j])
+			}
+		}
+	}
+	if m := f.Metrics(); m.DedupHits != 1 {
+		t.Fatalf("metrics = %+v, want exactly one dedup hit", m)
+	}
+}
+
+// TestClusterDegradedExecutesPartialShards verifies a degraded admission
+// executes on the mask's shards only, reporting the shed shards in the
+// Degraded bitmask with pool.ErrShardShed semantics (PR 5's partial-
+// answer machinery), and that the partial answer is the merge of exactly
+// the surviving shards.
+func TestClusterDegradedExecutesPartialShards(t *testing.T) {
+	cl := newTestCluster(t)
+	f, err := New(Config{
+		BatchTarget: 4,
+		Timeout:     50 * time.Millisecond,
+		// Zero-rate bucket: every admission for tenant z degrades.
+		Tenants: map[string]TenantConfig{"z": {}},
+	}, NewClusterBackend(cl))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer f.Close()
+
+	tk, err := f.Submit(Request{Expr: `"t1"`, K: 20, Tenant: "z"})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	f.Flush()
+	res := tk.Wait(context.Background())
+	if res.Err != nil {
+		t.Fatalf("degraded search: %v", res.Err)
+	}
+	if res.Degraded == 0 {
+		t.Fatal("degraded admission produced a complete result")
+	}
+	if got, want := bits.OnesCount64(res.Degraded), 2; got != want {
+		t.Fatalf("degraded shard count = %d, want %d (half of 4)", got, want)
+	}
+	// The partial answer must equal a direct masked execution.
+	mask := (uint64(1)<<4 - 1) &^ res.Degraded
+	br := cl.SearchBatchQueries(context.Background(),
+		[]pool.BatchQuery{{Expr: `"t1"`, K: 20, ShardMask: mask}})
+	if br.Errs[0] != nil {
+		t.Fatalf("direct masked search: %v", br.Errs[0])
+	}
+	want := br.Results[0]
+	if len(res.TopK) != len(want.TopK) {
+		t.Fatalf("partial answer has %d hits, direct masked %d", len(res.TopK), len(want.TopK))
+	}
+	for j := range want.TopK {
+		if res.TopK[j] != want.TopK[j] {
+			t.Fatalf("hit %d: front %+v, masked direct %+v", j, res.TopK[j], want.TopK[j])
+		}
+	}
+}

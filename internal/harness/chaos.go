@@ -55,6 +55,8 @@ type ChaosPoint struct {
 // zero is the control — it runs with a nil fault plan, i.e. the exact
 // fault-free fast path every simulated figure uses.
 type ChaosReport struct {
+	Schema  string       `json:"schema"`
+	PR      int          `json:"pr"`
 	Corpus  string       `json:"corpus"`
 	Shards  int          `json:"shards"`
 	K       int          `json:"k"`
@@ -188,6 +190,8 @@ func Chaos(ctx *Context, shards int) *ChaosReport {
 	exprs := chaosExprs(s.Corpus, seed, chaosBatch)
 
 	rep := &ChaosReport{
+		Schema: BenchSchema,
+		PR:     BenchPR,
 		Corpus: s.Spec.Name,
 		Shards: shards,
 		K:      k,

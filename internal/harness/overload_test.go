@@ -1,0 +1,106 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"boss/internal/corpus"
+)
+
+// TestOverloadExprsDeterministicAndSkewed verifies the sweep's traffic
+// sampler: same seed gives the same schedule, and a head-heavier
+// exponent concentrates more probability mass on the top terms (which is
+// what makes the dedup-rate column meaningful).
+func TestOverloadExprsDeterministicAndSkewed(t *testing.T) {
+	c := corpus.Generate(corpus.ClueWebLike(0.01))
+	a := overloadExprs(c, 500, 1.2, 42)
+	b := overloadExprs(c, 500, 1.2, 42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("expr %d differs across runs with the same seed: %q vs %q", i, a[i], b[i])
+		}
+	}
+	for _, e := range a {
+		if !strings.Contains(e, " AND ") {
+			t.Fatalf("sampled expr %q is not a conjunction", e)
+		}
+	}
+	repeats := func(exprs []string) int {
+		seen := map[string]bool{}
+		n := 0
+		for _, e := range exprs {
+			if seen[e] {
+				n++
+			}
+			seen[e] = true
+		}
+		return n
+	}
+	flat := repeats(overloadExprs(c, 500, 0.9, 42))
+	head := repeats(a)
+	if head <= flat {
+		t.Fatalf("s=1.2 produced %d repeats, s=0.9 produced %d; higher skew must repeat more", head, flat)
+	}
+}
+
+// TestOverloadReduce checks the fold from per-request slots to a point's
+// rates and percentiles.
+func TestOverloadReduce(t *testing.T) {
+	slots := make([]overloadSlot, 10)
+	for i := 0; i < 8; i++ {
+		slots[i] = overloadSlot{lat: time.Duration(i+1) * time.Millisecond, done: true, good: true}
+	}
+	slots[7].degraded = true
+	slots[8] = overloadSlot{shed: true}
+	slots[9] = overloadSlot{lat: 50 * time.Millisecond, done: true} // late: counted, not goodput
+	pt := overloadReduce(slots, 2, 1.2, 1000, time.Second)
+
+	if pt.GoodputQPS != 8 {
+		t.Fatalf("GoodputQPS = %v, want 8 (late completion must not count)", pt.GoodputQPS)
+	}
+	if pt.ShedRate != 0.1 {
+		t.Fatalf("ShedRate = %v, want 0.1", pt.ShedRate)
+	}
+	if got, want := pt.DegradeRate, 1.0/9; got != want {
+		t.Fatalf("DegradeRate = %v, want %v", got, want)
+	}
+	if pt.P50LatencyUS != 5000 {
+		t.Fatalf("P50 = %vus, want 5000", pt.P50LatencyUS)
+	}
+	if pt.P999LatencyUS != 50000 {
+		t.Fatalf("P99.9 = %vus, want the 50ms straggler", pt.P999LatencyUS)
+	}
+	if pt.Mult != 2 || pt.ZipfS != 1.2 || pt.OfferedQPS != 1000 || pt.Requests != 10 {
+		t.Fatalf("point identity fields wrong: %+v", pt)
+	}
+}
+
+// TestLatPercentileUS pins the percentile read on edge cases.
+func TestLatPercentileUS(t *testing.T) {
+	if got := latPercentileUS(nil, 0.99); got != 0 {
+		t.Fatalf("empty slice: %v, want 0", got)
+	}
+	one := []time.Duration{3 * time.Microsecond}
+	if got := latPercentileUS(one, 0.5); got != 3 {
+		t.Fatalf("single element: %v, want 3", got)
+	}
+	sorted := make([]time.Duration, 100)
+	for i := range sorted {
+		sorted[i] = time.Duration(i+1) * time.Microsecond
+	}
+	if got := latPercentileUS(sorted, 0.99); got != 99 {
+		t.Fatalf("p99 of 1..100us = %v, want 99", got)
+	}
+}
+
+// TestOverloadReportSchema pins the versioned envelope every BENCH_*.json
+// consumer keys on.
+func TestOverloadReportSchema(t *testing.T) {
+	if BenchSchema != "bossbench/v1" {
+		t.Fatalf("BenchSchema = %q", BenchSchema)
+	}
+	if BenchPR < 6 {
+		t.Fatalf("BenchPR = %d, want >= 6", BenchPR)
+	}
+}

@@ -19,6 +19,8 @@ import (
 // runs on, which is what the parallel execution layer optimizes. Future PRs
 // compare -wallclock -json outputs to track the trajectory.
 type WallclockReport struct {
+	Schema     string `json:"schema"`
+	PR         int    `json:"pr"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
 	Corpus     string `json:"corpus"`
 	Queries    int    `json:"queries"`
@@ -87,6 +89,8 @@ func Wallclock(ctx *Context, shards int) *WallclockReport {
 	}
 
 	rep := &WallclockReport{
+		Schema:     BenchSchema,
+		PR:         BenchPR,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Corpus:     s.Spec.Name,
 		Queries:    len(exprs),

@@ -55,12 +55,36 @@ type Cluster struct {
 // NewCluster validation failures wrap it.
 var ErrBadConfig = errors.New("pool: invalid cluster configuration")
 
+// validateConfig rejects nonsense field values that every construction
+// path must refuse consistently (PR 5 fixed the zero-shard panic for
+// NewCluster; this audits the remaining fields). Zero values stay legal —
+// they mean "default" (Cores, K, Workers) or "disabled" (CacheBytes).
+func validateConfig(cfg Config) error {
+	if cfg.CacheBytes < 0 {
+		return fmt.Errorf("%w: negative CacheBytes %d (use 0 to disable the cache)", ErrBadConfig, cfg.CacheBytes)
+	}
+	if cfg.Cores < 0 {
+		return fmt.Errorf("%w: negative Cores %d", ErrBadConfig, cfg.Cores)
+	}
+	if cfg.K < 0 {
+		return fmt.Errorf("%w: negative K %d", ErrBadConfig, cfg.K)
+	}
+	if cfg.Workers < 0 {
+		return fmt.Errorf("%w: negative Workers %d", ErrBadConfig, cfg.Workers)
+	}
+	return nil
+}
+
 // NewCluster partitions the corpus into `shards` docID intervals and builds
 // one globally-consistent index per node. Invalid requests — a
-// non-positive shard count, a nil or empty corpus, or more shards than
-// documents (which would leave shards with no documents) — return an
-// error wrapping ErrBadConfig instead of panicking.
+// non-positive shard count, a nil or empty corpus, more shards than
+// documents (which would leave shards with no documents), or negative
+// config fields — return an error wrapping ErrBadConfig instead of
+// panicking.
 func NewCluster(cfg Config, c *corpus.Corpus, shards int) (*Cluster, error) {
+	if err := validateConfig(cfg); err != nil {
+		return nil, err
+	}
 	if shards <= 0 {
 		return nil, fmt.Errorf("%w: need at least one shard, got %d", ErrBadConfig, shards)
 	}
@@ -450,6 +474,15 @@ type ClusterReport struct {
 // their own cores and contend on their own SCM channels, and the pool's
 // completion is gated by the slowest node.
 func (cl *Cluster) RunBatch(exprs []string, gap sim.Duration, cfg Config) (*ClusterReport, error) {
+	if err := validateConfig(cfg); err != nil {
+		return nil, err
+	}
+	if cfg.Cores == 0 {
+		// The event-driven Device needs a real core count; zero means
+		// "default" everywhere else, so resolve it here instead of letting
+		// pool.New panic.
+		cfg.Cores = DefaultConfig().Cores
+	}
 	devices := make([]*Device, len(cl.shards))
 	for i, idx := range cl.shards {
 		devices[i] = New(cfg, idx)

@@ -1,0 +1,142 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"boss/internal/corpus"
+)
+
+// TestNewClusterRejectsBadConfig audits the config validation gap: every
+// nonsense field value must return ErrBadConfig from every construction
+// path, never a panic and never a silently-misbehaving cluster.
+func TestNewClusterRejectsBadConfig(t *testing.T) {
+	c := corpus.Generate(corpus.ClueWebLike(0.005))
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"negative CacheBytes", func() Config { c := DefaultConfig(); c.CacheBytes = -1; return c }()},
+		{"negative Cores", func() Config { c := DefaultConfig(); c.Cores = -4; return c }()},
+		{"negative K", func() Config { c := DefaultConfig(); c.K = -10; return c }()},
+		{"negative Workers", func() Config { c := DefaultConfig(); c.Workers = -2; return c }()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewCluster(tc.cfg, c, 2); !errors.Is(err, ErrBadConfig) {
+				t.Fatalf("NewCluster(%s): err = %v, want ErrBadConfig", tc.name, err)
+			}
+		})
+	}
+	for _, shards := range []int{0, -1} {
+		if _, err := NewCluster(DefaultConfig(), c, shards); !errors.Is(err, ErrBadConfig) {
+			t.Fatalf("NewCluster(shards=%d): err = %v, want ErrBadConfig", shards, err)
+		}
+	}
+}
+
+// TestRunBatchValidatesConfig verifies the event-driven path applies the
+// same validation, and resolves the zero-Cores default instead of letting
+// the device constructor panic.
+func TestRunBatchValidatesConfig(t *testing.T) {
+	c := corpus.Generate(corpus.ClueWebLike(0.005))
+	cl, err := NewCluster(DefaultConfig(), c, 2)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	bad := DefaultConfig()
+	bad.Cores = -1
+	if _, err := cl.RunBatch([]string{`"t1"`}, 0, bad); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("RunBatch(negative Cores): err = %v, want ErrBadConfig", err)
+	}
+	zero := DefaultConfig()
+	zero.Cores = 0 // "default", must not panic in pool.New
+	zero.CacheBytes = 0
+	rep, err := cl.RunBatch([]string{`"t1"`}, 0, zero)
+	if err != nil {
+		t.Fatalf("RunBatch(zero Cores): %v", err)
+	}
+	if rep.QPS <= 0 {
+		t.Fatalf("RunBatch(zero Cores): QPS = %v, want > 0", rep.QPS)
+	}
+}
+
+// TestSearchBatchQueriesMatchesHomogeneousBatch verifies the
+// heterogeneous batch surface reduces to SearchBatchCtx when no masks or
+// per-query depths are used.
+func TestSearchBatchQueriesMatchesHomogeneousBatch(t *testing.T) {
+	c := corpus.Generate(corpus.ClueWebLike(0.005))
+	cl, err := NewCluster(DefaultConfig(), c, 3)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	exprs := []string{`"t1"`, `"t2" AND "t3"`, `"t1" OR "t4"`}
+	const k = 25
+	qs := make([]BatchQuery, len(exprs))
+	for i, e := range exprs {
+		qs[i] = BatchQuery{Expr: e, K: k}
+	}
+	het := cl.SearchBatchQueries(context.Background(), qs)
+	hom := cl.SearchBatchCtx(context.Background(), exprs, k)
+	for i := range exprs {
+		if (het.Errs[i] == nil) != (hom.Errs[i] == nil) {
+			t.Fatalf("query %d: err mismatch: %v vs %v", i, het.Errs[i], hom.Errs[i])
+		}
+		if het.Errs[i] != nil {
+			continue
+		}
+		a, b := het.Results[i].TopK, hom.Results[i].TopK
+		if len(a) != len(b) {
+			t.Fatalf("query %d: %d vs %d hits", i, len(a), len(b))
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("query %d hit %d: %+v vs %+v", i, j, a[j], b[j])
+			}
+		}
+	}
+}
+
+// TestSearchBatchQueriesShardMask verifies masked execution: excluded
+// shards are flagged Degraded with ErrShardShed, never attempted (no
+// breaker or retry events), and included shards merge normally.
+func TestSearchBatchQueriesShardMask(t *testing.T) {
+	c := corpus.Generate(corpus.ClueWebLike(0.005))
+	cl, err := NewCluster(DefaultConfig(), c, 4)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	cl.ResetEvents()
+	const mask = uint64(0b0101) // shards 0 and 2 execute; 1 and 3 shed
+	br := cl.SearchBatchQueries(context.Background(),
+		[]BatchQuery{{Expr: `"t1"`, K: 30, ShardMask: mask}})
+	if br.Errs[0] != nil {
+		t.Fatalf("masked query: %v", br.Errs[0])
+	}
+	res := br.Results[0]
+	if res.Degraded != ^mask&0b1111 {
+		t.Fatalf("Degraded = %04b, want %04b", res.Degraded, ^mask&0b1111)
+	}
+	for _, si := range []int{1, 3} {
+		if err := res.ShardErrs[si]; !errors.Is(err, ErrShardShed) {
+			t.Fatalf("shard %d err = %v, want ErrShardShed", si, err)
+		}
+		if evs := cl.Events(si); len(evs) != 0 {
+			t.Fatalf("shed shard %d recorded %d resilience events; shedding must bypass the breaker", si, len(evs))
+		}
+	}
+	for _, si := range []int{0, 2} {
+		if res.PerShard[si] == nil {
+			t.Fatalf("included shard %d contributed no metrics", si)
+		}
+	}
+	if len(res.TopK) == 0 {
+		t.Fatal("masked query returned no hits")
+	}
+	// Zero mask means no mask: all shards execute.
+	full := cl.SearchBatchQueries(context.Background(), []BatchQuery{{Expr: `"t1"`, K: 30}})
+	if full.Errs[0] != nil || full.Results[0].Degraded != 0 {
+		t.Fatalf("zero-mask query: err=%v degraded=%04b", full.Errs[0], full.Results[0].Degraded)
+	}
+}

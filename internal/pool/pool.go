@@ -40,8 +40,9 @@ type Config struct {
 	Workers int
 	// CacheBytes is the byte budget of the cluster's cross-query decoded-
 	// block cache, shared by all shards' wall-clock accelerators (Search/
-	// SearchSerial/SearchBatch). <= 0 disables the cache. It never touches
-	// the event-driven simulated Device (RunBatch), whose modeled figures
+	// SearchSerial/SearchBatch). 0 disables the cache; negative values are
+	// rejected by NewCluster with ErrBadConfig. It never touches the
+	// event-driven simulated Device (RunBatch), whose modeled figures
 	// must not depend on host-side caching.
 	CacheBytes int64
 	// Resilience configures the cluster's serving-path fault handling

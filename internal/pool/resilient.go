@@ -79,6 +79,13 @@ func (r Resilience) normalize() Resilience {
 // the attempt without issuing it.
 var ErrShardUnavailable = errors.New("pool: shard unavailable (breaker open)")
 
+// ErrShardShed reports that a shard was excluded from a query by the
+// front-door serving tier's degradation mask rather than by a fault: the
+// query's result is a deliberate partial-shard answer. The shard's bit is
+// set in ClusterResult.Degraded exactly like a failed shard's, but the
+// breaker and retry machinery never engage.
+var ErrShardShed = errors.New("pool: shard shed (front-door degradation)")
+
 // EventKind labels one entry in a shard's resilience event log.
 type EventKind uint8
 
@@ -481,9 +488,32 @@ func (cl *Cluster) SearchCtx(ctx context.Context, expr string, k int) (*ClusterR
 	return cl.mergePartial(outs, k)
 }
 
+// maskHas reports whether shard si participates under a front-door shard
+// mask. Mask zero means "no mask" (every shard participates), and shards
+// beyond the mask's 64 bits always participate, mirroring the Degraded
+// bitmask's range.
+func maskHas(mask uint64, si int) bool {
+	if mask == 0 || si >= 64 {
+		return true
+	}
+	return mask&(1<<uint(si)) != 0
+}
+
+// shedShardError tags a deliberately-shed shard (outlined like shardError).
+func shedShardError(si int) error {
+	return fmt.Errorf("pool: shard %d: %w", si, ErrShardShed)
+}
+
 // searchSerialCtx sweeps one query across all shards on the calling
 // goroutine with the full resilience machinery.
 func (cl *Cluster) searchSerialCtx(ctx context.Context, expr string, k int) (*ClusterResult, error) {
+	return cl.searchSerialCtxMask(ctx, expr, k, 0)
+}
+
+// searchSerialCtxMask is searchSerialCtx under a front-door shard mask:
+// masked-out shards are skipped entirely (no attempt, no breaker or retry
+// activity) and reported in the result's Degraded bitmask with ErrShardShed.
+func (cl *Cluster) searchSerialCtxMask(ctx context.Context, expr string, k int, mask uint64) (*ClusterResult, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -493,6 +523,10 @@ func (cl *Cluster) searchSerialCtx(ctx context.Context, expr string, k int) (*Cl
 	}
 	outs := make([]shardOut, len(cl.shards))
 	for si := range cl.shards {
+		if !maskHas(mask, si) {
+			outs[si] = shardOut{err: shedShardError(si)}
+			continue
+		}
 		outs[si] = cl.runShardResilient(ctx, node, dnf, si, k)
 	}
 	if err := ctx.Err(); err != nil {
@@ -501,27 +535,26 @@ func (cl *Cluster) searchSerialCtx(ctx context.Context, expr string, k int) (*Cl
 	return cl.mergePartial(outs, k)
 }
 
-// SearchBatchCtx pipelines a batch with per-query resilience: each
-// worker owns one in-flight query and sweeps it across all shards.
-// Unlike SearchBatch, a shard failure degrades that query's result
-// instead of failing it. A dead context fails the remaining queries
-// promptly; no goroutines outlive the call.
-func (cl *Cluster) SearchBatchCtx(ctx context.Context, exprs []string, k int) *BatchResult {
+// batchDriver runs one resilient execution per query index on a bounded
+// worker pool, honoring cancellation: a dead context fails the remaining
+// queries promptly and no goroutines outlive the call. SearchBatchCtx and
+// SearchBatchQueries share it.
+func (cl *Cluster) batchDriver(ctx context.Context, n int, run func(qi int) (*ClusterResult, error)) *BatchResult {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	br := &BatchResult{
-		Results: make([]*ClusterResult, len(exprs)),
-		Errs:    make([]error, len(exprs)),
+		Results: make([]*ClusterResult, n),
+		Errs:    make([]error, n),
 	}
 	if err := ctx.Err(); err != nil {
-		for qi := range exprs {
+		for qi := 0; qi < n; qi++ {
 			br.Errs[qi] = err
 		}
 		br.Err = err
 		return br
 	}
-	workers := cl.workers(len(exprs))
+	workers := cl.workers(n)
 	var wg sync.WaitGroup
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -529,13 +562,13 @@ func (cl *Cluster) SearchBatchCtx(ctx context.Context, exprs []string, k int) *B
 		go func() {
 			defer wg.Done()
 			for qi := range next {
-				br.Results[qi], br.Errs[qi] = cl.searchSerialCtx(ctx, exprs[qi], k)
+				br.Results[qi], br.Errs[qi] = run(qi)
 			}
 		}()
 	}
 	dispatched := 0
 dispatch:
-	for qi := range exprs {
+	for qi := 0; qi < n; qi++ {
 		select {
 		case next <- qi:
 			dispatched++
@@ -545,7 +578,7 @@ dispatch:
 	}
 	close(next)
 	wg.Wait()
-	for qi := dispatched; qi < len(exprs); qi++ {
+	for qi := dispatched; qi < n; qi++ {
 		br.Errs[qi] = ctx.Err()
 	}
 	for _, err := range br.Errs {
@@ -555,4 +588,42 @@ dispatch:
 		}
 	}
 	return br
+}
+
+// SearchBatchCtx pipelines a batch with per-query resilience: each
+// worker owns one in-flight query and sweeps it across all shards.
+// Unlike SearchBatch, a shard failure degrades that query's result
+// instead of failing it. A dead context fails the remaining queries
+// promptly; no goroutines outlive the call.
+func (cl *Cluster) SearchBatchCtx(ctx context.Context, exprs []string, k int) *BatchResult {
+	return cl.batchDriver(ctx, len(exprs), func(qi int) (*ClusterResult, error) {
+		return cl.searchSerialCtx(ctx, exprs[qi], k)
+	})
+}
+
+// BatchQuery is one query of a heterogeneous resilient batch: its own
+// top-k depth and an optional front-door shard mask.
+type BatchQuery struct {
+	// Expr is the boolean query expression.
+	Expr string
+	// K is the query's top-k depth (<= 0 uses the cluster config's K).
+	K int
+	// ShardMask, when non-zero, restricts execution to the shards whose
+	// bits are set; excluded shards appear in the result's Degraded mask
+	// with ErrShardShed. Zero executes every shard.
+	ShardMask uint64
+}
+
+// SearchBatchQueries is SearchBatchCtx for heterogeneous queries: per-query
+// top-k depths and front-door shard masks. It is the execution surface the
+// front-door serving tier flushes its coalesced batches into.
+func (cl *Cluster) SearchBatchQueries(ctx context.Context, qs []BatchQuery) *BatchResult {
+	return cl.batchDriver(ctx, len(qs), func(qi int) (*ClusterResult, error) {
+		q := qs[qi]
+		k := q.K
+		if k <= 0 {
+			k = cl.cfg.K
+		}
+		return cl.searchSerialCtxMask(ctx, q.Expr, k, q.ShardMask)
+	})
 }

@@ -7,6 +7,7 @@ package query
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -184,6 +185,39 @@ func (n *Node) DNF() [][]string {
 	default:
 		panic("query: unknown op")
 	}
+}
+
+// Canonical renders the expression's DNF in a canonical form usable as a
+// coalescing key: terms within each conjunct are sorted and deduplicated,
+// conjuncts are sorted lexicographically and deduplicated, and the result
+// joins conjunct terms with '&' and conjuncts with '|'. Every expression
+// with the same DNF match semantics maps to the same key — `"b" AND "a"`,
+// `"a" AND "b"`, and `"a" AND "b" AND "b"` all yield `a&b` — which is what
+// the front-door singleflight layer dedups concurrent identical queries on.
+// (Absorption is not applied: `"a" OR ("a" AND "b")` keeps both conjuncts.
+// Keys are unambiguous for tokenized terms, which never contain '&'/'|'.)
+func (n *Node) Canonical() string {
+	dnf := n.DNF()
+	conjs := make([]string, 0, len(dnf))
+	for _, conj := range dnf {
+		terms := append([]string(nil), conj...)
+		sort.Strings(terms)
+		conjs = append(conjs, strings.Join(dedupSorted(terms), "&"))
+	}
+	sort.Strings(conjs)
+	return strings.Join(dedupSorted(conjs), "|")
+}
+
+// dedupSorted compacts consecutive duplicates of a sorted slice in place.
+func dedupSorted(s []string) []string {
+	w := 0
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			s[w] = v
+			w++
+		}
+	}
+	return s[:w]
 }
 
 // --- parser ---

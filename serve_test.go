@@ -1,0 +1,143 @@
+package boss_test
+
+import (
+	"context"
+	"errors"
+	"math/bits"
+	"testing"
+	"time"
+
+	"boss"
+)
+
+// TestShardedIndexServeMatchesSearchCtx verifies the serving tier is
+// transparent over a sharded deployment: results arriving through
+// admission, batching, and coalescing match direct resilient searches.
+func TestShardedIndexServeMatchesSearchCtx(t *testing.T) {
+	sh, err := boss.Shard(boss.ClueWebLike, 0.01, 4)
+	if err != nil {
+		t.Fatalf("Shard: %v", err)
+	}
+	srv, err := sh.Serve(boss.FrontConfig{BatchTarget: 8, Timeout: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	defer srv.Close()
+
+	exprs := []string{`"t1"`, `"t2" AND "t3"`, `"t3" AND "t2"`, `"t0" OR "t5"`}
+	const k = 40
+	tickets := make([]*boss.ServeTicket, len(exprs))
+	for i, e := range exprs {
+		tickets[i], err = srv.Submit(boss.ServeRequest{Expr: e, K: k})
+		if err != nil {
+			t.Fatalf("Submit(%q): %v", e, err)
+		}
+	}
+	srv.Flush()
+	for i, e := range exprs {
+		got, err := tickets[i].Wait(context.Background())
+		if err != nil {
+			t.Fatalf("Wait(%q): %v", e, err)
+		}
+		if got.Degraded != 0 {
+			t.Fatalf("%q degraded: %04b", e, got.Degraded)
+		}
+		want, err := sh.SearchCtx(context.Background(), e, k)
+		if err != nil {
+			t.Fatalf("SearchCtx(%q): %v", e, err)
+		}
+		if len(got.Hits) != len(want.Hits) {
+			t.Fatalf("%q: served %d hits, direct %d", e, len(got.Hits), len(want.Hits))
+		}
+		for j := range want.Hits {
+			if got.Hits[j] != want.Hits[j] {
+				t.Fatalf("%q hit %d: served %+v, direct %+v", e, j, got.Hits[j], want.Hits[j])
+			}
+		}
+	}
+	st := srv.Stats()
+	if st.DedupHits != 1 || st.Admitted != 3 {
+		t.Fatalf("stats = %+v, want 3 admissions and 1 dedup hit", st)
+	}
+}
+
+// TestServeShedAndDegrade exercises the facade's shedding ladder: an
+// exhausted tenant bucket sheds low-priority requests with ErrShed and
+// degrades normal ones to partial-node answers.
+func TestServeShedAndDegrade(t *testing.T) {
+	sh, err := boss.Shard(boss.ClueWebLike, 0.01, 4)
+	if err != nil {
+		t.Fatalf("Shard: %v", err)
+	}
+	srv, err := sh.Serve(boss.FrontConfig{
+		BatchTarget: 8,
+		Timeout:     100 * time.Millisecond,
+		Tenants:     map[string]boss.TenantRate{"t": {Rate: 1, Burst: 1}},
+	})
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	defer srv.Close()
+
+	full, err := srv.Submit(boss.ServeRequest{Expr: `"t1"`, K: 20, Tenant: "t"})
+	if err != nil {
+		t.Fatalf("first submit: %v", err)
+	}
+	if _, err := srv.Submit(boss.ServeRequest{Expr: `"t2"`, K: 20, Tenant: "t", Priority: boss.PriorityLow}); !errors.Is(err, boss.ErrShed) {
+		t.Fatalf("low-priority over rate: err = %v, want ErrShed", err)
+	}
+	part, err := srv.Submit(boss.ServeRequest{Expr: `"t3"`, K: 20, Tenant: "t"})
+	if err != nil {
+		t.Fatalf("normal over rate: %v", err)
+	}
+	srv.Flush()
+	fr, err := full.Wait(context.Background())
+	if err != nil || fr.Degraded != 0 {
+		t.Fatalf("in-rate request: err=%v degraded=%04b", err, fr.Degraded)
+	}
+	pr, err := part.Wait(context.Background())
+	if err != nil {
+		t.Fatalf("degraded request: %v", err)
+	}
+	if pr.Degraded == 0 {
+		t.Fatal("over-rate normal request was not degraded")
+	}
+	if bits.OnesCount64(pr.Degraded) != 2 {
+		t.Fatalf("degraded node count = %d, want 2 (half of 4)", bits.OnesCount64(pr.Degraded))
+	}
+	if len(pr.Hits) == 0 {
+		t.Fatal("degraded request returned no partial answer")
+	}
+	st := srv.Stats()
+	if st.Shed != 1 || st.Degraded != 1 {
+		t.Fatalf("stats = %+v, want 1 shed and 1 degraded", st)
+	}
+}
+
+// TestServeTicketCancel verifies a cancelled facade ticket reports an
+// error and the server keeps serving others.
+func TestServeTicketCancel(t *testing.T) {
+	sh, err := boss.Shard(boss.ClueWebLike, 0.01, 2)
+	if err != nil {
+		t.Fatalf("Shard: %v", err)
+	}
+	srv, err := sh.Serve(boss.FrontConfig{BatchTarget: 8, Timeout: time.Hour})
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	defer srv.Close()
+	tk, err := srv.Submit(boss.ServeRequest{Expr: `"t1"`, K: 10})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if _, err := tk.Cancel(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Cancel: err = %v, want context.Canceled", err)
+	}
+	res, err := srv.Search(context.Background(), boss.ServeRequest{Expr: `"t1"`, K: 10, Deadline: time.Now().Add(50 * time.Millisecond)})
+	if err != nil {
+		t.Fatalf("Search after cancel: %v", err)
+	}
+	if len(res.Hits) == 0 {
+		t.Fatal("Search after cancel returned no hits")
+	}
+}
