@@ -25,10 +25,12 @@ package boss
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 	"unicode"
 
@@ -36,6 +38,7 @@ import (
 	"boss/internal/compress"
 	"boss/internal/core"
 	"boss/internal/corpus"
+	"boss/internal/docstore"
 	"boss/internal/engine"
 	"boss/internal/index"
 	"boss/internal/mem"
@@ -51,6 +54,7 @@ import (
 // tokenized by lowercasing and splitting on non-alphanumeric runes.
 type Builder struct {
 	names   []string
+	texts   []string // raw document text, packed into the document store
 	termTFs []map[string]uint32
 	params  score.Params
 }
@@ -74,6 +78,7 @@ func (b *Builder) Add(name, text string) {
 		tf[tok]++
 	}
 	b.names = append(b.names, name)
+	b.texts = append(b.texts, text)
 	b.termTFs = append(b.termTFs, tf)
 }
 
@@ -125,9 +130,18 @@ func (b *Builder) Build() *Index {
 		c.Terms = append(c.Terms, corpus.TermPostings{Term: t, Postings: ps})
 		c.TotalPostings += int64(len(ps))
 	}
+	// Pack the raw documents into the block-compressed store that serves
+	// the fetch phase; user-built indexes return the exact ingested text.
+	db := docstore.NewBuilder("name", "text")
+	for i, name := range b.names {
+		if err := db.AddStrings(name, b.texts[i]); err != nil {
+			panic(err) // unreachable: arity is fixed above
+		}
+	}
 	return &Index{
 		idx:   index.Build(c, index.BuildOptions{Scheme: compress.SchemeHybrid, Params: b.params}),
 		names: b.names,
+		docs:  db.Build(),
 	}
 }
 
@@ -135,6 +149,46 @@ func (b *Builder) Build() *Index {
 type Index struct {
 	idx   *index.Index
 	names []string // docID -> user-facing name; nil for synthetic corpora
+
+	// Fetch-phase document store: packed eagerly from the ingested text by
+	// Builder.Build, synthesized lazily from the retained sampler
+	// statistics for synthetic corpora, and absent for deserialized
+	// indexes (fetching then fails with ErrNoDocStore).
+	docs     *docstore.Store
+	spec     *corpus.Spec // non-nil only for synthetic corpora
+	docLens  []uint32
+	docsOnce sync.Once
+	docsErr  error
+}
+
+// ErrNoDocStore reports a document fetch against an index without a
+// document store (indexes read back with ReadIndex carry postings only).
+var ErrNoDocStore = errors.New("boss: index has no document store")
+
+// ensureDocs returns the index's document store, synthesizing it on
+// first use for synthetic corpora.
+func (ix *Index) ensureDocs() (*docstore.Store, error) {
+	ix.docsOnce.Do(func() {
+		if ix.docs != nil {
+			return // packed eagerly by Builder.Build
+		}
+		if ix.spec == nil {
+			ix.docsErr = ErrNoDocStore
+			return
+		}
+		db := docstore.NewBuilder("name", "text")
+		var name, text []byte
+		for id := 0; id < ix.idx.NumDocs; id++ {
+			name = corpus.DocName(name[:0], uint32(id))
+			text = corpus.DocText(ix.spec.Seed, uint32(id), ix.docLens[id], ix.spec.NumTerms, text[:0])
+			if err := db.Add(name, text); err != nil {
+				ix.docsErr = err
+				return
+			}
+		}
+		ix.docs = db.Build()
+	})
+	return ix.docs, ix.docsErr
 }
 
 // Hit is one search result.
@@ -274,6 +328,10 @@ type Accelerator struct {
 	ix    *Index
 	dev   mem.Config
 	cores int
+
+	fetchOnce sync.Once
+	fetchErr  error
+	fetch     *core.FetchEngine
 }
 
 // Accelerator returns a simulated BOSS device over the index.
@@ -300,7 +358,112 @@ func (ix *Index) Accelerator(opts AccelOptions) *Accelerator {
 
 // CacheHitRate reports the fraction of block fetches this handle served
 // from its decoded-block cache (0 when the cache is disabled or cold).
+// The cache is shared by both client classes — decoded posting blocks
+// (search) and decoded document blocks (fetch) — and this rate spans
+// both; PostingCacheHitRate and DocCacheHitRate report the split.
 func (a *Accelerator) CacheHitRate() float64 { return a.acc.Cache().Stats().HitRate() }
+
+// PostingCacheHitRate reports the decoded-block cache hit rate of the
+// search phase's posting-block fetches alone.
+func (a *Accelerator) PostingCacheHitRate() float64 {
+	return a.acc.Cache().Stats().PostingHitRate()
+}
+
+// DocCacheHitRate reports the decoded-block cache hit rate of the fetch
+// phase's document-block fetches alone.
+func (a *Accelerator) DocCacheHitRate() float64 {
+	return a.acc.Cache().Stats().DocHitRate()
+}
+
+// fetchEngine lazily wires the accelerator's fetch engine over the
+// index's document store, sharing this handle's decoded-block cache.
+func (a *Accelerator) fetchEngine() (*core.FetchEngine, error) {
+	a.fetchOnce.Do(func() {
+		ds, err := a.ix.ensureDocs()
+		if err != nil {
+			a.fetchErr = err
+			return
+		}
+		a.fetch = core.NewFetchEngine(ds, a.acc.Cache())
+	})
+	return a.fetch, a.fetchErr
+}
+
+// Doc is one fetched document payload.
+type Doc struct {
+	// DocID is the internal identifier.
+	DocID uint32
+	// Name is the document name given to Builder.Add ("doc<N>" for
+	// synthetic corpora).
+	Name string
+	// Text is the document body: the exact ingested text for user-built
+	// indexes, the deterministic synthetic payload otherwise. Empty for
+	// documents a degraded sharded fetch could not serve.
+	Text string
+}
+
+// FetchDocs fetches document payloads by docID, charging the simulated
+// device for the document-store block loads and decodes exactly as
+// Search charges posting-block work. Repeated fetches of co-located
+// documents hit the handle's decoded-block cache, which changes
+// wall-clock speed only: the returned stats are byte-identical with the
+// cache on, off, or resized.
+func (a *Accelerator) FetchDocs(ids []uint32) ([]Doc, *SimStats, error) {
+	eng, err := a.fetchEngine()
+	if err != nil {
+		return nil, nil, err
+	}
+	m := perf.NewMetrics()
+	docs, err := fetchDocsInto(eng, ids, m)
+	if err != nil {
+		return nil, nil, err
+	}
+	return docs, simStats(m, a.dev, a.cores), nil
+}
+
+// fetchDocsInto runs the fetch loop shared by FetchDocs and SearchFetch,
+// accumulating simulated charges into m.
+func fetchDocsInto(eng *core.FetchEngine, ids []uint32, m *perf.Metrics) ([]Doc, error) {
+	var buf core.DocBuf
+	defer buf.Release()
+	docs := make([]Doc, len(ids))
+	for i, id := range ids {
+		if err := eng.FetchInto(nil, id, m, &buf); err != nil {
+			return nil, err
+		}
+		docs[i] = Doc{DocID: id, Name: string(buf.Fields[0]), Text: string(buf.Fields[1])}
+	}
+	return docs, nil
+}
+
+// SearchFetch executes a query and fetches the top-k hits' documents in
+// one call: the paper's full serving path, where ranking ends at scored
+// docIDs and the response returns the documents themselves. The returned
+// stats cover both phases — posting traffic plus document-store traffic —
+// on one simulated device.
+func (a *Accelerator) SearchFetch(expr string, k int) ([]Hit, []Doc, *SimStats, error) {
+	node, err := query.Parse(expr)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	eng, err := a.fetchEngine()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	res, err := a.acc.Run(node, k)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	ids := make([]uint32, len(res.TopK))
+	for i, e := range res.TopK {
+		ids[i] = e.DocID
+	}
+	docs, err := fetchDocsInto(eng, ids, res.M)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return a.ix.hits(res.TopK), docs, simStats(res.M, a.dev, a.cores), nil
+}
 
 // SimStats summarizes one simulated query execution.
 type SimStats struct {
@@ -319,6 +482,9 @@ type SimStats struct {
 	// skipped by early termination / overlap checking.
 	BlocksFetched int64
 	BlocksSkipped int64
+	// DocsFetched is the number of documents returned by the fetch phase
+	// (zero on search-only paths).
+	DocsFetched int64
 }
 
 func simStats(m *perf.Metrics, dev mem.Config, cores int) *SimStats {
@@ -330,6 +496,7 @@ func simStats(m *perf.Metrics, dev mem.Config, cores int) *SimStats {
 		DocsEvaluated:    m.DocsEvaluated,
 		BlocksFetched:    m.BlocksFetched,
 		BlocksSkipped:    m.BlocksSkipped,
+		DocsFetched:      m.DocsFetched,
 	}
 }
 
@@ -402,7 +569,13 @@ func BuildSynthetic(kind SyntheticKind, scale float64) *Index {
 		panic("boss: unknown synthetic corpus kind")
 	}
 	c := corpus.Generate(spec)
-	return &Index{idx: index.Build(c, index.BuildOptions{Scheme: compress.SchemeHybrid})}
+	return &Index{
+		idx: index.Build(c, index.BuildOptions{Scheme: compress.SchemeHybrid}),
+		// Retained so the fetch phase can synthesize the document store
+		// lazily: payloads depend only on (Seed, docID, DocLens).
+		spec:    &spec,
+		docLens: c.DocLens,
+	}
 }
 
 // CommonTerm returns the term at the given document-frequency rank of a
@@ -451,8 +624,13 @@ func Shard(kind SyntheticKind, scale float64, nodes int) (*ShardedIndex, error) 
 func (s *ShardedIndex) Nodes() int { return s.cluster.Shards() }
 
 // CacheHitRate reports the fraction of block fetches the cluster served
-// from its cross-query decoded-block cache.
+// from its cross-query decoded-block cache, across both client classes
+// (decoded posting blocks and decoded document blocks).
 func (s *ShardedIndex) CacheHitRate() float64 { return s.cluster.CacheStats().HitRate() }
+
+// DocCacheHitRate reports the cluster cache's hit rate for the fetch
+// phase's document blocks alone.
+func (s *ShardedIndex) DocCacheHitRate() float64 { return s.cluster.CacheStats().DocHitRate() }
 
 // Search fans the query out to every node and merges the results. The
 // returned stats aggregate all nodes' work; HostBytes is the total result
@@ -538,18 +716,15 @@ type ShardedResult struct {
 	Hits     []Hit
 	Stats    *SimStats
 	Degraded uint64
+	// Docs holds fetched document payloads on the fetch paths
+	// (SearchFetchCtx: one per Hit, in rank order; FetchDocsCtx: one per
+	// requested docID). Documents a degraded node could not serve are
+	// zero-valued apart from their position. Nil on search-only paths.
+	Docs []Doc
 }
 
-// SearchCtx is Search with deadlines, bounded retry, per-node circuit
-// breaking, and graceful degradation: when a node fails permanently its
-// shard is dropped from the merge and flagged in Degraded rather than
-// failing the query. The error is non-nil only when the context dies,
-// the query is invalid, or every node fails.
-func (s *ShardedIndex) SearchCtx(ctx context.Context, expr string, k int) (*ShardedResult, error) {
-	res, err := s.cluster.SearchCtx(ctx, expr, k)
-	if err != nil {
-		return nil, err
-	}
+// shardedResult converts a cluster result into the facade form.
+func shardedResult(res *pool.ClusterResult, withDocs bool) *ShardedResult {
 	agg := perf.NewMetrics()
 	for _, m := range res.PerShard {
 		if m != nil {
@@ -564,7 +739,67 @@ func (s *ShardedIndex) SearchCtx(ctx context.Context, expr string, k int) (*Shar
 	for i, e := range res.TopK {
 		out.Hits[i] = Hit{Doc: fmt.Sprintf("doc%d", e.DocID), DocID: e.DocID, Score: e.Score}
 	}
-	return out, nil
+	if withDocs {
+		out.Docs = docsFromFetched(res.Docs)
+	}
+	return out
+}
+
+// docsFromFetched converts pool-layer fetched payloads (already copied
+// at the cluster boundary) into facade Docs. A degraded fetch leaves a
+// document's Fields empty; the Doc keeps its id with empty payloads.
+func docsFromFetched(fds []pool.FetchedDoc) []Doc {
+	if fds == nil {
+		return nil
+	}
+	out := make([]Doc, len(fds))
+	for i, f := range fds {
+		out[i] = Doc{DocID: f.DocID}
+		if len(f.Fields) == 2 {
+			out[i].Name = string(f.Fields[0])
+			out[i].Text = string(f.Fields[1])
+		}
+	}
+	return out
+}
+
+// SearchFetchCtx is SearchCtx plus the fetch phase: the merged top-k
+// hits' documents come back in Docs, fetched from the nodes that hold
+// them with the same deadlines, retries, and circuit breaking as the
+// search fan-out. Nodes that fail either phase appear in Degraded; a
+// degraded fetch leaves its documents zero-valued rather than failing
+// the query.
+func (s *ShardedIndex) SearchFetchCtx(ctx context.Context, expr string, k int) (*ShardedResult, error) {
+	res, err := s.cluster.SearchFetchCtx(ctx, expr, k)
+	if err != nil {
+		return nil, err
+	}
+	return shardedResult(res, true), nil
+}
+
+// FetchDocsCtx fetches document payloads by docID across the deployment:
+// each document is served by the memory node holding its shard. The
+// result's Hits are empty; Docs holds one entry per requested id, in
+// input order.
+func (s *ShardedIndex) FetchDocsCtx(ctx context.Context, ids []uint32) (*ShardedResult, error) {
+	res, err := s.cluster.FetchBatch(ctx, ids)
+	if err != nil {
+		return nil, err
+	}
+	return shardedResult(res, true), nil
+}
+
+// SearchCtx is Search with deadlines, bounded retry, per-node circuit
+// breaking, and graceful degradation: when a node fails permanently its
+// shard is dropped from the merge and flagged in Degraded rather than
+// failing the query. The error is non-nil only when the context dies,
+// the query is invalid, or every node fails.
+func (s *ShardedIndex) SearchCtx(ctx context.Context, expr string, k int) (*ShardedResult, error) {
+	res, err := s.cluster.SearchCtx(ctx, expr, k)
+	if err != nil {
+		return nil, err
+	}
+	return shardedResult(res, false), nil
 }
 
 // SearchBatchCtx is SearchBatch with per-query resilience: node failures

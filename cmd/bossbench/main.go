@@ -12,6 +12,7 @@
 //	bossbench -wallclock -json     # same, machine-readable
 //	bossbench -chaos               # availability/QPS under fault injection
 //	bossbench -overload            # front-door goodput/tail-latency under overload
+//	bossbench -fetch               # document fetch phase: decode GB/s cold vs cached, search+fetch QPS
 //	bossbench -profile out         # also write out.cpu.pprof + out.heap.pprof
 package main
 
@@ -40,8 +41,9 @@ func main() {
 		wall    = flag.Bool("wallclock", false, "measure real host QPS (serial vs batch/parallel) instead of simulated experiments")
 		chaos   = flag.Bool("chaos", false, "sweep fault-injection rates and report availability/QPS of the resilient serving path")
 		over    = flag.Bool("overload", false, "sweep offered load past capacity and report front-door goodput, shedding, and tail latency")
-		shards  = flag.Int("shards", 4, "cluster shard count for -wallclock, -chaos, and -overload")
-		jsonOut = flag.Bool("json", false, "with -wallclock, -chaos, or -overload, emit the report as JSON")
+		fetch   = flag.Bool("fetch", false, "measure the document fetch phase: decode GB/s cold vs cached, search+fetch QPS")
+		shards  = flag.Int("shards", 4, "cluster shard count for -wallclock, -chaos, -overload, and -fetch")
+		jsonOut = flag.Bool("json", false, "with -wallclock, -chaos, -overload, or -fetch, emit the report as JSON")
 		profile = flag.String("profile", "", "write <prefix>.cpu.pprof and <prefix>.heap.pprof covering the run")
 	)
 	flag.Parse()
@@ -101,6 +103,25 @@ func main() {
 
 	if *over {
 		rep := harness.Overload(ctx, *shards)
+		rep.Created = time.Now().UTC().Format(time.RFC3339)
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(rep); err != nil {
+				fmt.Fprintf(os.Stderr, "bossbench: %v\n", err)
+				os.Exit(1)
+			}
+		} else if *csv {
+			t := rep.Table()
+			fmt.Printf("# %s: %s\n%s\n", t.ID, t.Title, t.CSV())
+		} else {
+			fmt.Println(rep.Table().String())
+		}
+		return
+	}
+
+	if *fetch {
+		rep := harness.Fetch(ctx, *shards)
 		rep.Created = time.Now().UTC().Format(time.RFC3339)
 		if *jsonOut {
 			enc := json.NewEncoder(os.Stdout)

@@ -1,0 +1,103 @@
+package hot
+
+// LZ-decode fixtures modeled on the docstore's block decode loop and the
+// fetch engine's cache-hit path: the good twins copy into caller-owned
+// destinations with bounds-checked loops and serve hits as zero-copy
+// subslices, so a fetch draws nothing; the bad twins do the obvious
+// thing — grow a fresh output slice per block, format a key per hit,
+// hand progress to a closure — and every one allocates per fetch.
+
+import "fmt"
+
+// lzToken is one decoded instruction: a literal run or a back-reference.
+type lzToken struct {
+	lit    []byte
+	dist   int
+	length int
+}
+
+// decodeInto is the good twin of the decode loop: literal runs and
+// back-references copy into the caller's dst with open-coded loops; the
+// running offset is the only state. Overlapping back-references must
+// copy byte-by-byte (the match source includes bytes written by this
+// very copy), which is exactly what the open-coded loop does.
+//
+//boss:hotpath
+func decodeInto(dst []byte, toks []lzToken) int {
+	n := 0
+	for i := range toks {
+		t := &toks[i]
+		for _, b := range t.lit {
+			if n >= len(dst) {
+				return -1
+			}
+			dst[n] = b
+			n++
+		}
+		src := n - t.dist
+		if src < 0 {
+			return -1
+		}
+		for j := 0; j < t.length; j++ {
+			if n >= len(dst) {
+				return -1
+			}
+			dst[n] = dst[src+j]
+			n++
+		}
+	}
+	return n
+}
+
+// docView is a decoded block plus per-document offsets; hitField is the
+// good twin of the fetch hit path: a hit is two offset reads and a
+// subslice of the pinned block — zero copies, zero allocations.
+type docView struct {
+	raw  []byte
+	offs []uint32
+}
+
+//boss:hotpath
+func hitField(v *docView, doc int) []byte {
+	if doc < 0 || doc+1 >= len(v.offs) {
+		return nil
+	}
+	return v.raw[v.offs[doc]:v.offs[doc+1]]
+}
+
+// decodeGrow is the bad twin of the decode loop: growing a fresh output
+// slice allocates (and re-copies) per block.
+//
+//boss:hotpath
+func decodeGrow(toks []lzToken) []byte {
+	var out []byte
+	for i := range toks {
+		out = append(out, toks[i].lit...) // want `append grows a slice that originates in this function`
+	}
+	return out
+}
+
+// hitKeyFormat is the bad twin of the hit path's cache probe: formatting
+// the key allocates on every single fetch, hit or miss.
+//
+//boss:hotpath
+func hitKeyFormat(list string, block uint32) string {
+	return fmt.Sprintf("%s/%d", list, block) // want `fmt\.Sprintf in hot path`
+}
+
+// hitKeyConcat allocates the same key by concatenation instead.
+//
+//boss:hotpath
+func hitKeyConcat(list, class string) string {
+	return list + ":" + class // want `string concatenation allocates in hot path`
+}
+
+// decodeNotify hands per-block progress to a fresh closure, which
+// captures and therefore allocates per block.
+//
+//boss:hotpath
+func decodeNotify(dst []byte, toks []lzToken, report func(func() int)) int {
+	n := decodeInto(dst, toks)
+	report(func() int { return n }) // want `closure allocation in hot path`
+	return n
+}

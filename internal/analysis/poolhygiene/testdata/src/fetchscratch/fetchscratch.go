@@ -1,0 +1,86 @@
+// Package fetchscratch exercises poolhygiene over the fetch phase's
+// scratch idiom: a pooled per-fetch buffer holding decoded field views.
+// The views alias a decoded block, so a dirty buffer returned to the
+// pool would pin that block (and leak stale payloads) into the next
+// fetch — the reset-before-Put rule is load-bearing here, not stylistic.
+package fetchscratch
+
+import "sync"
+
+// docScratch is one fetch's reusable state: the field views handed to
+// the caller and the decode destination used on cache misses.
+type docScratch struct {
+	fields  [][]byte
+	scratch []byte
+}
+
+// Reset drops the field views so a pooled buffer pins nothing.
+func (s *docScratch) Reset() {
+	for i := range s.fields {
+		s.fields[i] = nil
+	}
+	s.fields = s.fields[:0]
+}
+
+var scratchPool = sync.Pool{New: func() interface{} { return new(docScratch) }}
+
+// fetchOne is the canonical shape: Get, decode into the scratch, copy
+// the payload out, Reset, Put.
+func fetchOne(payload []byte) []byte {
+	s := scratchPool.Get().(*docScratch)
+	s.scratch = append(s.scratch[:0], payload...)
+	s.fields = append(s.fields[:0], s.scratch)
+	out := append([]byte(nil), s.fields[0]...)
+	s.Reset()
+	scratchPool.Put(s)
+	return out
+}
+
+// fetchDeferred covers every exit path with a deferred Put; the reset
+// runs before the deferred Put fires.
+func fetchDeferred(payload []byte, fail bool) []byte {
+	s := scratchPool.Get().(*docScratch)
+	defer scratchPool.Put(s)
+	if fail {
+		s.Reset()
+		return nil
+	}
+	s.scratch = append(s.scratch[:0], payload...)
+	out := append([]byte(nil), s.scratch...)
+	s.Reset()
+	return out
+}
+
+// fetchDirty hands the buffer back still holding whatever field views
+// the previous fetch left in it: the next user would see (and pin) a
+// stale decoded block.
+func fetchDirty() [][]byte {
+	s := scratchPool.Get().(*docScratch)
+	out := s.fields
+	scratchPool.Put(s) // want `pooled object is not reset before Put`
+	return out
+}
+
+// fetchLeaks never returns the scratch: every fetch allocates a new one
+// and the pool never amortizes anything.
+func fetchLeaks(payload []byte) []byte {
+	s := scratchPool.Get().(*docScratch) // want `sync\.Pool\.Get without a Put on the same pool`
+	s.scratch = append(s.scratch[:0], payload...)
+	return s.scratch
+}
+
+// pinned hands the scratch to the caller as a zero-copy view handle;
+// the waiver documents that releasePinned is the other half.
+//
+//boss:pool-escapes the caller holds the view until it calls releasePinned.
+func pinned(payload []byte) *docScratch {
+	s := scratchPool.Get().(*docScratch)
+	s.fields = append(s.fields[:0], payload)
+	return s
+}
+
+// releasePinned is pinned's other half.
+func releasePinned(s *docScratch) {
+	s.Reset()
+	scratchPool.Put(s)
+}

@@ -39,12 +39,25 @@ import (
 	"sync/atomic"
 )
 
-// Key identifies one decoded posting block: the posting list's process-wide
-// identity (index.PostingList.ID) and the block index within the list.
+// Key identifies one decoded block: the owning container's process-wide
+// identity (index.PostingList.ID or docstore.Store.ID), the block index
+// within it, and the client class. Class keeps the two ID namespaces from
+// colliding now that the cache serves both posting blocks and document
+// blocks; its zero value is ClassPosting, so posting-path call sites are
+// unchanged and hash to the same shards as before.
 type Key struct {
 	List  uint64
 	Block uint32
+	Class uint8
 }
+
+// Cache client classes. Stats are split by class so a hit-rate regression
+// in one client cannot hide behind the other.
+const (
+	ClassPosting uint8 = iota // decoded posting blocks (docIDs + tfs)
+	ClassDoc                  // decoded document-store blocks (packed bytes)
+	numClasses
+)
 
 // entryOverheadBytes approximates the budget charge of one resident entry
 // beyond its slab: the Entry struct, its map slot, and its ring slot.
@@ -55,16 +68,19 @@ const entryOverheadBytes = 128
 const slabQuantum = 256
 
 // Entry is one decoded block. Between Get/Publish and Release the entry is
-// pinned and Docs/Tfs return stable, immutable slices into the cache-owned
-// slab; after Release the slices must not be used.
+// pinned and Docs/Tfs (posting class) or Data (doc class) return stable,
+// immutable slices into the cache-owned slab; after Release the slices
+// must not be used.
 type Entry struct {
 	key    Key
 	epoch  uint64
 	docs   []uint32
 	tfs    []uint32
+	data   []byte   // published byte payload (doc-class entries)
 	buf    []uint32 // the arena slab backing docs and tfs
+	bbuf   []byte   // the arena slab backing data
 	cycles int64
-	bytes  int64 // budget charge: slab capacity + entryOverheadBytes
+	bytes  int64 // budget charge: slab capacities + entryOverheadBytes
 
 	// resident is true for entries inserted into a shard (recycled only by
 	// the evictor) and false for bypass entries (recycled by Release when
@@ -81,6 +97,10 @@ func (e *Entry) Docs() []uint32 { return e.docs }
 // Tfs returns the decoded term frequencies. Valid only while pinned.
 func (e *Entry) Tfs() []uint32 { return e.tfs }
 
+// Data returns the decoded byte payload of a doc-class entry. Valid only
+// while the entry is pinned.
+func (e *Entry) Data() []byte { return e.data }
+
 // Cycles returns the decode cycle count recorded at publish time, so cache
 // hits can charge the simulated pipeline exactly as a fresh decode would.
 func (e *Entry) Cycles() int64 { return e.cycles }
@@ -93,6 +113,10 @@ func (e *Entry) DocsBuf(n int) []uint32 { return e.buf[:0:n] }
 // inside the slab, disjoint from DocsBuf's region.
 func (e *Entry) TfsBuf(n int) []uint32 { return e.buf[n : n : 2*n] }
 
+// ByteBuf returns an n-byte decode destination inside the byte slab of an
+// entry obtained from ReserveBytes.
+func (e *Entry) ByteBuf(n int) []byte { return e.bbuf[:n] }
+
 // shard is one lock domain of the cache.
 type shard struct {
 	mu     sync.Mutex
@@ -103,12 +127,14 @@ type shard struct {
 	budget int64
 
 	// Counters live under the shard mutex so the hit path adds no extra
-	// cross-core atomic traffic.
-	hits           int64
-	misses         int64
+	// cross-core atomic traffic. Lookup and served-traffic counters are
+	// split by Key.Class; evictions and bypasses are capacity effects of
+	// the shared budget and stay unsplit.
+	hits           [numClasses]int64
+	misses         [numClasses]int64
 	evictions      int64
 	bypasses       int64
-	servedBytes    int64
+	servedBytes    [numClasses]int64
 	servedPostings int64
 
 	_ [64]byte // keep neighbouring shards off this shard's cache lines
@@ -150,7 +176,10 @@ func NewSharded(budgetBytes int64, shards int) *Cache {
 
 // shardFor mixes the key into a shard index.
 func (c *Cache) shardFor(k Key) *shard {
-	h := k.List*0x9E3779B97F4A7C15 ^ (uint64(k.Block)+1)*0xBF58476D1CE4E5B9
+	// The class term is zero for ClassPosting, so posting keys map to the
+	// same shards (and evict in the same order) as before doc blocks
+	// became a second client.
+	h := k.List*0x9E3779B97F4A7C15 ^ (uint64(k.Block)+1)*0xBF58476D1CE4E5B9 ^ uint64(k.Class)*0x94D049BB133111EB
 	h ^= h >> 29
 	return &c.shards[h&c.mask]
 }
@@ -166,17 +195,18 @@ func (c *Cache) Get(k Key) *Entry {
 	}
 	epoch := c.epoch.Load()
 	s := c.shardFor(k)
+	cls := k.Class % numClasses
 	s.mu.Lock()
 	e := s.m[k]
 	if e == nil || e.epoch != epoch {
-		s.misses++
+		s.misses[cls]++
 		s.mu.Unlock()
 		return nil
 	}
 	e.refs.Add(1)
 	e.used.Store(true)
-	s.hits++
-	s.servedBytes += int64(len(e.docs)+len(e.tfs)) * 4
+	s.hits[cls]++
+	s.servedBytes[cls] += int64(len(e.docs)+len(e.tfs))*4 + int64(len(e.data))
 	s.servedPostings += int64(len(e.docs))
 	s.mu.Unlock()
 	return e
@@ -195,7 +225,28 @@ func (c *Cache) Reserve(n int) *Entry {
 		q := (need + slabQuantum - 1) / slabQuantum * slabQuantum
 		e.buf = make([]uint32, 0, q)
 	}
-	e.docs, e.tfs = nil, nil
+	e.docs, e.tfs, e.data = nil, nil, nil
+	e.cycles, e.bytes = 0, 0
+	e.resident = false
+	e.used.Store(false)
+	e.refs.Store(1)
+	return e
+}
+
+// ReserveBytes returns a private, pinned entry whose byte slab holds n
+// bytes. Decode into ByteBuf(n), then PublishBytes.
+//
+//boss:pool-escapes the slab leaves with the caller until Publish/Release (arena-slab publish pattern).
+func (c *Cache) ReserveBytes(n int) *Entry {
+	e, _ := c.pool.Get().(*Entry)
+	if e == nil {
+		e = new(Entry)
+	}
+	if cap(e.bbuf) < n {
+		q := (n + slabQuantum - 1) / slabQuantum * slabQuantum
+		e.bbuf = make([]byte, 0, q)
+	}
+	e.docs, e.tfs, e.data = nil, nil, nil
 	e.cycles, e.bytes = 0, 0
 	e.resident = false
 	e.used.Store(false)
@@ -215,7 +266,24 @@ func (c *Cache) Publish(k Key, e *Entry, docs, tfs []uint32, cycles int64) *Entr
 	e.key = k
 	e.docs, e.tfs = docs, tfs
 	e.cycles = cycles
-	e.bytes = int64(cap(e.buf))*4 + entryOverheadBytes
+	e.bytes = int64(cap(e.buf))*4 + int64(cap(e.bbuf)) + entryOverheadBytes
+	return c.insert(k, e)
+}
+
+// PublishBytes is Publish for a doc-class entry reserved with
+// ReserveBytes: data must be a slice of e's byte slab; cycles is the
+// decode cycle count to replay on hits.
+func (c *Cache) PublishBytes(k Key, e *Entry, data []byte, cycles int64) *Entry {
+	e.key = k
+	e.data = data
+	e.cycles = cycles
+	e.bytes = int64(cap(e.buf))*4 + int64(cap(e.bbuf)) + entryOverheadBytes
+	return c.insert(k, e)
+}
+
+// insert places a filled entry into its shard under the race/budget rules
+// described on Publish.
+func (c *Cache) insert(k Key, e *Entry) *Entry {
 	s := c.shardFor(k)
 	s.mu.Lock()
 	epoch := c.epoch.Load()
@@ -263,7 +331,7 @@ func (c *Cache) Release(e *Entry) {
 // either never resident or already removed from its shard.
 func (e *Entry) reset() {
 	e.key = Key{}
-	e.docs, e.tfs = nil, nil
+	e.docs, e.tfs, e.data = nil, nil, nil
 	e.cycles, e.bytes, e.epoch = 0, 0, 0
 	e.resident = false
 }
@@ -366,6 +434,9 @@ func (c *Cache) Epoch() uint64 {
 // Stats is a point-in-time snapshot of the cache's counters, reported by
 // the wall-clock harness and cmd/bossbench.
 type Stats struct {
+	// Hits and Misses are totals across both client classes; the
+	// Posting*/Doc* fields below split them so a hit-rate regression in
+	// one class cannot hide behind the other.
 	Hits      int64 `json:"hits"`
 	Misses    int64 `json:"misses"`
 	Evictions int64 `json:"evictions"`
@@ -373,14 +444,23 @@ type Stats struct {
 	// than a shard budget, or every resident entry pinned).
 	Bypasses int64 `json:"bypasses"`
 
+	// Per-class lookup split: posting blocks (ClassPosting) vs document
+	// blocks (ClassDoc).
+	PostingHits   int64 `json:"posting_hits"`
+	PostingMisses int64 `json:"posting_misses"`
+	DocHits       int64 `json:"doc_hits"`
+	DocMisses     int64 `json:"doc_misses"`
+
 	ResidentEntries int64 `json:"resident_entries"`
 	ResidentBytes   int64 `json:"resident_bytes"`
 	PinnedEntries   int64 `json:"pinned_entries"`
 	BudgetBytes     int64 `json:"budget_bytes"`
 
 	// ServedBytes is the decoded bytes returned by hits — traffic the SCM
-	// device and the decompression modules never saw.
-	ServedBytes int64 `json:"served_bytes"`
+	// device and the decode paths never saw. DocServedBytes is the
+	// doc-class share of it.
+	ServedBytes    int64 `json:"served_bytes"`
+	DocServedBytes int64 `json:"doc_served_bytes"`
 	// ServedPostings counts postings whose decode was avoided by a hit.
 	ServedPostings int64 `json:"served_postings"`
 
@@ -388,10 +468,21 @@ type Stats struct {
 	Shards int    `json:"shards"`
 }
 
-// HitRate returns hits / (hits + misses), or 0 before any lookup.
+// HitRate returns hits / (hits + misses) across both classes, or 0
+// before any lookup.
 func (s Stats) HitRate() float64 {
-	if t := s.Hits + s.Misses; t > 0 {
-		return float64(s.Hits) / float64(t)
+	return rate(s.Hits, s.Misses)
+}
+
+// PostingHitRate returns the posting-class hit rate.
+func (s Stats) PostingHitRate() float64 { return rate(s.PostingHits, s.PostingMisses) }
+
+// DocHitRate returns the doc-class hit rate.
+func (s Stats) DocHitRate() float64 { return rate(s.DocHits, s.DocMisses) }
+
+func rate(hits, misses int64) float64 {
+	if t := hits + misses; t > 0 {
+		return float64(hits) / float64(t)
 	}
 	return 0
 }
@@ -406,14 +497,19 @@ func (c *Cache) Stats() Stats {
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()
-		st.Hits += s.hits
-		st.Misses += s.misses
+		st.PostingHits += s.hits[ClassPosting]
+		st.PostingMisses += s.misses[ClassPosting]
+		st.DocHits += s.hits[ClassDoc]
+		st.DocMisses += s.misses[ClassDoc]
+		st.Hits += s.hits[ClassPosting] + s.hits[ClassDoc]
+		st.Misses += s.misses[ClassPosting] + s.misses[ClassDoc]
 		st.Evictions += s.evictions
 		st.Bypasses += s.bypasses
 		st.ResidentEntries += int64(len(s.ring))
 		st.ResidentBytes += s.bytes
 		st.BudgetBytes += s.budget
-		st.ServedBytes += s.servedBytes
+		st.ServedBytes += s.servedBytes[ClassPosting] + s.servedBytes[ClassDoc]
+		st.DocServedBytes += s.servedBytes[ClassDoc]
 		st.ServedPostings += s.servedPostings
 		for _, e := range s.ring {
 			if e.refs.Load() > 0 {

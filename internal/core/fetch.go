@@ -1,0 +1,255 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"boss/internal/cache"
+	"boss/internal/docstore"
+	"boss/internal/mem"
+	"boss/internal/perf"
+	"boss/internal/sim"
+)
+
+// This file is the fetch phase of serving: after ranking ends at scored
+// docIDs, the fetch engine loads, integrity-checks, and decodes the
+// document-store blocks holding those documents, charging the simulated
+// SCM exactly as the posting path charges posting blocks — sequential
+// streams under mem.CatLoadDoc, one exposed device round trip per
+// fetch-queue window, decode cycles on the pipeline. Decoded doc blocks
+// are published to the shared block cache under cache.ClassDoc; a cache
+// hit replays the recorded charges, so modeled figures are byte-identical
+// with or without the host-side cache (only host work is saved), the
+// same invariant the posting path maintains.
+
+// docDecodeBytesPerCycle prices the byte-oriented LZ decode on the
+// modeled pipeline: 8 decoded bytes per cycle (8 GB/s at the 1 GHz
+// clock). Deterministic in the block's raw length, so hit-path replay
+// and fresh decodes charge identically by construction.
+const docDecodeBytesPerCycle = 8
+
+// docDecodeCycles returns the modeled decode cost of one raw block.
+func docDecodeCycles(rawLen int64) int64 {
+	return (rawLen + docDecodeBytesPerCycle - 1) / docDecodeBytesPerCycle
+}
+
+// cyclesDuration converts pipeline cycles to simulated time at the
+// accelerator clock.
+func cyclesDuration(cyc int64) sim.Duration {
+	return sim.Duration(float64(cyc) / clockGHz * float64(sim.Nanosecond))
+}
+
+// FetchEngine fetches documents from a block-compressed docstore.Store,
+// optionally through the shared decoded-block cache. A FetchEngine is
+// safe for concurrent use: all mutable per-fetch state lives in the
+// caller's DocBuf and Metrics.
+type FetchEngine struct {
+	ds     *docstore.Store
+	cache  *cache.Cache
+	fault  *mem.Injector
+	faultK uint64 // fault-injection namespace for this store's blocks
+}
+
+// NewFetchEngine returns a fetch engine over ds, publishing decoded
+// blocks to c (nil c disables caching).
+func NewFetchEngine(ds *docstore.Store, c *cache.Cache) *FetchEngine {
+	return &FetchEngine{ds: ds, cache: c, faultK: mem.StableKey("docstore")}
+}
+
+// SetFault attaches a fault injector; doc-block reads then go through the
+// same seeded fault model as posting-block reads.
+func (e *FetchEngine) SetFault(inj *mem.Injector) { e.fault = inj }
+
+// SetCache replaces the engine's decoded-block cache (nil disables
+// caching). Not safe concurrently with fetches; setup-time only.
+func (e *FetchEngine) SetCache(c *cache.Cache) { e.cache = c }
+
+// Store returns the underlying document store.
+func (e *FetchEngine) Store() *docstore.Store { return e.ds }
+
+// Cache returns the attached cache (nil when uncached).
+func (e *FetchEngine) Cache() *cache.Cache { return e.cache }
+
+// DocBuf is a reusable, zero-copy view of one fetched document. Fields
+// alias either a pinned cache entry or the buffer's own scratch; they are
+// valid until the next FetchInto with this buffer or Release, whichever
+// comes first. Release must be called when done (releasing the pin); a
+// DocBuf must not be shared across goroutines.
+type DocBuf struct {
+	DocID  uint32
+	Fields [][]byte // one slice per store field, in field order
+
+	ent     *cache.Entry
+	c       *cache.Cache
+	scratch []byte // decode destination when the block isn't cache-resident
+}
+
+// Release drops the buffer's pin on the underlying cache entry, if any.
+// The Fields slices must not be used afterwards. Safe to call repeatedly.
+func (b *DocBuf) Release() {
+	if b.ent != nil {
+		b.c.Release(b.ent)
+		b.ent = nil
+	}
+	b.Fields = b.Fields[:0]
+}
+
+// FetchInto fetches one document into buf, charging m with the simulated
+// SCM fetch and decode work. On success buf.Fields holds one zero-copy
+// slice per store field. Any prior pin held by buf is released first, so
+// a loop reusing one buffer holds at most one block pinned.
+//
+//boss:hotpath the per-document fetch loop; the cache-hit arm allocates nothing.
+func (e *FetchEngine) FetchInto(ctx context.Context, docID uint32, m *perf.Metrics, buf *DocBuf) error {
+	if buf.ent != nil {
+		buf.c.Release(buf.ent)
+		buf.ent = nil
+	}
+	if ctx != nil {
+		if cause := ctx.Err(); cause != nil {
+			return ctxError(cause)
+		}
+	}
+	ds := e.ds
+	if int64(docID) >= int64(ds.NumDocs) {
+		return failDocRange(docID, ds.NumDocs)
+	}
+	bi := ds.BlockOf(docID)
+	meta := &ds.Blocks[bi]
+	m.DocsFetched++
+
+	ch := e.cache
+	var ent *cache.Entry
+	if ch != nil {
+		ent = ch.Get(cache.Key{List: ds.ID(), Block: uint32(bi), Class: cache.ClassDoc})
+	}
+
+	// From here on every simulated charge is identical whether the decoded
+	// block comes from the cache or from a fresh decode: the modeled device
+	// has no DRAM block cache, so a host-side hit must replay the SCM
+	// stream, the queue hop, and the decode cycles. Only host work — the
+	// actual decompression — is saved.
+	if inj := e.fault; inj != nil {
+		if err := e.chargeFaultyDocRead(inj, meta, bi, m); err != nil {
+			if ent != nil {
+				ch.Release(ent)
+			}
+			return err
+		}
+	} else {
+		m.AddSeqRead(int64(meta.CompLen), mem.CatLoadDoc)
+	}
+	m.DocBlocksFetched++
+	// The fetch module keeps a bounded number of block requests in flight;
+	// each windowful exposes one device read latency on the pipeline.
+	if m.DocBlocksFetched%fetchQueueDepth == 0 {
+		m.SerialFetchHops++
+	}
+
+	var raw []byte
+	if ent != nil {
+		m.AddCompute(cyclesDuration(ent.Cycles()))
+		raw = ent.Data()
+		buf.ent, buf.c = ent, ch
+	} else {
+		payload := ds.BlockPayload(bi)
+		// Integrity gate: verify the payload CRC before decoding so media
+		// corruption is detected and typed instead of silently served (and
+		// never published to the shared cache).
+		if docstore.ChecksumPayload(payload) != meta.Checksum {
+			m.IntegrityFailures++
+			return failDocCorrupt(bi)
+		}
+		cyc := docDecodeCycles(int64(meta.RawLen))
+		n := int(meta.RawLen)
+		if ch != nil {
+			// Miss with a cache attached: decode straight into a cache-owned
+			// byte slab and publish so the next fetch hits. A failed decode
+			// releases the reserved (never published) entry.
+			ce := ch.ReserveBytes(n)
+			dst := ce.ByteBuf(n)
+			if err := ds.DecodeBlock(dst, payload); err != nil {
+				ch.Release(ce)
+				return failDocDecode(bi, err)
+			}
+			ce = ch.PublishBytes(cache.Key{List: ds.ID(), Block: uint32(bi), Class: cache.ClassDoc}, ce, dst, cyc)
+			raw = ce.Data()
+			buf.ent, buf.c = ce, ch
+		} else {
+			if cap(buf.scratch) < n {
+				buf.scratch = make([]byte, n)
+			}
+			dst := buf.scratch[:n]
+			if err := ds.DecodeBlock(dst, payload); err != nil {
+				return failDocDecode(bi, err)
+			}
+			raw = dst
+		}
+		m.AddCompute(cyclesDuration(cyc))
+	}
+
+	fields, err := ds.AppendDoc(buf.Fields[:0], raw, int(docID)-int(meta.FirstDoc))
+	if err != nil {
+		buf.Release()
+		return err
+	}
+	buf.DocID = docID
+	buf.Fields = fields
+	return nil
+}
+
+// chargeFaultyDocRead streams one doc block from the device under the
+// fault injector, retrying transient faults inline exactly as the
+// posting path's chargeFaultyRead does.
+//
+//boss:hotpath the fault-aware arm of the per-block doc fetch.
+func (e *FetchEngine) chargeFaultyDocRead(inj *mem.Injector, meta *docstore.BlockMeta, b int, m *perf.Metrics) error {
+	if inj.Dead() {
+		return failDocDown(b)
+	}
+	for attempt := uint32(0); ; attempt++ {
+		m.AddSeqRead(int64(meta.CompLen), mem.CatLoadDoc)
+		switch inj.BlockFault(e.faultK, uint32(b), attempt) {
+		case mem.FaultNone:
+			return nil
+		case mem.FaultUncorrectable:
+			m.IntegrityFailures++
+			return failDocMedia(b)
+		case mem.FaultDeviceDown:
+			return failDocDown(b)
+		default: // mem.FaultTransient
+			m.TransientRetries++
+			if attempt+1 >= maxFetchAttempts {
+				return failDocTransient(b)
+			}
+		}
+	}
+}
+
+// The failDoc* helpers build wrapped, typed errors. Outlined from the hot
+// fetch path so it carries no fmt calls (hotpathalloc); they only run
+// when a fetch is already failing.
+
+func failDocRange(docID uint32, n int) error {
+	return fmt.Errorf("core: fetch docID %d out of range (store holds %d documents)", docID, n)
+}
+
+func failDocCorrupt(b int) error {
+	return fmt.Errorf("core: doc block %d: checksum mismatch: %w (%w)", b, docstore.ErrCorrupt, mem.ErrMediaUncorrectable)
+}
+
+func failDocDecode(b int, err error) error {
+	return fmt.Errorf("core: doc block %d decode failed: %w (%w)", b, err, mem.ErrMediaUncorrectable)
+}
+
+func failDocMedia(b int) error {
+	return fmt.Errorf("core: doc block %d: %w", b, mem.ErrMediaUncorrectable)
+}
+
+func failDocDown(b int) error {
+	return fmt.Errorf("core: doc block %d: %w", b, mem.ErrDeviceDown)
+}
+
+func failDocTransient(b int) error {
+	return fmt.Errorf("core: doc block %d: retries exhausted: %w", b, mem.ErrTransientRead)
+}

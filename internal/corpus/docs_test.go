@@ -1,0 +1,46 @@
+package corpus
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestDocTextDeterministic(t *testing.T) {
+	a := DocText(42, 7, 100, 1000, nil)
+	b := DocText(42, 7, 100, 1000, nil)
+	if !bytes.Equal(a, b) {
+		t.Fatal("DocText not deterministic")
+	}
+	c := DocText(42, 8, 100, 1000, nil)
+	if bytes.Equal(a, c) {
+		t.Fatal("different docIDs produced identical payloads")
+	}
+	d := DocText(43, 7, 100, 1000, nil)
+	if bytes.Equal(a, d) {
+		t.Fatal("different seeds produced identical payloads")
+	}
+}
+
+func TestDocTextSizedFromStats(t *testing.T) {
+	short := DocText(1, 0, 10, 1000, nil)
+	long := DocText(1, 0, 1000, 1000, nil)
+	if len(long) <= len(short) {
+		t.Fatalf("docLen ignored: %d vs %d bytes", len(short), len(long))
+	}
+	capped := DocText(1, 0, 1<<20, 1000, nil)
+	if len(capped) > docTextTokenCap*12 {
+		t.Fatalf("token cap not applied: %d bytes", len(capped))
+	}
+	if len(DocText(1, 0, 0, 0, nil)) == 0 {
+		t.Fatal("degenerate args produced empty payload")
+	}
+}
+
+func TestDocName(t *testing.T) {
+	if got := string(DocName(nil, 0)); got != "doc0" {
+		t.Fatalf("DocName(0) = %q", got)
+	}
+	if got := string(DocName(nil, 123456)); got != "doc123456" {
+		t.Fatalf("DocName = %q", got)
+	}
+}

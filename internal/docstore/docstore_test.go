@@ -1,0 +1,138 @@
+package docstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// buildCorpus builds a store of n two-field documents plus the expected
+// field values for later comparison.
+func buildCorpus(t testing.TB, n int, seed int64) (*Store, [][2][]byte) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder("name", "text")
+	want := make([][2][]byte, n)
+	for i := 0; i < n; i++ {
+		name := []byte(fmt.Sprintf("doc%06d", i))
+		text := textish(rng, 50+rng.Intn(400))
+		want[i] = [2][]byte{name, text}
+		if err := b.Add(name, text); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build(), want
+}
+
+// fetchDoc decodes the block holding docID and returns its field slices.
+func fetchDoc(t testing.TB, s *Store, docID uint32) [][]byte {
+	t.Helper()
+	bi := s.BlockOf(docID)
+	m := &s.Blocks[bi]
+	payload := s.BlockPayload(bi)
+	if ChecksumPayload(payload) != m.Checksum {
+		t.Fatalf("doc %d: block %d checksum mismatch", docID, bi)
+	}
+	raw := make([]byte, m.RawLen)
+	if err := s.DecodeBlock(raw, payload); err != nil {
+		t.Fatalf("doc %d: decode block %d: %v", docID, bi, err)
+	}
+	fields, err := s.AppendDoc(nil, raw, int(docID)-int(m.FirstDoc))
+	if err != nil {
+		t.Fatalf("doc %d: locate: %v", docID, err)
+	}
+	return fields
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	const n = 1000 // several full blocks plus a partial tail
+	s, want := buildCorpus(t, n, 23)
+	if s.NumDocs != n {
+		t.Fatalf("NumDocs = %d, want %d", s.NumDocs, n)
+	}
+	if got, wantB := s.NumBlocks(), (n+BlockDocs-1)/BlockDocs; got != wantB {
+		t.Fatalf("NumBlocks = %d, want %d", got, wantB)
+	}
+	if s.RawBytes <= int64(len(s.Data)) {
+		t.Fatalf("store did not compress: raw %d vs data %d", s.RawBytes, len(s.Data))
+	}
+	for i := 0; i < n; i++ {
+		fields := fetchDoc(t, s, uint32(i))
+		if len(fields) != 2 {
+			t.Fatalf("doc %d: %d fields", i, len(fields))
+		}
+		if !bytes.Equal(fields[0], want[i][0]) || !bytes.Equal(fields[1], want[i][1]) {
+			t.Fatalf("doc %d: payload mismatch", i)
+		}
+	}
+}
+
+func TestStoreIORoundTrip(t *testing.T) {
+	s, want := buildCorpus(t, 300, 29)
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumDocs != s.NumDocs || got.NumBlocks() != s.NumBlocks() || got.RawBytes != s.RawBytes {
+		t.Fatalf("reloaded store shape mismatch: %+v vs %+v", got, s)
+	}
+	if len(got.Fields) != 2 || got.Fields[0] != "name" || got.Fields[1] != "text" {
+		t.Fatalf("reloaded fields %v", got.Fields)
+	}
+	for i := 0; i < got.NumDocs; i++ {
+		fields := fetchDoc(t, got, uint32(i))
+		if !bytes.Equal(fields[0], want[i][0]) || !bytes.Equal(fields[1], want[i][1]) {
+			t.Fatalf("doc %d: payload mismatch after reload", i)
+		}
+	}
+}
+
+func TestStoreIDsDistinct(t *testing.T) {
+	a, _ := buildCorpus(t, 10, 1)
+	b, _ := buildCorpus(t, 10, 2)
+	if a.ID() == 0 || b.ID() == 0 || a.ID() == b.ID() {
+		t.Fatalf("store IDs not distinct: %d %d", a.ID(), b.ID())
+	}
+	if a.ID() != a.ID() {
+		t.Fatal("ID not stable")
+	}
+}
+
+func TestAppendDocFraming(t *testing.T) {
+	s, _ := buildCorpus(t, BlockDocs, 31)
+	m := &s.Blocks[0]
+	raw := make([]byte, m.RawLen)
+	if err := s.DecodeBlock(raw, s.BlockPayload(0)); err != nil {
+		t.Fatal(err)
+	}
+	// Out-of-range doc index inside a valid block.
+	if _, err := s.AppendDoc(nil, raw, BlockDocs); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("out-of-range doc index: err = %v, want ErrCorrupt", err)
+	}
+	// Truncated raw blocks must never panic; whether they error depends on
+	// how much of doc 0's columns the prefix still covers.
+	for cut := 0; cut < len(raw); cut += 11 {
+		_, _ = s.AppendDoc(nil, raw[:cut], 0)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":    {},
+		"badMagic": []byte("NOTABOSS"),
+		"truncMagic": func() []byte {
+			return []byte(docMagic)[:4]
+		}(),
+	}
+	for name, data := range cases {
+		if _, err := Read(bytes.NewReader(data)); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("%s: err = %v, want ErrCorrupt", name, err)
+		}
+	}
+}

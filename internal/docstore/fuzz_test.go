@@ -1,0 +1,91 @@
+package docstore
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// FuzzLZRoundTrip compresses arbitrary inputs and requires an exact
+// decode; it also feeds the raw input to the decoder directly, where any
+// outcome but a typed error or clean decode (panic, hang, OOB) fails.
+func FuzzLZRoundTrip(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte("a"))
+	f.Add([]byte("aaaaaaaaaaaaaaaa"))
+	f.Add(bytes.Repeat([]byte{1, 2, 3}, 100))
+	f.Add([]byte("the quick brown fox jumps over the lazy dog the quick brown fox"))
+	rng := rand.New(rand.NewSource(47))
+	f.Add(textish(rng, 1000))
+	rnd := make([]byte, 500)
+	rng.Read(rnd)
+	f.Add(rnd)
+
+	f.Fuzz(func(t *testing.T, src []byte) {
+		comp := lzCompress(nil, src)
+		dst := make([]byte, len(src))
+		if err := lzDecompress(dst, comp); err != nil {
+			t.Fatalf("decode of own output failed: %v", err)
+		}
+		if !bytes.Equal(dst, src) {
+			t.Fatal("round trip mismatch")
+		}
+		// Arbitrary bytes as a compressed stream: must not panic, and on a
+		// clean decode the output length contract must hold (it trivially
+		// does — the decoder enforces it — so just exercise the path).
+		scratch := make([]byte, 256)
+		_ = lzDecompress(scratch, src)
+	})
+}
+
+// FuzzDocstoreOpen feeds arbitrary bytes to Read. A valid store must
+// load and serve every document; anything else must fail with a typed
+// ErrCorrupt — never a panic or a runaway allocation.
+func FuzzDocstoreOpen(f *testing.F) {
+	// Seed corpus: a well-formed store, its empty-ish variants, and a few
+	// deliberate corruptions so the fuzzer starts near the format.
+	s, _ := buildCorpus(f, 70, 53)
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add([]byte(docMagic))
+	trunc := append([]byte(nil), valid[:len(valid)/2]...)
+	f.Add(trunc)
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/3] ^= 0x40
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Read(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("non-typed load error: %v", err)
+			}
+			return
+		}
+		// Load succeeded: walking every document must stay memory-safe.
+		// A coverage-guided mutant can reseal the footer CRC over a bad
+		// block, so per-block failures (checksum gate, decode error, bad
+		// framing) are acceptable detections — panics are not.
+		for i := 0; i < got.NumDocs; i++ {
+			bi := got.BlockOf(uint32(i))
+			if bi >= got.NumBlocks() {
+				t.Fatalf("loaded store: doc %d maps to block %d of %d", i, bi, got.NumBlocks())
+			}
+			m := &got.Blocks[bi]
+			payload := got.BlockPayload(bi)
+			if ChecksumPayload(payload) != m.Checksum {
+				continue // detected at fetch time, as the CRC gate would
+			}
+			raw := make([]byte, m.RawLen)
+			if err := got.DecodeBlock(raw, payload); err != nil {
+				continue
+			}
+			_, _ = got.AppendDoc(nil, raw, i-int(m.FirstDoc))
+		}
+	})
+}

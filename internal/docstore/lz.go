@@ -1,0 +1,200 @@
+package docstore
+
+// LZ-family byte codec for packed document blocks.
+//
+// The format is an LZ4-style sequence stream: each sequence is a token
+// byte whose high nibble is the literal length and low nibble the match
+// length minus minMatch (15 in either nibble continues into 0xFF
+// run-length extension bytes), the literals themselves, then a 2-byte
+// little-endian match distance. A stream always ends after the literals
+// of its final sequence — the final sequence carries no match, so a
+// well-formed stream is never empty (an empty input compresses to the
+// single token 0x00).
+//
+// Matches may overlap their output (distance < match length), which is
+// how runs compress; the decoder therefore copies matches byte by byte.
+// The decoder is the fetch phase's wall-clock inner loop: it is
+// annotated //boss:hotpath, performs no allocation, and turns every
+// framing violation into a typed ErrCorrupt instead of a panic or an
+// out-of-bounds write.
+
+const (
+	// lzMinMatch is the shortest encodable match; shorter repeats are
+	// emitted as literals.
+	lzMinMatch = 4
+	// lzMaxDist is the farthest back a match may reach (2-byte distance).
+	lzMaxDist = 65535
+	// lzHashLog sizes the compressor's chaining table.
+	lzHashLog  = 13
+	lzHashSize = 1 << lzHashLog
+)
+
+// Outlined corrupt-stream errors: the hot decoder returns preconstructed
+// values so the failure paths cost nothing on the happy path.
+var (
+	errLZTruncated = corruptf("truncated compressed stream")
+	errLZOverflow  = corruptf("compressed stream overflows output")
+	errLZShort     = corruptf("compressed stream ends before output is full")
+	errLZDistance  = corruptf("match distance outside decoded window")
+)
+
+// lzHash mixes a 4-byte little-endian window into a table index.
+func lzHash(v uint32) uint32 {
+	return (v * 2654435761) >> (32 - lzHashLog)
+}
+
+func le32(b []byte, i int) uint32 {
+	return uint32(b[i]) | uint32(b[i+1])<<8 | uint32(b[i+2])<<16 | uint32(b[i+3])<<24
+}
+
+// lzCompress appends the compressed form of src to dst and returns the
+// extended slice. Compression is greedy with a single-probe hash table —
+// build-time code, so it may allocate (the table lives on the stack).
+func lzCompress(dst, src []byte) []byte {
+	var table [lzHashSize]int32 // position+1; 0 means empty
+	n := len(src)
+	anchor, i := 0, 0
+	if n >= lzMinMatch {
+		limit := n - lzMinMatch
+		for i <= limit {
+			h := lzHash(le32(src, i))
+			cand := int(table[h]) - 1
+			table[h] = int32(i + 1)
+			if cand < 0 || i-cand > lzMaxDist || le32(src, cand) != le32(src, i) {
+				i++
+				continue
+			}
+			m, c := i+lzMinMatch, cand+lzMinMatch
+			for m < n && src[m] == src[c] {
+				m++
+				c++
+			}
+			dst = lzEmit(dst, src[anchor:i], i-cand, m-i)
+			i, anchor = m, m
+		}
+	}
+	return lzEmit(dst, src[anchor:], 0, 0)
+}
+
+// lzEmit appends one sequence: literals lit, then (when dist > 0) a
+// match of mlen bytes at distance dist. dist == 0 marks the final,
+// match-free sequence.
+func lzEmit(dst, lit []byte, dist, mlen int) []byte {
+	ll := len(lit)
+	tok := byte(0)
+	if ll >= 15 {
+		tok = 0xF0
+	} else {
+		tok = byte(ll) << 4
+	}
+	ml := 0
+	if dist > 0 {
+		ml = mlen - lzMinMatch
+		if ml >= 15 {
+			tok |= 0x0F
+		} else {
+			tok |= byte(ml)
+		}
+	}
+	dst = append(dst, tok)
+	if ll >= 15 {
+		dst = lzEmitExt(dst, ll-15)
+	}
+	dst = append(dst, lit...)
+	if dist > 0 {
+		dst = append(dst, byte(dist), byte(dist>>8))
+		if ml >= 15 {
+			dst = lzEmitExt(dst, ml-15)
+		}
+	}
+	return dst
+}
+
+func lzEmitExt(dst []byte, v int) []byte {
+	for v >= 255 {
+		dst = append(dst, 0xFF)
+		v -= 255
+	}
+	return append(dst, byte(v))
+}
+
+// lzDecompress decompresses src into dst, which must be exactly the
+// original length. Every read and write is bounds-checked against the
+// declared lengths: a corrupt stream yields an error wrapping
+// ErrCorrupt, never a panic, an out-of-bounds access, or a silently
+// short output.
+//
+//boss:hotpath the fetch phase's decode inner loop; byte-oriented copy loops, no allocation.
+func lzDecompress(dst, src []byte) error {
+	d, s := 0, 0
+	nd, ns := len(dst), len(src)
+	for {
+		if s >= ns {
+			return errLZTruncated
+		}
+		tok := src[s]
+		s++
+		ll := int(tok >> 4)
+		if ll == 15 {
+			for {
+				if s >= ns {
+					return errLZTruncated
+				}
+				b := src[s]
+				s++
+				ll += int(b)
+				if b != 0xFF {
+					break
+				}
+			}
+		}
+		if ll > ns-s || ll > nd-d {
+			return errLZOverflow
+		}
+		for i := 0; i < ll; i++ {
+			dst[d] = src[s]
+			d++
+			s++
+		}
+		if s == ns {
+			// Final sequence: the stream ends after its literals.
+			if d != nd {
+				return errLZShort
+			}
+			return nil
+		}
+		if ns-s < 2 {
+			return errLZTruncated
+		}
+		dist := int(src[s]) | int(src[s+1])<<8
+		s += 2
+		if dist == 0 || dist > d {
+			return errLZDistance
+		}
+		ml := int(tok & 0x0F)
+		if ml == 15 {
+			for {
+				if s >= ns {
+					return errLZTruncated
+				}
+				b := src[s]
+				s++
+				ml += int(b)
+				if b != 0xFF {
+					break
+				}
+			}
+		}
+		ml += lzMinMatch
+		if ml > nd-d {
+			return errLZOverflow
+		}
+		// Byte-by-byte: matches may overlap their own output.
+		ref := d - dist
+		for i := 0; i < ml; i++ {
+			dst[d] = dst[ref]
+			d++
+			ref++
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package docstore
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// textish synthesizes compressible text-like bytes: words drawn from a
+// small vocabulary, which is what real document payloads look like to a
+// byte codec.
+func textish(rng *rand.Rand, n int) []byte {
+	vocab := []string{"the", "of", "bandwidth", "storage", "search", "accelerator",
+		"block", "posting", "memory", "fetch", "decode", "document", "scm"}
+	var b []byte
+	for len(b) < n {
+		b = append(b, vocab[rng.Intn(len(vocab))]...)
+		b = append(b, ' ')
+	}
+	return b[:n]
+}
+
+func roundTrip(t *testing.T, name string, src []byte) {
+	t.Helper()
+	comp := lzCompress(nil, src)
+	dst := make([]byte, len(src))
+	if err := lzDecompress(dst, comp); err != nil {
+		t.Fatalf("%s: decompress: %v", name, err)
+	}
+	if !bytes.Equal(dst, src) {
+		t.Fatalf("%s: round trip mismatch (%d bytes)", name, len(src))
+	}
+}
+
+func TestLZRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cases := map[string][]byte{
+		"empty":      {},
+		"one":        {0x42},
+		"shortRun":   []byte("aaaa"),
+		"longRun":    bytes.Repeat([]byte{0xAB}, 10000),
+		"text":       textish(rng, 64<<10),
+		"alternets":  bytes.Repeat([]byte{1, 2, 3}, 5000),
+		"literalEnd": append(bytes.Repeat([]byte("abcd"), 100), []byte("xyz")...),
+	}
+	// Incompressible: uniform random bytes.
+	rnd := make([]byte, 32<<10)
+	rng.Read(rnd)
+	cases["random"] = rnd
+	// Long-distance matches near the 64K window edge.
+	far := make([]byte, 0, 200<<10)
+	far = append(far, textish(rng, 60<<10)...)
+	far = append(far, far[:40<<10]...)
+	cases["farMatch"] = far
+
+	for name, src := range cases {
+		roundTrip(t, name, src)
+	}
+	// Random lengths shake out boundary conditions in the extension runs.
+	for i := 0; i < 200; i++ {
+		n := rng.Intn(4096)
+		src := textish(rng, n)
+		roundTrip(t, "sized", src)
+	}
+}
+
+// TestLZRatio checks that text-like payloads actually compress — the
+// store's whole reason to pay a decode on fetch.
+func TestLZRatio(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	src := textish(rng, 256<<10)
+	comp := lzCompress(nil, src)
+	if len(comp) >= len(src)/2 {
+		t.Fatalf("text compressed %d -> %d, want at least 2x", len(src), len(comp))
+	}
+}
+
+// TestLZSpeed reports corpus compress/decompress throughput, in the
+// go-lzo speed-test idiom: not an assertion, a logged figure.
+func TestLZSpeed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("speed report skipped in -short")
+	}
+	rng := rand.New(rand.NewSource(13))
+	src := textish(rng, 1<<20)
+	comp := lzCompress(nil, src)
+	dst := make([]byte, len(src))
+
+	const iters = 20
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := lzDecompress(dst, comp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	el := time.Since(start)
+	mbs := float64(len(src)) * iters / el.Seconds() / (1 << 20)
+	t.Logf("decode: %d bytes (%.2fx ratio) %d iters in %v = %.0f MB/s",
+		len(src), float64(len(src))/float64(len(comp)), iters, el, mbs)
+}
+
+// TestLZDecompressCorrupt drives the decoder over mutated streams: every
+// outcome must be a typed error or a clean decode, never a panic or an
+// out-of-bounds access (the race/asan build would catch the latter).
+func TestLZDecompressCorrupt(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	src := textish(rng, 8<<10)
+	comp := lzCompress(nil, src)
+	dst := make([]byte, len(src))
+	for i := range comp {
+		for _, bit := range []byte{0x01, 0x80} {
+			mut := append([]byte(nil), comp...)
+			mut[i] ^= bit
+			_ = lzDecompress(dst, mut) // must not panic; error or clean decode both fine
+		}
+	}
+	// Truncations.
+	for n := 0; n < len(comp); n += 7 {
+		_ = lzDecompress(dst, comp[:n])
+	}
+	// Wrong declared output length.
+	if err := lzDecompress(make([]byte, len(src)+1), comp); err == nil {
+		t.Fatal("decode into oversized dst succeeded")
+	}
+	if err := lzDecompress(make([]byte, len(src)-1), comp); err == nil {
+		t.Fatal("decode into undersized dst succeeded")
+	}
+}
+
+func BenchmarkLZDecompress(b *testing.B) {
+	rng := rand.New(rand.NewSource(19))
+	src := textish(rng, 256<<10)
+	comp := lzCompress(nil, src)
+	dst := make([]byte, len(src))
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := lzDecompress(dst, comp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

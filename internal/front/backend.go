@@ -14,6 +14,9 @@ type Out struct {
 	// TopK is the query's merged global ranking. The backend relinquishes
 	// the slice; exactly one flight takes ownership.
 	TopK []topk.Entry
+	// Docs holds fetched document payloads for a FetchIDs query, aligned
+	// with the id list. The backend relinquishes the slice.
+	Docs []pool.FetchedDoc
 	// Degraded is the bitmask of shards missing from TopK — shed by the
 	// front door or failed in the backend (mirrors
 	// pool.ClusterResult.Degraded). Zero means complete.
@@ -57,6 +60,6 @@ func (b *ClusterBackend) ExecuteBatch(ctx context.Context, qs []pool.BatchQuery,
 			continue
 		}
 		res := br.Results[i]
-		out[i] = Out{TopK: res.TopK, Degraded: res.Degraded}
+		out[i] = Out{TopK: res.TopK, Docs: res.Docs, Degraded: res.Degraded}
 	}
 }

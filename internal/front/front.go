@@ -25,6 +25,7 @@ package front
 import (
 	"context"
 	"errors"
+	"strconv"
 	"sync"
 	"time"
 
@@ -54,6 +55,9 @@ var (
 	ErrOverloaded = errors.New("front: overloaded (admission queue full)")
 	// ErrClosed reports a Submit after Close.
 	ErrClosed = errors.New("front: closed")
+	// ErrMixedRequest reports a request carrying both a query expression
+	// and a document-fetch id list; a request is one or the other.
+	ErrMixedRequest = errors.New("front: request carries both Expr and FetchIDs")
 )
 
 // TenantConfig is one tenant's token bucket: Rate tokens per second with
@@ -119,10 +123,18 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Request is one serving request.
+// Request is one serving request: either a search (Expr) or a document
+// fetch (FetchIDs), never both.
 type Request struct {
 	// Expr is the boolean query expression.
 	Expr string
+	// FetchIDs, when non-empty, makes this a document-fetch request:
+	// the payloads for these docIDs are returned in Result.Docs. Fetches
+	// ride the same admission ladder, dedup map, and batch former as
+	// queries — concurrent identical id lists coalesce onto one
+	// execution, and degraded admissions shed masked shards' documents.
+	// Mutually exclusive with Expr.
+	FetchIDs []uint32
 	// K is the top-k depth (<= 0 uses the backend's default).
 	K int
 	// Tenant names the token bucket the request draws from; unknown
@@ -141,6 +153,10 @@ type Result struct {
 	// TopK is the merged ranking (shared by every coalesced waiter; do
 	// not mutate).
 	TopK []topk.Entry
+	// Docs holds the fetched document payloads for a FetchIDs request,
+	// aligned with the submitted id list (shared by every coalesced
+	// waiter; do not mutate). Nil for search requests.
+	Docs []pool.FetchedDoc
 	// Degraded is the bitmask of shards missing from TopK, whether
 	// shed by admission or failed in the backend. Zero means complete.
 	Degraded uint64
@@ -178,7 +194,8 @@ type Ticket struct {
 // executes once and fans its result out to all waiters.
 type flight struct {
 	key      flightKey
-	expr     string // representative expression to execute
+	expr     string   // representative expression to execute
+	fetchIDs []uint32 // non-empty: a document-fetch flight (expr is empty)
 	k        int
 	mask     uint64
 	deadline time.Time // earliest deadline among waiters
@@ -315,12 +332,15 @@ func (f *Front) Submit(req Request) (*Ticket, error) {
 		f.mu.Unlock()
 		return nil, ErrClosed
 	}
-	canon, err := f.canonLocked(req.Expr)
+	canon, err := f.canonRequestLocked(&req)
 	if err != nil {
 		f.mu.Unlock()
 		return nil, err
 	}
 	f.m.Submitted++
+	if len(req.FetchIDs) > 0 {
+		f.m.Fetches++
+	}
 	k := req.K
 	if k < 0 {
 		k = 0
@@ -381,6 +401,7 @@ func (f *Front) Submit(req Request) (*Ticket, error) {
 	fl := f.getFlightLocked()
 	fl.key = key
 	fl.expr = req.Expr
+	fl.fetchIDs = append(fl.fetchIDs[:0], req.FetchIDs...)
 	fl.k = k
 	fl.mask = mask
 	fl.deadline = deadline
@@ -533,6 +554,36 @@ func (f *Front) canonLocked(expr string) (string, error) {
 	return canon, nil
 }
 
+// canonRequestLocked resolves a request to its coalescing key: the
+// canonical DNF for queries, a rendered id-list key for fetches.
+//
+//boss:hotpath one branch plus canonLocked per search request; fetch keys are built by the outlined fetchCanon.
+func (f *Front) canonRequestLocked(req *Request) (string, error) {
+	if len(req.FetchIDs) == 0 {
+		return f.canonLocked(req.Expr)
+	}
+	if req.Expr != "" {
+		return "", ErrMixedRequest
+	}
+	return fetchCanon(req.FetchIDs), nil
+}
+
+// fetchCanon renders a fetch request's coalescing key. The leading NUL
+// byte keeps fetch keys disjoint from every DNF canonicalization, so a
+// fetch can never coalesce onto a query flight. Outlined from the
+// zero-alloc admission path: fetch submissions pay one key allocation
+// per call (id lists are poor map keys to intern), while the search
+// path's steady state stays allocation-free.
+func fetchCanon(ids []uint32) string {
+	b := make([]byte, 0, 2+len(ids)*7)
+	b = append(b, 0, 'f')
+	for _, id := range ids {
+		b = append(b, ':')
+		b = strconv.AppendUint(b, uint64(id), 10)
+	}
+	return string(b)
+}
+
 // attachLocked links a ticket onto a flight's intrusive waiter list,
 // tightening the flight's deadline (and the flush timer) if the new
 // waiter is more urgent.
@@ -651,7 +702,7 @@ func (f *Front) flushLocked(reason int) {
 		fl.next = nil
 		fl.pending = false
 		bt.flights = append(bt.flights, fl)
-		bt.qs = append(bt.qs, pool.BatchQuery{Expr: fl.expr, K: fl.k, ShardMask: fl.mask})
+		bt.qs = append(bt.qs, pool.BatchQuery{Expr: fl.expr, FetchIDs: fl.fetchIDs, K: fl.k, ShardMask: fl.mask})
 		bt.outs = append(bt.outs, Out{})
 		fl = next
 	}
@@ -711,6 +762,7 @@ func (f *Front) completeLocked(fl *flight, out *Out) {
 	for t := fl.waiters; t != nil; {
 		next := t.next
 		t.res.TopK = out.TopK
+		t.res.Docs = out.Docs
 		t.res.Degraded = out.Degraded
 		t.res.Err = out.Err
 		t.res.DedupHit = t.dedup
@@ -832,6 +884,7 @@ func (f *Front) getFlightLocked() *flight {
 func (f *Front) putFlightLocked(fl *flight) {
 	fl.key = flightKey{}
 	fl.expr = ""
+	fl.fetchIDs = fl.fetchIDs[:0]
 	fl.k = 0
 	fl.mask = 0
 	fl.deadline = time.Time{}

@@ -41,6 +41,14 @@ func (b *fakeBackend) ExecuteBatch(ctx context.Context, qs []pool.BatchQuery, ou
 			full := uint64(1)<<uint(bits) - 1
 			deg = full &^ q.ShardMask
 		}
+		if len(q.FetchIDs) > 0 {
+			docs := make([]pool.FetchedDoc, len(q.FetchIDs))
+			for j, id := range q.FetchIDs {
+				docs[j] = pool.FetchedDoc{DocID: id, Fields: [][]byte{[]byte("d"), {byte(id)}}}
+			}
+			out[i] = Out{Docs: docs, Degraded: deg}
+			continue
+		}
 		out[i] = Out{TopK: []topk.Entry{{DocID: uint32(len(q.Expr)), Score: 1}}, Degraded: deg}
 	}
 }

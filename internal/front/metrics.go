@@ -11,6 +11,8 @@ type Metrics struct {
 	// Submitted counts every Submit call that passed parsing, admitted
 	// or not.
 	Submitted uint64
+	// Fetches counts the document-fetch requests among Submitted.
+	Fetches uint64
 	// Admitted counts flights created (distinct executions admitted).
 	Admitted uint64
 	// DedupHits counts requests that attached to an existing in-flight

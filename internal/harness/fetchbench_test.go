@@ -1,0 +1,85 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"boss/internal/corpus"
+)
+
+// TestFetchTraceDeterministicAndSkewed: the re-fetch trace is a pure
+// function of (numDocs, seed) and is genuinely head-heavy.
+func TestFetchTraceDeterministicAndSkewed(t *testing.T) {
+	a := fetchTrace(10000, 42)
+	b := fetchTrace(10000, 42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace diverges at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	if c := fetchTrace(10000, 43); bytesEqualU32(a, c) {
+		t.Fatal("different seeds produced the same trace")
+	}
+	head := 0
+	for _, id := range a {
+		if id < 100 {
+			head++
+		}
+	}
+	if frac := float64(head) / float64(len(a)); frac < 0.5 {
+		t.Fatalf("head fraction %.2f, want a head-heavy trace", frac)
+	}
+}
+
+func bytesEqualU32(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestBuildFetchStoreMatchesCorpus: the harness's store packs the same
+// deterministic payloads the cluster synthesizes.
+func TestBuildFetchStoreMatchesCorpus(t *testing.T) {
+	c := corpus.Generate(corpus.CCNewsLike(0.004))
+	ds := buildFetchStore(c)
+	if ds.NumDocs != c.Spec.NumDocs {
+		t.Fatalf("store holds %d docs, corpus %d", ds.NumDocs, c.Spec.NumDocs)
+	}
+	for _, id := range []uint32{0, uint32(c.Spec.NumDocs / 2), uint32(c.Spec.NumDocs - 1)} {
+		bi := ds.BlockOf(id)
+		raw := make([]byte, ds.Blocks[bi].RawLen)
+		if err := ds.DecodeBlock(raw, ds.BlockPayload(bi)); err != nil {
+			t.Fatal(err)
+		}
+		fields, err := ds.AppendDoc(nil, raw, int(id)-int(ds.Blocks[bi].FirstDoc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantText := corpus.DocText(c.Spec.Seed, id, c.DocLens[id], c.Spec.NumTerms, nil)
+		if !bytes.Equal(fields[1], wantText) {
+			t.Fatalf("doc %d text mismatch", id)
+		}
+	}
+}
+
+// TestFetchReportTable: the text rendering carries the headline numbers.
+func TestFetchReportTable(t *testing.T) {
+	r := &FetchReport{
+		Schema: BenchSchema, PR: BenchPR, Corpus: "ccnews",
+		ColdGBs: 1, CachedGBs: 6, CacheSpeedup: 6, DocHitRate: 0.99,
+		Points: []FetchPoint{{K: 10, SearchQPS: 100, SearchFetchQPS: 80, FetchCostPct: 20}},
+	}
+	s := r.Table().String()
+	for _, want := range []string{"decode-cold", "decode-cached", "6.0x", "search+fetch", "-20.0%"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("table missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -20,8 +20,10 @@ import (
 // BenchPR is the PR that produced the binary, so archived BENCH_*.json
 // files are self-describing when diffed across the stacked sequence.
 const (
-	BenchSchema = "bossbench/v1"
-	BenchPR     = 6
+	// v2 adds the -fetch report (document fetch phase) alongside the
+	// overload and chaos envelopes; existing fields are unchanged.
+	BenchSchema = "bossbench/v2"
+	BenchPR     = 7
 )
 
 // overloadDeadline is each request's latency budget: a completion after

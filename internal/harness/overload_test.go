@@ -97,10 +97,10 @@ func TestLatPercentileUS(t *testing.T) {
 // TestOverloadReportSchema pins the versioned envelope every BENCH_*.json
 // consumer keys on.
 func TestOverloadReportSchema(t *testing.T) {
-	if BenchSchema != "bossbench/v1" {
+	if BenchSchema != "bossbench/v2" {
 		t.Fatalf("BenchSchema = %q", BenchSchema)
 	}
-	if BenchPR < 6 {
-		t.Fatalf("BenchPR = %d, want >= 6", BenchPR)
+	if BenchPR < 7 {
+		t.Fatalf("BenchPR = %d, want >= 7", BenchPR)
 	}
 }

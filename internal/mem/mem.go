@@ -49,6 +49,7 @@ const (
 	CatLoadScore                   // per-document scoring metadata loads
 	CatStoreResult                 // result stores (to host-visible memory)
 	CatLoadMeta                    // block metadata loads
+	CatLoadDoc                     // document-store block loads (fetch phase)
 
 	// NumCategories sizes per-category accounting arrays.
 	NumCategories
@@ -69,6 +70,8 @@ func (c Category) String() string {
 		return "ST Result"
 	case CatLoadMeta:
 		return "LD Meta"
+	case CatLoadDoc:
+		return "LD Doc"
 	default:
 		return "?"
 	}

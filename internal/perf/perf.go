@@ -71,6 +71,17 @@ type Metrics struct {
 	// failed — injected uncorrectable media errors and real checksum
 	// mismatches both land here.
 	IntegrityFailures int64
+
+	// Fetch-phase counters (PR 7). Document fetches charge their device
+	// traffic under mem.CatLoadDoc — outside the Figure 15 display list —
+	// and both counters stay zero in search-only runs, so every
+	// reproduction figure is unaffected.
+	//
+	// DocsFetched counts documents returned by the fetch engine.
+	DocsFetched int64
+	// DocBlocksFetched counts document-store block fetches (cache hits
+	// replay the same charge, so the count is cache-independent).
+	DocBlocksFetched int64
 }
 
 // NewMetrics returns an empty metrics record.
@@ -153,6 +164,8 @@ func (m *Metrics) Merge(other *Metrics) {
 	m.CacheSeqReadBytes += other.CacheSeqReadBytes
 	m.TransientRetries += other.TransientRetries
 	m.IntegrityFailures += other.IntegrityFailures
+	m.DocsFetched += other.DocsFetched
+	m.DocBlocksFetched += other.DocBlocksFetched
 	for k, v := range other.Cat {
 		m.Cat[k] += v
 	}
@@ -183,6 +196,8 @@ func (m *Metrics) Scale(n int64) {
 	m.CacheSeqReadBytes /= n
 	m.TransientRetries /= n
 	m.IntegrityFailures /= n
+	m.DocsFetched /= n
+	m.DocBlocksFetched /= n
 	for k := range m.Cat {
 		m.Cat[k] /= n
 	}

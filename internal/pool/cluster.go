@@ -13,7 +13,9 @@ import (
 	"boss/internal/compress"
 	"boss/internal/core"
 	"boss/internal/corpus"
+	"boss/internal/docstore"
 	"boss/internal/index"
+	"boss/internal/mem"
 	"boss/internal/perf"
 	"boss/internal/query"
 	"boss/internal/sim"
@@ -41,6 +43,19 @@ type Cluster struct {
 	// cache is the cross-query decoded-block cache shared by every shard's
 	// wall-clock accelerator (nil when Config.CacheBytes <= 0).
 	cache *cache.Cache
+
+	// Fetch-phase state (fetch.go). The per-shard document stores are
+	// synthesized lazily on first fetch from the retained sampler
+	// statistics; spec and docLens are everything the builder needs, so
+	// clusters that never fetch pay nothing beyond the two retained
+	// fields.
+	spec      corpus.Spec
+	docLens   []uint32
+	docsOnce  sync.Once
+	docsErr   error
+	docs      []*docstore.Store
+	fetchers  []*core.FetchEngine
+	faultPlan *mem.FaultPlan
 
 	// Resilience machinery (see resilient.go): normalized policy, one
 	// breaker + event log per shard, and injectable clock/sleep hooks so
@@ -104,7 +119,15 @@ func NewCluster(cfg Config, c *corpus.Corpus, shards int) (*Cluster, error) {
 		gs.DF[c.Terms[i].Term] = len(c.Terms[i].Postings)
 	}
 
-	cl := &Cluster{cfg: cfg, cache: cache.New(cfg.CacheBytes)}
+	cl := &Cluster{
+		cfg:   cfg,
+		cache: cache.New(cfg.CacheBytes),
+		// Retained for the lazy fetch-phase docstore build: document
+		// payloads are synthesized from (Seed, global docID, DocLens), so
+		// every shard layout packs byte-identical content.
+		spec:    c.Spec,
+		docLens: append([]uint32(nil), c.DocLens...),
+	}
 	per := (c.Spec.NumDocs + shards - 1) / shards
 	for s := 0; s < shards; s++ {
 		lo := s * per
@@ -153,6 +176,9 @@ func (cl *Cluster) SetCacheBytes(budget int64) {
 	cl.cache = cache.New(budget)
 	for _, acc := range cl.accs {
 		acc.SetCache(cl.cache)
+	}
+	for _, eng := range cl.fetchers {
+		eng.SetCache(cl.cache)
 	}
 }
 
@@ -261,6 +287,10 @@ type ClusterResult struct {
 	// ShardErrs, non-nil only for degraded results, holds each failed
 	// shard's error at its shard index.
 	ShardErrs []error
+	// Docs holds fetched document payloads (fetch.go): one entry per
+	// requested docID for FetchBatch, one per TopK entry for the
+	// search+fetch paths. Entries from degraded shards are zero-valued.
+	Docs []FetchedDoc
 }
 
 // validate parses the expression and rejects terms entirely absent from the

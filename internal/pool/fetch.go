@@ -1,0 +1,356 @@
+package pool
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"boss/internal/core"
+	"boss/internal/corpus"
+	"boss/internal/docstore"
+	"boss/internal/mem"
+	"boss/internal/perf"
+)
+
+// Fetch phase of cluster serving: after the root merge ends at scored
+// global docIDs, the documents themselves live on the shards that scored
+// them. FetchBatch routes each requested docID to its owning shard's
+// document store, fetches through the shard's fetch engine (charging the
+// shard's simulated SCM under mem.CatLoadDoc), and copies the payloads
+// out at the cluster boundary. The per-shard stores are synthesized
+// lazily from the retained sampler statistics — payload bytes depend
+// only on (Seed, global docID, DocLens), so every shard count packs
+// byte-identical documents and fetch results are sharding-independent.
+//
+// Fetches ride the same resilience machinery as searches: per-shard
+// circuit breakers, bounded retry with jittered backoff, per-attempt
+// deadlines, and graceful degradation (a failed shard zeroes its
+// documents and sets its Degraded bit instead of failing the batch).
+
+// FetchedDoc is one fetched document at the cluster boundary. Fields are
+// copies (one per DocFields entry, in order), so the caller owns them
+// outright — no pins or aliases into shard caches escape the cluster.
+type FetchedDoc struct {
+	DocID  uint32
+	Fields [][]byte
+}
+
+// DocFields returns the document stores' field names, in the order
+// FetchedDoc.Fields uses. Builds the stores if they don't exist yet.
+func (cl *Cluster) DocFields() ([]string, error) {
+	if err := cl.EnsureDocs(); err != nil {
+		return nil, err
+	}
+	return cl.docs[0].Fields, nil
+}
+
+// EnsureDocs builds the per-shard document stores and fetch engines if
+// they have not been built yet. Safe for concurrent use; the build runs
+// once. Search-only clusters never pay for it.
+func (cl *Cluster) EnsureDocs() error {
+	cl.docsOnce.Do(cl.buildDocs)
+	return cl.docsErr
+}
+
+// buildDocs synthesizes one document store per shard over the shard's
+// global docID interval. Runs under docsOnce.
+func (cl *Cluster) buildDocs() {
+	cl.docs = make([]*docstore.Store, len(cl.shards))
+	cl.fetchers = make([]*core.FetchEngine, len(cl.shards))
+	var name, text []byte
+	for si := range cl.shards {
+		lo := cl.offsets[si]
+		hi := uint32(cl.spec.NumDocs)
+		if si+1 < len(cl.offsets) {
+			hi = cl.offsets[si+1]
+		}
+		b := docstore.NewBuilder("name", "text")
+		for g := lo; g < hi; g++ {
+			name = corpus.DocName(name[:0], g)
+			text = corpus.DocText(cl.spec.Seed, g, cl.docLens[g], cl.spec.NumTerms, text[:0])
+			if err := b.Add(name, text); err != nil {
+				cl.docsErr = err
+				return
+			}
+		}
+		cl.docs[si] = b.Build()
+		eng := core.NewFetchEngine(cl.docs[si], cl.cache)
+		if cl.faultPlan != nil {
+			eng.SetFault(cl.faultPlan.InjectorFor(si))
+		}
+		cl.fetchers[si] = eng
+	}
+}
+
+// shardOfDoc returns the shard owning global docID id (offsets are the
+// sorted interval starts).
+func (cl *Cluster) shardOfDoc(id uint32) int {
+	return sort.Search(len(cl.offsets), func(i int) bool { return cl.offsets[i] > id }) - 1
+}
+
+// fetchRangeError reports a request for a docID the corpus doesn't hold.
+func fetchRangeError(id uint32, n int) error {
+	return fmt.Errorf("pool: fetch docID %d out of range (corpus holds %d documents)", id, n)
+}
+
+// FetchBatch fetches the documents with the given global docIDs. The
+// result's Docs holds one entry per requested id, in input order; TopK
+// stays empty. Shard failures degrade: the failed shard's documents are
+// zero-valued, its Degraded bit is set, and its error lands in
+// ShardErrs. The call errors only on invalid ids, a dead context, or
+// when every involved shard failed.
+func (cl *Cluster) FetchBatch(ctx context.Context, ids []uint32) (*ClusterResult, error) {
+	return cl.fetchBatchMask(ctx, ids, 0)
+}
+
+// fetchBatchMask is FetchBatch under a front-door shard mask: masked-out
+// shards are skipped entirely (no attempt, no breaker or retry activity)
+// and reported with ErrShardShed, like searchSerialCtxMask.
+func (cl *Cluster) fetchBatchMask(ctx context.Context, ids []uint32, mask uint64) (*ClusterResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := cl.EnsureDocs(); err != nil {
+		return nil, err
+	}
+	res := &ClusterResult{
+		PerShard: make([]*perf.Metrics, len(cl.shards)),
+		Docs:     make([]FetchedDoc, len(ids)),
+	}
+	if len(ids) == 0 {
+		return res, nil
+	}
+	// Route each requested docID to its owning shard, remembering where in
+	// the input it goes back.
+	byShard := make([][]uint32, len(cl.shards))
+	pos := make([][]int, len(cl.shards))
+	for i, id := range ids {
+		if int(id) >= cl.spec.NumDocs {
+			return nil, fetchRangeError(id, cl.spec.NumDocs)
+		}
+		si := cl.shardOfDoc(id)
+		byShard[si] = append(byShard[si], id)
+		pos[si] = append(pos[si], i)
+	}
+	type fetchOut struct {
+		m   *perf.Metrics
+		err error
+	}
+	outs := make([]fetchOut, len(cl.shards))
+	runOne := func(si int) {
+		if len(byShard[si]) == 0 {
+			return
+		}
+		if !maskHas(mask, si) {
+			outs[si] = fetchOut{err: shedShardError(si)}
+			return
+		}
+		m, err := cl.fetchShardResilient(ctx, si, byShard[si], pos[si], res.Docs)
+		outs[si] = fetchOut{m: m, err: err}
+	}
+	if workers := cl.workers(len(cl.shards)); workers == 1 {
+		for si := range cl.shards {
+			runOne(si)
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for si := range next {
+					runOne(si)
+				}
+			}()
+		}
+		for si := range cl.shards {
+			next <- si
+		}
+		close(next)
+		wg.Wait()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// Fold per-shard outcomes, degrading failed shards like mergePartial.
+	involved, failed := 0, 0
+	var firstErr error
+	for si, out := range outs {
+		if len(byShard[si]) == 0 {
+			continue
+		}
+		involved++
+		if out.err != nil {
+			failed++
+			if firstErr == nil {
+				firstErr = out.err
+			}
+			if si < 64 {
+				res.Degraded |= 1 << uint(si)
+			}
+			if res.ShardErrs == nil {
+				res.ShardErrs = make([]error, len(outs))
+			}
+			res.ShardErrs[si] = out.err
+			// A failed attempt may have partially populated its documents;
+			// zero them so degraded entries are unambiguous.
+			for _, p := range pos[si] {
+				res.Docs[p] = FetchedDoc{}
+			}
+			continue
+		}
+		res.PerShard[si] = out.m
+		res.LinkBytes += out.m.HostBytes
+	}
+	if failed == involved && failed > 0 {
+		return nil, firstErr
+	}
+	return res, nil
+}
+
+// fetchShardResilient drives one shard's fetch attempt loop: breaker
+// gate, bounded retry with jittered backoff, parent-context awareness —
+// the fetch twin of runShardResilient, sharing its breaker state so a
+// shard that fails searches also sheds fetches.
+func (cl *Cluster) fetchShardResilient(ctx context.Context, si int, ids []uint32, pos []int, docs []FetchedDoc) (*perf.Metrics, error) {
+	st := cl.states[si]
+	for attempt := 0; ; attempt++ {
+		if cause := ctx.Err(); cause != nil {
+			return nil, shardError(si, cause)
+		}
+		if !st.allow(si, cl.now(), cl.res.BreakerCooldown) {
+			return nil, breakerError(si)
+		}
+		recordAttempt(st, si, attempt)
+		m, err := cl.fetchShardAttempt(ctx, si, ids, pos, docs)
+		if err == nil {
+			st.success(si)
+			return m, nil
+		}
+		st.failure(si, attempt, cl.now(), cl.res.BreakerThreshold, err)
+		if attempt >= cl.res.MaxRetries || !retryable(err) {
+			return nil, err
+		}
+		if ctx.Err() != nil {
+			return nil, err
+		}
+		d := cl.res.backoffDelay(si, attempt)
+		recordBackoff(st, si, attempt, d)
+		if cl.sleepFn(ctx, d) != nil {
+			return nil, err // context died during backoff: report the last failure
+		}
+	}
+}
+
+// fetchShardAttempt issues one shard fetch attempt under the per-attempt
+// deadline: every requested document streams through the shard's fetch
+// engine, and the payloads are copied into docs at their input
+// positions. A fresh Metrics per attempt keeps retried attempts from
+// double-charging the recorded shard work.
+func (cl *Cluster) fetchShardAttempt(ctx context.Context, si int, ids []uint32, pos []int, docs []FetchedDoc) (*perf.Metrics, error) {
+	if cl.res.ShardTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cl.res.ShardTimeout)
+		defer cancel()
+	}
+	eng := cl.fetchers[si]
+	off := cl.offsets[si]
+	m := perf.NewMetrics()
+	var buf core.DocBuf
+	defer buf.Release()
+	for j, id := range ids {
+		if err := eng.FetchInto(ctx, id-off, m, &buf); err != nil {
+			return nil, shardError(si, err)
+		}
+		d := &docs[pos[j]]
+		d.DocID = id
+		d.Fields = copyFields(d.Fields, buf.Fields)
+		var n int64
+		for _, f := range buf.Fields {
+			n += int64(len(f))
+		}
+		// The returned payload crosses the shared interconnect to the root.
+		m.AddHost(n, mem.CatLoadDoc)
+	}
+	return m, nil
+}
+
+// copyFields replaces dst with copies of src's field slices, reusing
+// dst's backing array across calls.
+func copyFields(dst, src [][]byte) [][]byte {
+	dst = dst[:0]
+	for _, f := range src {
+		dst = append(dst, append([]byte(nil), f...))
+	}
+	return dst
+}
+
+// attachDocs fetches a search result's top-k documents and folds the
+// fetch work into the result: Docs holds one entry per TopK entry, the
+// fetch shards' metrics merge into PerShard, and fetch degradation
+// unions into the Degraded mask.
+func (cl *Cluster) attachDocs(ctx context.Context, res *ClusterResult) (*ClusterResult, error) {
+	ids := make([]uint32, len(res.TopK))
+	for i, e := range res.TopK {
+		ids[i] = e.DocID
+	}
+	fr, err := cl.FetchBatch(ctx, ids)
+	if err != nil {
+		return nil, err
+	}
+	res.Docs = fr.Docs
+	res.LinkBytes += fr.LinkBytes
+	res.Degraded |= fr.Degraded
+	for si, m := range fr.PerShard {
+		if m == nil {
+			continue
+		}
+		if res.PerShard[si] == nil {
+			res.PerShard[si] = m
+		} else {
+			res.PerShard[si].Merge(m)
+		}
+	}
+	if fr.ShardErrs != nil {
+		if res.ShardErrs == nil {
+			res.ShardErrs = make([]error, len(res.PerShard))
+		}
+		for si, e := range fr.ShardErrs {
+			if e != nil && res.ShardErrs[si] == nil {
+				res.ShardErrs[si] = e
+			}
+		}
+	}
+	return res, nil
+}
+
+// SearchFetchCtx is SearchCtx plus the fetch phase: the merged top-k's
+// documents come back in Docs (one entry per TopK entry, in rank order).
+// Search and fetch degrade independently; both phases' failed shards
+// appear in the Degraded mask.
+func (cl *Cluster) SearchFetchCtx(ctx context.Context, expr string, k int) (*ClusterResult, error) {
+	res, err := cl.SearchCtx(ctx, expr, k)
+	if err != nil {
+		return nil, err
+	}
+	return cl.attachDocs(ctx, res)
+}
+
+// SearchFetchBatch pipelines search+fetch over a query batch: each
+// worker owns one in-flight query, sweeps it across all shards, then
+// fetches its merged top-k documents. Per-query results match
+// SearchFetchCtx.
+func (cl *Cluster) SearchFetchBatch(ctx context.Context, exprs []string, k int) *BatchResult {
+	return cl.batchDriver(ctx, len(exprs), func(qi int) (*ClusterResult, error) {
+		res, err := cl.searchSerialCtx(ctx, exprs[qi], k)
+		if err != nil {
+			return nil, err
+		}
+		return cl.attachDocs(ctx, res)
+	})
+}

@@ -291,8 +291,14 @@ func splitmix64(x uint64) uint64 {
 // the role of device si. A nil or empty plan restores pristine shards.
 // Not safe concurrently with queries; meant for setup time.
 func (cl *Cluster) SetFaultPlan(plan *mem.FaultPlan) {
+	cl.faultPlan = plan
 	for si, acc := range cl.accs {
 		acc.SetFault(plan.InjectorFor(si))
+	}
+	// Fetch engines are built lazily; wire the ones that exist and retain
+	// the plan so EnsureDocs wires the rest at build time.
+	for si, eng := range cl.fetchers {
+		eng.SetFault(plan.InjectorFor(si))
 	}
 }
 
@@ -601,10 +607,11 @@ func (cl *Cluster) SearchBatchCtx(ctx context.Context, exprs []string, k int) *B
 	})
 }
 
-// BatchQuery is one query of a heterogeneous resilient batch: its own
-// top-k depth and an optional front-door shard mask.
+// BatchQuery is one query of a heterogeneous resilient batch: either a
+// search (Expr) or a document fetch (FetchIDs), with an optional
+// front-door shard mask. Carrying both in one query is an error.
 type BatchQuery struct {
-	// Expr is the boolean query expression.
+	// Expr is the boolean query expression (search queries).
 	Expr string
 	// K is the query's top-k depth (<= 0 uses the cluster config's K).
 	K int
@@ -612,14 +619,28 @@ type BatchQuery struct {
 	// bits are set; excluded shards appear in the result's Degraded mask
 	// with ErrShardShed. Zero executes every shard.
 	ShardMask uint64
+	// FetchIDs, when non-empty, makes this query a document fetch: the
+	// result's Docs holds the payloads of these global docIDs, in order.
+	// Mutually exclusive with Expr.
+	FetchIDs []uint32
 }
 
+// errExprAndFetch rejects a BatchQuery that is both a search and a fetch.
+var errExprAndFetch = errors.New("pool: BatchQuery carries both Expr and FetchIDs")
+
 // SearchBatchQueries is SearchBatchCtx for heterogeneous queries: per-query
-// top-k depths and front-door shard masks. It is the execution surface the
-// front-door serving tier flushes its coalesced batches into.
+// top-k depths, front-door shard masks, and document fetches. It is the
+// execution surface the front-door serving tier flushes its coalesced
+// batches into.
 func (cl *Cluster) SearchBatchQueries(ctx context.Context, qs []BatchQuery) *BatchResult {
 	return cl.batchDriver(ctx, len(qs), func(qi int) (*ClusterResult, error) {
 		q := qs[qi]
+		if len(q.FetchIDs) > 0 {
+			if q.Expr != "" {
+				return nil, errExprAndFetch
+			}
+			return cl.fetchBatchMask(ctx, q.FetchIDs, q.ShardMask)
+		}
 		k := q.K
 		if k <= 0 {
 			k = cl.cfg.K

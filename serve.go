@@ -7,6 +7,7 @@ import (
 
 	"boss/internal/core"
 	"boss/internal/front"
+	"boss/internal/perf"
 	"boss/internal/pool"
 	"boss/internal/query"
 	"boss/internal/topk"
@@ -84,10 +85,18 @@ func (c FrontConfig) toFront() front.Config {
 	return fc
 }
 
-// ServeRequest is one request to a serving-tier Server.
+// ServeRequest is one request to a serving-tier Server: either a search
+// (Expr) or a document fetch (FetchIDs), never both.
 type ServeRequest struct {
 	// Expr is the boolean query expression.
 	Expr string
+	// FetchIDs, when non-empty, makes this a document-fetch request:
+	// the payloads come back in ServedResult.Docs. Fetches share the
+	// admission ladder, rate limits, coalescing, and batch former with
+	// queries — identical concurrent id lists execute once, and a
+	// degraded admission leaves the shed nodes' documents empty.
+	// Mutually exclusive with Expr.
+	FetchIDs []uint32
 	// K is the top-k depth (<= 0 uses the deployment default).
 	K int
 	// Tenant names the rate-limit bucket the request draws from.
@@ -101,8 +110,12 @@ type ServeRequest struct {
 
 // ServedResult is one served request's outcome.
 type ServedResult struct {
-	// Hits is the merged ranking.
+	// Hits is the merged ranking (empty for fetch requests).
 	Hits []Hit
+	// Docs holds the fetched payloads of a FetchIDs request, aligned
+	// with the submitted id list. Documents on degraded nodes come back
+	// zero-valued with their DocID set.
+	Docs []Doc
 	// DedupHit reports the request coalesced onto another identical
 	// in-flight query instead of executing its own.
 	DedupHit bool
@@ -116,6 +129,8 @@ type ServedResult struct {
 type ServeStats struct {
 	// Submitted counts parseable requests, admitted or not.
 	Submitted uint64
+	// Fetches counts the document-fetch requests among Submitted.
+	Fetches uint64
 	// Admitted counts distinct executions admitted.
 	Admitted uint64
 	// DedupHits counts requests answered by coalescing onto an
@@ -175,7 +190,7 @@ func (s *ShardedIndex) Serve(cfg FrontConfig) (*Server, error) {
 // ladder sheds or rejects instead; coalescing, batching, and rate limits
 // work identically to the sharded deployment.
 func (a *Accelerator) Serve(cfg FrontConfig) (*Server, error) {
-	f, err := front.New(cfg.toFront(), accelBackend{acc: a.acc})
+	f, err := front.New(cfg.toFront(), accelBackend{a: a})
 	if err != nil {
 		return nil, err
 	}
@@ -183,15 +198,21 @@ func (a *Accelerator) Serve(cfg FrontConfig) (*Server, error) {
 }
 
 // accelBackend adapts the single-device accelerator to the front door's
-// batch execution surface.
+// batch execution surface. It holds the facade handle rather than the
+// core engine so fetch queries reach the lazily-wired fetch engine (and
+// its docstore synthesis) through the same path FetchDocs uses.
 type accelBackend struct {
-	acc *core.Accelerator
+	a *Accelerator
 }
 
 func (b accelBackend) Shards() int { return 1 }
 
 func (b accelBackend) ExecuteBatch(ctx context.Context, qs []pool.BatchQuery, out []front.Out) {
 	for i, q := range qs {
+		if len(q.FetchIDs) > 0 {
+			out[i] = b.fetchOut(ctx, q.FetchIDs)
+			continue
+		}
 		node, err := query.Parse(q.Expr)
 		if err != nil {
 			out[i] = front.Out{Err: err}
@@ -201,13 +222,38 @@ func (b accelBackend) ExecuteBatch(ctx context.Context, qs []pool.BatchQuery, ou
 		if k <= 0 {
 			k = core.DefaultK
 		}
-		res, err := b.acc.RunCtx(ctx, node, k)
+		res, err := b.a.acc.RunCtx(ctx, node, k)
 		if err != nil {
 			out[i] = front.Out{Err: err}
 			continue
 		}
 		out[i] = front.Out{TopK: res.TopK}
 	}
+}
+
+// fetchOut serves one document-fetch batch query on the single device,
+// copying each payload out of the zero-copy fetch buffer before the next
+// fetch invalidates it.
+func (b accelBackend) fetchOut(ctx context.Context, ids []uint32) front.Out {
+	eng, err := b.a.fetchEngine()
+	if err != nil {
+		return front.Out{Err: err}
+	}
+	m := perf.NewMetrics()
+	var buf core.DocBuf
+	defer buf.Release()
+	docs := make([]pool.FetchedDoc, len(ids))
+	for i, id := range ids {
+		if err := eng.FetchInto(ctx, id, m, &buf); err != nil {
+			return front.Out{Err: err}
+		}
+		fields := make([][]byte, len(buf.Fields))
+		for j, fb := range buf.Fields {
+			fields[j] = append([]byte(nil), fb...)
+		}
+		docs[i] = pool.FetchedDoc{DocID: id, Fields: fields}
+	}
+	return front.Out{Docs: docs}
 }
 
 // Submit admits one request asynchronously, returning a ticket to wait
@@ -217,6 +263,7 @@ func (b accelBackend) ExecuteBatch(ctx context.Context, qs []pool.BatchQuery, ou
 func (s *Server) Submit(req ServeRequest) (*ServeTicket, error) {
 	t, err := s.f.Submit(front.Request{
 		Expr:     req.Expr,
+		FetchIDs: req.FetchIDs,
 		K:        req.K,
 		Tenant:   req.Tenant,
 		Priority: front.Priority(req.Priority),
@@ -232,28 +279,31 @@ func (s *Server) Submit(req ServeRequest) (*ServeTicket, error) {
 // spent either way.
 func (tk *ServeTicket) Wait(ctx context.Context) (*ServedResult, error) {
 	res := tk.t.Wait(ctx)
-	if res.Err != nil {
-		return nil, res.Err
-	}
-	return &ServedResult{
-		Hits:     tk.s.hits(res.TopK),
-		DedupHit: res.DedupHit,
-		Degraded: res.Degraded,
-	}, nil
+	return servedResult(tk.s, res)
 }
 
 // Cancel abandons the ticket without waiting; if delivery already won
 // the race the delivered result is returned.
 func (tk *ServeTicket) Cancel() (*ServedResult, error) {
 	res := tk.t.Cancel()
+	return servedResult(tk.s, res)
+}
+
+// servedResult converts one delivered front-door result.
+func servedResult(s *Server, res front.Result) (*ServedResult, error) {
 	if res.Err != nil {
 		return nil, res.Err
 	}
-	return &ServedResult{
-		Hits:     tk.s.hits(res.TopK),
+	out := &ServedResult{
 		DedupHit: res.DedupHit,
 		Degraded: res.Degraded,
-	}, nil
+	}
+	if res.Docs != nil {
+		out.Docs = docsFromFetched(res.Docs)
+	} else {
+		out.Hits = s.hits(res.TopK)
+	}
+	return out, nil
 }
 
 // Search is Submit + Wait.
@@ -279,6 +329,7 @@ func (s *Server) Stats() ServeStats {
 	m := s.f.Metrics()
 	return ServeStats{
 		Submitted: m.Submitted,
+		Fetches:   m.Fetches,
 		Admitted:  m.Admitted,
 		DedupHits: m.DedupHits,
 		Degraded:  m.Degraded,

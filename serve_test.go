@@ -141,3 +141,107 @@ func TestServeTicketCancel(t *testing.T) {
 		t.Fatal("Search after cancel returned no hits")
 	}
 }
+
+// TestServeFetchSharded: document fetches ride the serving tier over a
+// sharded deployment — coalescing, batching, and the payloads themselves
+// match the direct fetch path.
+func TestServeFetchSharded(t *testing.T) {
+	sh, err := boss.Shard(boss.CCNewsLike, 0.004, 3)
+	if err != nil {
+		t.Fatalf("Shard: %v", err)
+	}
+	srv, err := sh.Serve(boss.FrontConfig{BatchTarget: 8, Timeout: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	defer srv.Close()
+
+	ids := []uint32{0, 5, 1000}
+	t1, err := srv.Submit(boss.ServeRequest{FetchIDs: ids})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := srv.Submit(boss.ServeRequest{FetchIDs: ids}) // coalesces
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Flush()
+	got, err := t1.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dup, err := t2.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dup.DedupHit {
+		t.Fatal("identical concurrent fetch did not coalesce")
+	}
+	want, err := sh.FetchDocsCtx(context.Background(), ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Docs) != len(ids) {
+		t.Fatalf("served %d docs for %d ids", len(got.Docs), len(ids))
+	}
+	for i := range ids {
+		if got.Docs[i] != want.Docs[i] {
+			t.Fatalf("doc %d: served %+v, direct %+v", i, got.Docs[i], want.Docs[i])
+		}
+		if dup.Docs[i] != want.Docs[i] {
+			t.Fatalf("doc %d: coalesced waiter diverges", i)
+		}
+	}
+	st := srv.Stats()
+	if st.Fetches != 2 || st.DedupHits != 1 {
+		t.Fatalf("stats = %+v, want 2 fetches / 1 dedup", st)
+	}
+	// Mixed requests are rejected before admission.
+	if _, err := srv.Submit(boss.ServeRequest{Expr: `"t1"`, FetchIDs: ids}); err == nil {
+		t.Fatal("mixed search+fetch request admitted")
+	}
+}
+
+// TestServeFetchAccelerator: the single-device serving tier serves
+// fetches through the same lazily-wired engine FetchDocs uses.
+func TestServeFetchAccelerator(t *testing.T) {
+	b := boss.NewBuilder()
+	b.Add("alpha", "the quick brown fox")
+	b.Add("beta", "jumps over the lazy dog")
+	acc := b.Build().Accelerator(boss.AccelOptions{})
+	srv, err := acc.Serve(boss.FrontConfig{Timeout: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	defer srv.Close()
+
+	tk, err := srv.Submit(boss.ServeRequest{FetchIDs: []uint32{1, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Flush()
+	res, err := tk.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Docs) != 2 || res.Docs[0].Name != "beta" || res.Docs[1].Text != "the quick brown fox" {
+		t.Fatalf("served docs = %+v", res.Docs)
+	}
+	// A search through the same server still works alongside fetches.
+	sr, err := srv.Search(context.Background(), boss.ServeRequest{Expr: `"quick"`, K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Hits) != 1 || sr.Hits[0].Doc != "alpha" {
+		t.Fatalf("search hits = %+v", sr.Hits)
+	}
+	// Out-of-range ids surface the engine's typed failure.
+	bad, err := srv.Submit(boss.ServeRequest{FetchIDs: []uint32{99}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Flush()
+	if _, err := bad.Wait(context.Background()); err == nil {
+		t.Fatal("out-of-range served fetch succeeded")
+	}
+}
