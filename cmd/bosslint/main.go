@@ -5,45 +5,93 @@
 //	go run ./cmd/bosslint ./...
 //	go build -o bin/bosslint ./cmd/bosslint && ./bin/bosslint ./...
 //
-// It prints file:line:col: [analyzer] message for every finding and exits
-// nonzero when there are any. The driver is self-contained (the repository
-// builds offline, so it cannot use x/tools' multichecker); it accepts the
-// same package patterns go vet does.
+// It prints file:line:col: [analyzer] message for every finding, in the
+// suite's canonical order — (file, line, column, analyzer, message),
+// independent of analyzer registration and package iteration, so
+// successive runs diff cleanly in CI. The driver is self-contained (the
+// repository builds offline, so it cannot use x/tools' multichecker); it
+// accepts the same package patterns go vet does.
 //
 // Flags:
 //
 //	-checks a,b   run only the named analyzers (default: all)
 //	-list         list analyzers and exit
 //	-dir path     module directory to resolve patterns in (default: .)
+//	-json         emit findings as a JSON report on stdout
+//
+// Exit codes:
+//
+//	0   clean — no findings
+//	1   findings reported
+//	2   usage, load, or analysis error (nothing was checked)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"boss/internal/analysis"
+	"boss/internal/analysis/chargereplay"
+	"boss/internal/analysis/ctxflow"
 	"boss/internal/analysis/errpropagation"
+	"boss/internal/analysis/goroutineleak"
 	"boss/internal/analysis/hotpathalloc"
+	"boss/internal/analysis/hotpathescape"
+	"boss/internal/analysis/lockorder"
 	"boss/internal/analysis/poolhygiene"
 	"boss/internal/analysis/simdeterminism"
 )
 
-// suite is every analyzer bosslint ships, in reporting order.
+// suite is every analyzer bosslint ships, in -list order.
 var suite = []*analysis.Analyzer{
 	simdeterminism.Analyzer,
 	hotpathalloc.Analyzer,
 	poolhygiene.Analyzer,
 	errpropagation.Analyzer,
+	chargereplay.Analyzer,
+	ctxflow.Analyzer,
+	lockorder.Analyzer,
+	goroutineleak.Analyzer,
+	hotpathescape.Analyzer,
+}
+
+// finding is one diagnostic in the -json report.
+type finding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+// report is the -json document.
+type report struct {
+	Patterns []string       `json:"patterns"`
+	Checks   []string       `json:"checks"`
+	Findings []finding      `json:"findings"`
+	ByCheck  map[string]int `json:"by_check"`
 }
 
 func main() {
 	var (
-		checks = flag.String("checks", "", "comma-separated analyzer names to run (default: all)")
-		list   = flag.Bool("list", false, "list analyzers and exit")
-		dir    = flag.String("dir", ".", "module directory to resolve patterns in")
+		checks  = flag.String("checks", "", "comma-separated analyzer names to run (default: all)")
+		list    = flag.Bool("list", false, "list analyzers and exit")
+		dir     = flag.String("dir", ".", "module directory to resolve patterns in")
+		jsonOut = flag.Bool("json", false, "emit findings as a JSON report on stdout")
 	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: bosslint [flags] [packages]\n\n")
+		flag.PrintDefaults()
+		fmt.Fprintf(os.Stderr, `
+Exit codes:
+  0  clean — no findings
+  1  findings reported
+  2  usage, load, or analysis error (nothing was checked)
+`)
+	}
 	flag.Parse()
 
 	if *list {
@@ -75,21 +123,55 @@ func main() {
 		patterns = []string{"./..."}
 	}
 
-	pkgs, err := analysis.Load(*dir, patterns...)
+	prog, err := analysis.Load(*dir, patterns...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bosslint: %v\n", err)
 		os.Exit(2)
 	}
-	diags, err := analysis.Run(pkgs, analyzers)
+	diags, err := prog.Run(analyzers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "bosslint: %v\n", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Printf("%s: [%s] %s\n", d.Posn(pkgs[0].Fset), d.Analyzer, d.Message)
+
+	byCheck := make(map[string]int)
+	for _, a := range analyzers {
+		byCheck[a.Name] = 0
+	}
+	fset := prog.Fset()
+	if *jsonOut {
+		rep := report{Patterns: patterns, Findings: []finding{}, ByCheck: byCheck}
+		for _, a := range analyzers {
+			rep.Checks = append(rep.Checks, a.Name)
+		}
+		for _, d := range diags {
+			p := d.Posn(fset)
+			rep.Findings = append(rep.Findings, finding{
+				File: p.Filename, Line: p.Line, Col: p.Column,
+				Check: d.Analyzer, Message: d.Message,
+			})
+			byCheck[d.Analyzer]++
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(os.Stderr, "bosslint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s: [%s] %s\n", d.Posn(fset), d.Analyzer, d.Message)
+			byCheck[d.Analyzer]++
+		}
 	}
 	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "bosslint: %d finding(s)\n", len(diags))
+		var parts []string
+		for _, a := range analyzers {
+			if n := byCheck[a.Name]; n > 0 {
+				parts = append(parts, fmt.Sprintf("%s=%d", a.Name, n))
+			}
+		}
+		fmt.Fprintf(os.Stderr, "bosslint: %d finding(s) (%s)\n", len(diags), strings.Join(parts, ", "))
 		os.Exit(1)
 	}
 }

@@ -37,13 +37,20 @@ type Analyzer struct {
 }
 
 // Pass provides one analyzer run over one package with its syntax and type
-// information.
+// information, plus the shared cross-package Program layer.
 type Pass struct {
 	Analyzer  *Analyzer
 	Fset      *token.FileSet
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+
+	// P is the loaded package this pass runs over.
+	P *Package
+	// Prog is the whole loaded module: call graph, per-function summaries
+	// (charges, locks, context parameters, go statements), and the lazy
+	// compiler escape diagnostics.
+	Prog *Program
 
 	// Report delivers one diagnostic. The driver fills in the analyzer name.
 	Report func(Diagnostic)

@@ -13,11 +13,20 @@
 // diagnostic message; multiple expectations may follow one want. Every
 // diagnostic must match a want on its line and every want must be matched,
 // otherwise the test fails.
+//
+// A diagnostic reported at a comment's own position (a stale or dangling
+// marker) cannot share its line with a second // comment, so a want may
+// carry a signed line offset that moves the expectation relative to the
+// comment's line:
+//
+//	//boss:hotpath left behind by a refactor
+//	// want-1 `dangling`
 package analysistest
 
 import (
 	"go/ast"
 	"regexp"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -27,6 +36,9 @@ import (
 // wantRe extracts the expectation expressions from a // want comment.
 // Both `re` and "re" quoting forms are accepted.
 var wantRe = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+
+// wantOffsetRe matches the optional signed line offset after "want".
+var wantOffsetRe = regexp.MustCompile(`^([+-]\d+)`)
 
 type expectation struct {
 	file string
@@ -40,24 +52,24 @@ type expectation struct {
 // and reports mismatches through t.
 func Run(t *testing.T, dir string, a *analysis.Analyzer, patterns ...string) {
 	t.Helper()
-	pkgs, err := analysis.Load(dir, patterns...)
+	prog, err := analysis.Load(dir, patterns...)
 	if err != nil {
 		t.Fatalf("loading fixtures from %s: %v", dir, err)
 	}
-	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{a})
+	diags, err := prog.Run([]*analysis.Analyzer{a})
 	if err != nil {
 		t.Fatalf("running %s: %v", a.Name, err)
 	}
 
 	var wants []*expectation
-	for _, pkg := range pkgs {
+	for _, pkg := range prog.Pkgs {
 		for _, f := range pkg.Files {
 			wants = append(wants, fileWants(t, pkg, f)...)
 		}
 	}
 
 	for _, d := range diags {
-		posn := d.Posn(pkgs[0].Fset)
+		posn := d.Posn(prog.Fset())
 		matched := false
 		for _, w := range wants {
 			if w.file == posn.Filename && w.line == posn.Line && w.re.MatchString(d.Message) {
@@ -84,11 +96,21 @@ func fileWants(t *testing.T, pkg *analysis.Package, f *ast.File) []*expectation 
 	for _, g := range f.Comments {
 		for _, c := range g.List {
 			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
-			if !strings.HasPrefix(text, "want ") && text != "want" {
+			rest, isWant := strings.CutPrefix(text, "want")
+			if !isWant || (rest != "" && rest[0] != ' ' && rest[0] != '+' && rest[0] != '-') {
 				continue
 			}
 			posn := pkg.Fset.Position(c.Pos())
-			exprs := wantRe.FindAllStringSubmatch(text[len("want"):], -1)
+			if m := wantOffsetRe.FindStringSubmatch(rest); m != nil {
+				off, err := strconv.Atoi(m[1])
+				if err != nil {
+					t.Errorf("%s: bad want offset in %s", posn, c.Text)
+					continue
+				}
+				posn.Line += off
+				rest = rest[len(m[0]):]
+			}
+			exprs := wantRe.FindAllStringSubmatch(rest, -1)
 			if len(exprs) == 0 {
 				t.Errorf("%s: malformed want comment: %s", posn, c.Text)
 				continue

@@ -1,0 +1,12 @@
+package chargereplay_test
+
+import (
+	"testing"
+
+	"boss/internal/analysis/analysistest"
+	"boss/internal/analysis/chargereplay"
+)
+
+func TestChargeReplay(t *testing.T) {
+	analysistest.Run(t, "testdata/src", chargereplay.Analyzer)
+}

@@ -1,0 +1,37 @@
+// Package cache mirrors the decoded-block cache surface chargereplay
+// recognizes: Get/Publish/PublishBytes on Cache, Cycles on Entry.
+package cache
+
+type Key struct {
+	List  uint64
+	Block uint32
+}
+
+type Entry struct {
+	data []byte
+	cyc  int64
+}
+
+func (e *Entry) Data() []byte { return e.data }
+
+func (e *Entry) Cycles() int64 { return e.cyc }
+
+type Cache struct {
+	m map[Key]*Entry
+}
+
+func (c *Cache) Get(k Key) *Entry { return c.m[k] }
+
+func (c *Cache) Reserve(n int) *Entry { return &Entry{data: make([]byte, 0, n)} }
+
+func (c *Cache) Publish(k Key, e *Entry, cyc int64) *Entry {
+	e.cyc = cyc
+	c.m[k] = e
+	return e
+}
+
+func (c *Cache) PublishBytes(k Key, e *Entry, b []byte, cyc int64) *Entry {
+	e.data, e.cyc = b, cyc
+	c.m[k] = e
+	return e
+}

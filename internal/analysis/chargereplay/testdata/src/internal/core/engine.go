@@ -1,0 +1,100 @@
+// Package core exercises chargereplay: each fetch variant probes and
+// publishes the decoded-block cache; only the balanced ones stay quiet.
+package core
+
+import (
+	"fixtures/internal/cache"
+	"fixtures/internal/mem"
+	"fixtures/internal/perf"
+)
+
+type Engine struct {
+	c *cache.Cache
+}
+
+// fetchBalanced replays on hits exactly what the cold path charges: the
+// shared metadata read plus the postings stream (charged through the
+// cross-file helper on the cold side) plus the recorded decode cycles.
+func (e *Engine) fetchBalanced(m *perf.Metrics, k cache.Key) []byte {
+	m.AddSeqRead(8, mem.CatMeta)
+	ent := e.c.Get(k)
+	if ent != nil {
+		m.AddSeqRead(64, mem.CatPostings)
+		m.AddCompute(ent.Cycles())
+		return ent.Data()
+	}
+	chargeColdStream(m)
+	ne := e.c.Reserve(64)
+	ne = e.c.PublishBytes(k, ne, make([]byte, 64), 17)
+	m.AddCompute(17)
+	return ne.Data()
+}
+
+// fetchEarlyReturn uses the early-return hit shape: the remainder of the
+// function is the cold path. Balanced; no findings.
+func (e *Engine) fetchEarlyReturn(m *perf.Metrics, k cache.Key) []byte {
+	ent := e.c.Get(k)
+	if ent != nil {
+		m.AddSeqRead(64, mem.CatPostings)
+		m.AddCompute(ent.Cycles())
+		return ent.Data()
+	}
+	m.AddSeqRead(64, mem.CatPostings)
+	ne := e.c.Reserve(64)
+	ne = e.c.Publish(k, ne, 9)
+	return ne.Data()
+}
+
+// fetchSkewed forgets the postings charge on the hit arm, so the modeled
+// figures would drift with the hit rate.
+func (e *Engine) fetchSkewed(m *perf.Metrics, k cache.Key) []byte { // want `fetchSkewed violates charge replay: cache-hit path charges \{\(none\)\} but cold path charges \{CatPostings\}`
+	ent := e.c.Get(k)
+	if ent != nil {
+		m.AddCompute(ent.Cycles())
+		return ent.Data()
+	}
+	m.AddSeqRead(64, mem.CatPostings)
+	ne := e.c.Reserve(64)
+	ne = e.c.Publish(k, ne, 9)
+	return ne.Data()
+}
+
+// fetchNoReplay charges the same categories on both arms but never
+// replays the decode cycles recorded at publish time.
+func (e *Engine) fetchNoReplay(m *perf.Metrics, k cache.Key) []byte { // want `fetchNoReplay violates charge replay: no cache-hit arm replays recorded decode cycles`
+	ent := e.c.Get(k)
+	if ent != nil {
+		m.AddSeqRead(64, mem.CatPostings)
+		return ent.Data()
+	}
+	m.AddSeqRead(64, mem.CatPostings)
+	ne := e.c.Reserve(64)
+	ne = e.c.Publish(k, ne, 9)
+	return ne.Data()
+}
+
+// fetchColdHelperSkew charges the cold side only through the cross-file
+// helper; the hit arm charges a different category, so the transitive
+// comparison still catches the mismatch.
+func (e *Engine) fetchColdHelperSkew(m *perf.Metrics, k cache.Key) []byte { // want `fetchColdHelperSkew violates charge replay: cache-hit path charges \{CatDecode\} but cold path charges \{CatPostings\}`
+	ent := e.c.Get(k)
+	if ent != nil {
+		m.AddSeqRead(64, mem.CatDecode)
+		m.AddCompute(ent.Cycles())
+		return ent.Data()
+	}
+	chargeColdStream(m)
+	ne := e.c.Reserve(64)
+	ne = e.c.Publish(k, ne, 9)
+	return ne.Data()
+}
+
+// probeOnly has a Get but no Publish: out of the analyzer's shape, no
+// findings regardless of what it charges.
+func (e *Engine) probeOnly(m *perf.Metrics, k cache.Key) []byte {
+	if ent := e.c.Get(k); ent != nil {
+		m.AddSeqRead(64, mem.CatPostings)
+		return ent.Data()
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package core
+
+import (
+	"fixtures/internal/mem"
+	"fixtures/internal/perf"
+)
+
+// chargeColdStream is the cross-file cold-path helper: its transitive
+// charge set (CatPostings) is what the hit arms must replay.
+func chargeColdStream(m *perf.Metrics) {
+	m.AddSeqRead(64, mem.CatPostings)
+}

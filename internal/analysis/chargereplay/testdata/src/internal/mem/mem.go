@@ -1,0 +1,11 @@
+// Package mem mirrors the real internal/mem surface the analyzer keys on:
+// a named Category type and named category constants.
+package mem
+
+type Category int
+
+const (
+	CatMeta Category = iota
+	CatPostings
+	CatDecode
+)

@@ -1,0 +1,16 @@
+// Package perf mirrors the real charge surface: Metrics methods with a
+// mem.Category parameter are charges; AddCompute is category-free.
+package perf
+
+import "fixtures/internal/mem"
+
+type Metrics struct {
+	Reads   int64
+	Compute int64
+}
+
+func (m *Metrics) AddSeqRead(n int64, c mem.Category) { m.Reads += n }
+
+func (m *Metrics) AddRandRead(n int64, c mem.Category) { m.Reads += n }
+
+func (m *Metrics) AddCompute(cycles int64) { m.Compute += cycles }

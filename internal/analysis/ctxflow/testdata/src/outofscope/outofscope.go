@@ -1,0 +1,13 @@
+// Package outofscope is not a serving-path package: ctxflow ignores it.
+package outofscope
+
+import (
+	"context"
+	"time"
+)
+
+// Setup may build root contexts and sleep freely — offline tooling.
+func Setup() context.Context {
+	time.Sleep(time.Millisecond)
+	return context.Background()
+}

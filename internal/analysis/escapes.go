@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// EscapeDiag is one compiler escape-analysis diagnostic: the gc compiler
+// decided a value allocates on the heap at this position.
+type EscapeDiag struct {
+	File    string // absolute path
+	Line    int
+	Col     int
+	Message string // e.g. "moved to heap: x", "&y escapes to heap"
+}
+
+// Escapes drives `go build -gcflags=-m` over the program's package
+// patterns and returns the heap-allocation diagnostics, keyed by absolute
+// file path with per-file position order preserved. The result is the
+// compiler's ground truth — unlike hotpathalloc's syntactic bans, these
+// are the allocations the generated code actually performs.
+//
+// The build runs at most once per Program (memoized); it reuses the build
+// cache, so after the initial compile the incremental cost is one cached
+// rebuild of the flagged packages.
+func (p *Program) Escapes() (map[string][]EscapeDiag, error) {
+	p.escOnce.Do(func() {
+		p.escapes, p.escErr = loadEscapes(p.Dir, p.Patterns)
+	})
+	return p.escapes, p.escErr
+}
+
+// loadEscapes runs the compiler and parses its -m output.
+func loadEscapes(dir string, patterns []string) (map[string][]EscapeDiag, error) {
+	args := append([]string{"build", "-gcflags=-m"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out // -m diagnostics arrive on stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("analysis: go build -gcflags=-m: %v\n%s", err, out.String())
+	}
+	absDir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+
+	diags := make(map[string][]EscapeDiag)
+	sc := bufio.NewScanner(&out)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		d, ok := parseEscapeLine(sc.Text(), absDir)
+		if !ok {
+			continue
+		}
+		diags[d.File] = append(diags[d.File], d)
+	}
+	return diags, sc.Err()
+}
+
+// parseEscapeLine extracts a heap diagnostic from one `file:line:col: msg`
+// compiler line; inlining chatter and "does not escape" lines are
+// dropped.
+func parseEscapeLine(line, absDir string) (EscapeDiag, bool) {
+	line = strings.TrimSpace(line)
+	// file.go:LINE:COL: message
+	i := strings.Index(line, ".go:")
+	if i < 0 {
+		return EscapeDiag{}, false
+	}
+	file := line[:i+3]
+	rest := line[i+4:]
+	j := strings.IndexByte(rest, ':')
+	if j < 0 {
+		return EscapeDiag{}, false
+	}
+	ln, err := strconv.Atoi(rest[:j])
+	if err != nil {
+		return EscapeDiag{}, false
+	}
+	rest = rest[j+1:]
+	j = strings.IndexByte(rest, ':')
+	if j < 0 {
+		return EscapeDiag{}, false
+	}
+	col, err := strconv.Atoi(rest[:j])
+	if err != nil {
+		return EscapeDiag{}, false
+	}
+	msg := strings.TrimSpace(rest[j+1:])
+	if !strings.Contains(msg, "moved to heap") &&
+		(!strings.Contains(msg, "escapes to heap") || strings.Contains(msg, "does not escape")) {
+		return EscapeDiag{}, false
+	}
+	if !filepath.IsAbs(file) {
+		file = filepath.Join(absDir, file)
+	}
+	return EscapeDiag{File: file, Line: ln, Col: col, Message: msg}, true
+}

@@ -1,0 +1,265 @@
+// Package goroutineleak requires every go statement in the serving
+// packages (core, cache, pool, front) to have a provable exit. A leaked
+// worker goroutine per request is the classic slow death of a serving
+// tier: invisible in tests, fatal at production QPS.
+//
+// A spawned function (literal or named, resolved through the call graph)
+// is provably exiting when every loop in its body is bounded:
+//
+//   - `for x := range ch` over a channel counts only when some close(ch)
+//     site in the package targets the same channel object (the
+//     worker-pool shape: workers drain a channel the dispatcher closes);
+//   - range over a slice, map, array, or integer is bounded by data;
+//   - a for statement with a condition is treated as bounded (the
+//     condition-variable shapes are the analyzer's lenient side);
+//   - an unconditional `for { }` must contain a select with a receive
+//     case — ctx.Done() or another channel — whose body returns or
+//     breaks (the cancellation-listener shape).
+//
+// Goroutines that are meant to live for the whole process carry a
+// //boss:daemon marker, either in the spawned function's doc comment or
+// on the line directly above the go statement. The marker's referent is
+// verified: //boss:daemon on a function that neither contains a go
+// statement nor is ever spawned by one is a stale-marker finding.
+package goroutineleak
+
+import (
+	"go/ast"
+	"go/types"
+
+	"boss/internal/analysis"
+)
+
+// ScopePackages are the serving packages whose goroutines are checked.
+var ScopePackages = []string{
+	"internal/core",
+	"internal/cache",
+	"internal/pool",
+	"internal/front",
+}
+
+// Analyzer is the goroutineleak check.
+var Analyzer = &analysis.Analyzer{
+	Name: "goroutineleak",
+	Doc:  "require a provable exit (closed channel, cancellation select, bounded loop) for every goroutine spawned in serving packages",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	inScope := analysis.PkgPathHasAny(pass.Pkg.Path(), ScopePackages)
+	if !inScope {
+		return nil
+	}
+	closed := closeTargets(pass)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkDaemonMarker(pass, file, fn)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				checkGo(pass, file, fn, g, closed)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// closeTargets collects the objects (variables and fields) passed to the
+// builtin close anywhere in the package.
+func closeTargets(pass *analysis.Pass) map[types.Object]bool {
+	closed := make(map[types.Object]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			if b, ok := analysis.CalleeObj(pass.TypesInfo, call).(*types.Builtin); !ok || b.Name() != "close" {
+				return true
+			}
+			if o := chanObj(pass.TypesInfo, call.Args[0]); o != nil {
+				closed[o] = true
+			}
+			return true
+		})
+	}
+	return closed
+}
+
+// chanObj resolves a channel expression to the variable or struct field
+// that names it: the field object for f.execCh, the variable object for
+// next.
+func chanObj(info *types.Info, e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return info.Uses[x]
+	case *ast.SelectorExpr:
+		return info.Uses[x.Sel]
+	}
+	return nil
+}
+
+// checkGo verifies one go statement.
+func checkGo(pass *analysis.Pass, file *ast.File, enclosing *ast.FuncDecl, g *ast.GoStmt, closed map[types.Object]bool) {
+	// Waivers: marker on the enclosing function, on the line above the go
+	// statement, or on the spawned named function's doc comment.
+	if analysis.FuncHasMarker(enclosing, analysis.MarkerDaemon) {
+		return
+	}
+	line := pass.Fset.Position(g.Pos()).Line
+	if analysis.HasLineMarker(pass.Fset, file, line, analysis.MarkerDaemon) {
+		return
+	}
+
+	var body *ast.BlockStmt
+	var what string
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		body = fun.Body
+		what = "goroutine"
+	default:
+		obj, ok := analysis.CalleeObj(pass.TypesInfo, g.Call).(*types.Func)
+		if !ok {
+			pass.Reportf(g.Pos(), "goroutine target is not statically resolvable; prove its exit or mark it //boss:daemon")
+			return
+		}
+		fi := pass.Prog.InfoFor(obj)
+		if fi == nil {
+			pass.Reportf(g.Pos(), "goroutine runs %s, which is declared outside the analyzed packages; prove its exit or mark it //boss:daemon", obj.Name())
+			return
+		}
+		if analysis.FuncHasMarker(fi.Decl, analysis.MarkerDaemon) {
+			return
+		}
+		body = fi.Decl.Body
+		what = "goroutine running " + obj.Name()
+	}
+
+	for _, why := range unboundedLoops(pass, body, closed) {
+		pass.Reportf(g.Pos(), "%s has no provable exit: %s (close the channel it drains, select on ctx.Done(), or mark a process-lifetime worker //boss:daemon)", what, why)
+	}
+}
+
+// unboundedLoops returns one reason per loop in body that cannot be
+// shown to terminate.
+func unboundedLoops(pass *analysis.Pass, body *ast.BlockStmt, closed map[types.Object]bool) []string {
+	info := pass.TypesInfo
+	var reasons []string
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.RangeStmt:
+			tv, ok := info.Types[x.X]
+			if !ok {
+				return true
+			}
+			if _, isChan := tv.Type.Underlying().(*types.Chan); !isChan {
+				return true // bounded by the ranged collection
+			}
+			o := chanObj(info, x.X)
+			if o == nil {
+				reasons = append(reasons, "it ranges over a channel expression that cannot be traced to a close site")
+				return true
+			}
+			if !closed[o] {
+				reasons = append(reasons, "it ranges over channel "+o.Name()+", which is never closed in this package")
+			}
+		case *ast.ForStmt:
+			if x.Cond != nil {
+				return true // condition-bounded (lenient)
+			}
+			if !hasExitSelect(info, x.Body) {
+				reasons = append(reasons, "its unconditional for loop has no select receive case that returns or breaks")
+			}
+		}
+		return true
+	})
+	return reasons
+}
+
+// hasExitSelect reports whether the loop body contains a select with a
+// receive case (ctx.Done() or any channel) whose body returns or breaks.
+func hasExitSelect(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, cc := range sel.Body.List {
+			clause, ok := cc.(*ast.CommClause)
+			if !ok || clause.Comm == nil {
+				continue
+			}
+			if !isReceive(clause.Comm) {
+				continue
+			}
+			if bodyExits(clause.Body) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isReceive(s ast.Stmt) bool {
+	switch x := s.(type) {
+	case *ast.ExprStmt:
+		u, ok := x.X.(*ast.UnaryExpr)
+		return ok && u.Op.String() == "<-"
+	case *ast.AssignStmt:
+		if len(x.Rhs) != 1 {
+			return false
+		}
+		u, ok := x.Rhs[0].(*ast.UnaryExpr)
+		return ok && u.Op.String() == "<-"
+	}
+	return false
+}
+
+func bodyExits(stmts []ast.Stmt) bool {
+	for _, s := range stmts {
+		switch s.(type) {
+		case *ast.ReturnStmt, *ast.BranchStmt:
+			return true
+		}
+	}
+	return false
+}
+
+// checkDaemonMarker verifies a //boss:daemon doc marker's referent: the
+// function must contain a go statement or be spawned by one somewhere in
+// the program.
+func checkDaemonMarker(pass *analysis.Pass, file *ast.File, fn *ast.FuncDecl) {
+	if !analysis.FuncHasMarker(fn, analysis.MarkerDaemon) {
+		return
+	}
+	fi := pass.Prog.InfoForDecl(pass.P, fn)
+	if fi == nil {
+		return
+	}
+	if len(fi.Gos) > 0 {
+		return
+	}
+	// Spawned anywhere?
+	for _, other := range pass.Prog.Funcs {
+		for _, g := range other.Gos {
+			if obj, ok := analysis.CalleeObj(other.Pkg.TypesInfo, g.Call).(*types.Func); ok &&
+				analysis.FuncKey(obj) == fi.Key {
+				return
+			}
+		}
+	}
+	pass.Reportf(fn.Pos(), "stale //boss:daemon marker: %s neither contains a go statement nor is spawned by one", fn.Name.Name)
+}

@@ -1,0 +1,12 @@
+package goroutineleak_test
+
+import (
+	"testing"
+
+	"boss/internal/analysis/analysistest"
+	"boss/internal/analysis/goroutineleak"
+)
+
+func TestGoroutineLeak(t *testing.T) {
+	analysistest.Run(t, "testdata/src", goroutineleak.Analyzer)
+}

@@ -1,0 +1,117 @@
+// Package pool exercises goroutineleak: worker-pool shapes, cancellation
+// listeners, daemons, and the leaks between them.
+package pool
+
+import (
+	"context"
+	"time"
+)
+
+type Server struct {
+	jobs chan int
+	n    int
+}
+
+// worker drains the jobs channel; Close closes it, so the range provably
+// ends.
+func (s *Server) worker() {
+	for j := range s.jobs {
+		s.n += j
+	}
+}
+
+// Start spawns provably-exiting goroutines: a named worker and a literal
+// draining the same closed channel.
+func (s *Server) Start() {
+	go s.worker()
+	go func() {
+		for range s.jobs {
+			s.n++
+		}
+	}()
+}
+
+// Close ends every worker.
+func (s *Server) Close() { close(s.jobs) }
+
+// leakyRange drains a channel nothing ever closes.
+func leakyRange(ch chan int) {
+	go func() { // want `ranges over channel ch, which is never closed in this package`
+		for range ch {
+		}
+	}()
+}
+
+// spinSelect listens for cancellation: the ctx.Done receive case returns.
+func spinSelect(ctx context.Context, tick chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case t := <-tick:
+				_ = t
+			}
+		}
+	}()
+}
+
+// spinForever has no exit at all.
+func spinForever() {
+	go func() { // want `its unconditional for loop has no select receive case that returns or breaks`
+		for {
+		}
+	}()
+}
+
+// boundedLoops terminate by data or condition: no findings.
+func boundedLoops(items []int, n int) {
+	go func() {
+		total := 0
+		for _, it := range items {
+			total += it
+		}
+		for i := 0; i < n; i++ {
+			total++
+		}
+	}()
+}
+
+// daemonLine waives one go statement with a marker on the line above.
+func daemonLine() {
+	//boss:daemon the flusher lives for the process lifetime.
+	go func() {
+		for {
+		}
+	}()
+}
+
+// janitor is a process-lifetime daemon; the doc marker waives it and its
+// spawn site below keeps the marker fresh.
+//
+//boss:daemon reaped only at process exit.
+func janitor() {
+	for {
+	}
+}
+
+func startJanitor() {
+	go janitor()
+}
+
+// notADaemon carries the marker but neither spawns nor is spawned.
+//
+//boss:daemon left behind by a refactor.
+func notADaemon() { // want `stale //boss:daemon marker: notADaemon neither contains a go statement nor is spawned by one`
+}
+
+// runDynamic spawns through a function value the call graph cannot
+// resolve.
+func runDynamic(fn func()) {
+	go fn() // want `goroutine target is not statically resolvable`
+}
+
+// runForeign spawns a function declared outside the analyzed packages.
+func runForeign(d time.Duration) {
+	go time.Sleep(d) // want `goroutine runs Sleep, which is declared outside the analyzed packages`
+}

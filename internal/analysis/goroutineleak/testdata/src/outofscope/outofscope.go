@@ -1,0 +1,11 @@
+// Package outofscope is not a serving package: its goroutines are not
+// checked.
+package outofscope
+
+// Spin would be a finding in scope.
+func Spin() {
+	go func() {
+		for {
+		}
+	}()
+}

@@ -50,6 +50,12 @@ var bannedSortFuncs = map[string]bool{
 
 func run(pass *analysis.Pass) error {
 	for _, file := range pass.Files {
+		// A //boss:hotpath marker that is not a function's doc comment
+		// guards nothing: its function was renamed or refactored away and
+		// the code it used to protect is now unchecked.
+		for _, pos := range analysis.DanglingMarkers(file, analysis.MarkerHotPath) {
+			pass.Reportf(pos, "dangling //boss:hotpath marker: not attached to any function declaration, so nothing is checked; move it onto the hot function's doc comment or delete it")
+		}
 		for _, decl := range file.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
 			if !ok || fn.Body == nil || !analysis.FuncHasMarker(fn, analysis.MarkerHotPath) {

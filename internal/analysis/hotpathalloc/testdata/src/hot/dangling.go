@@ -1,0 +1,19 @@
+package hot
+
+// warmup anchors the file so the marker below floats between
+// declarations rather than in the legal file-header position.
+func warmup(n int) int {
+	return n * 2
+}
+
+// Its function moved to another file and left the annotation behind, so
+// nothing is checked.
+
+//boss:hotpath orphaned by a refactor
+// want-1 `dangling //boss:hotpath marker`
+
+func coldHelper(n int) int {
+	x := n + 1 //boss:hotpath trailing markers guard nothing either
+	// want-1 `dangling //boss:hotpath marker`
+	return x
+}

@@ -1,0 +1,132 @@
+// Package hotpathescape verifies //boss:hotpath functions against the
+// compiler's own escape analysis. hotpathalloc bans the syntactic
+// allocation shapes (make, new, composite literals, string concat), but
+// the compiler is the ground truth: a value can escape to the heap with
+// no banned syntax in sight — a pointer stored through an interface, a
+// closure capturing a loop variable, a slice passed to a callee the
+// inliner gives up on.
+//
+// The analyzer runs `go build -gcflags=-m` over the module once per
+// Load (cached on the Program) and diffs the "escapes to heap" /
+// "moved to heap" diagnostics against the line ranges of every
+// //boss:hotpath function. A diagnostic inside a hot function is a
+// finding unless the offending line carries a //boss:escape-ok waiver
+// (same line or the line above — for escapes on cold branches inside a
+// hot function). As with every marker, the waiver is verified: a
+// //boss:escape-ok line with no compiler diagnostic on it is stale and
+// reported, so fixed escapes shed their waivers.
+package hotpathescape
+
+import (
+	"go/ast"
+	"go/token"
+
+	"boss/internal/analysis"
+)
+
+// Analyzer is the hotpathescape check.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpathescape",
+	Doc:  "diff the compiler's escape analysis (-gcflags=-m) against //boss:hotpath functions",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Collect hot functions and waiver lines first so packages with
+	// neither skip the (cached) compiler run entirely.
+	type hotFn struct {
+		decl *ast.FuncDecl
+		file string
+		lo   int // first line of the declaration
+		hi   int // last line of the body
+	}
+	var hot []hotFn
+	type fileMarks struct {
+		f    *ast.File
+		name string
+	}
+	var marked []fileMarks
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !analysis.FuncHasMarker(fn, analysis.MarkerHotPath) {
+				continue
+			}
+			pos := pass.Fset.Position(fn.Pos())
+			end := pass.Fset.Position(fn.Body.End())
+			hot = append(hot, hotFn{decl: fn, file: pos.Filename, lo: pos.Line, hi: end.Line})
+		}
+		if ms := analysis.LineMarkers(f, analysis.MarkerEscapeOK); len(ms) > 0 {
+			name := pass.Fset.Position(f.Pos()).Filename
+			marked = append(marked, fileMarks{f: f, name: name})
+		}
+	}
+	if len(hot) == 0 && len(marked) == 0 {
+		return nil
+	}
+
+	escapes, err := pass.Prog.Escapes()
+	if err != nil {
+		return err
+	}
+
+	for _, h := range hot {
+		for _, d := range escapes[h.file] {
+			if d.Line < h.lo || d.Line > h.hi {
+				continue
+			}
+			if waivedAt(pass, h.decl, d.Line) {
+				continue
+			}
+			pass.Reportf(posAtLine(pass, h.decl, d.Line), "%s is //boss:hotpath but the compiler reports an escape at line %d: %s (restructure to keep the value on the stack, or waive a cold branch with //boss:escape-ok)",
+				h.decl.Name.Name, d.Line, d.Message)
+		}
+	}
+
+	// Stale //boss:escape-ok markers: a waiver line (or the line below,
+	// its attachment target) with no compiler diagnostic left to waive.
+	for _, fm := range marked {
+		diagLines := make(map[int]bool)
+		for _, d := range escapes[fm.name] {
+			diagLines[d.Line] = true
+		}
+		for _, p := range analysis.LineMarkers(fm.f, analysis.MarkerEscapeOK) {
+			line := pass.Fset.Position(p).Line
+			if diagLines[line] || diagLines[line+1] {
+				continue
+			}
+			pass.Reportf(p, "stale //boss:escape-ok marker: the compiler reports no escape on this line; remove the waiver")
+		}
+	}
+	return nil
+}
+
+// waivedAt reports whether the given source line inside fn carries a
+// //boss:escape-ok marker (same line or line above).
+func waivedAt(pass *analysis.Pass, fn *ast.FuncDecl, line int) bool {
+	for _, f := range pass.Files {
+		if f.Pos() <= fn.Pos() && fn.Pos() < f.End() {
+			return analysis.HasLineMarker(pass.Fset, f, line, analysis.MarkerEscapeOK)
+		}
+	}
+	return false
+}
+
+// posAtLine returns a position on the reported line inside fn, so the
+// finding points at the escaping statement rather than the function
+// header. Falls back to the function position when no statement starts
+// on that line.
+func posAtLine(pass *analysis.Pass, fn *ast.FuncDecl, line int) (pos token.Pos) {
+	pos = fn.Pos()
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if n == nil || pos != fn.Pos() {
+			return false
+		}
+		if pass.Fset.Position(n.Pos()).Line == line {
+			pos = n.Pos()
+			return false
+		}
+		return true
+	})
+	return pos
+}

@@ -1,0 +1,12 @@
+package hotpathescape_test
+
+import (
+	"testing"
+
+	"boss/internal/analysis/analysistest"
+	"boss/internal/analysis/hotpathescape"
+)
+
+func TestHotPathEscape(t *testing.T) {
+	analysistest.Run(t, "testdata/src", hotpathescape.Analyzer)
+}

@@ -1,0 +1,51 @@
+// Package core exercises hotpathescape against the real compiler: the
+// fixture is built with -gcflags=-m, so every escape below is one the gc
+// escape analysis actually reports.
+package core
+
+// Result is a score record; pointers to it escape when they outlive the
+// frame.
+type Result struct {
+	ID    int
+	Score float64
+}
+
+// sink keeps waived pointers reachable so the compiler cannot elide the
+// escape.
+var sink *Result
+
+// hotLeaks returns a pointer to a stack local: the classic escape the
+// syntactic checks cannot see.
+//
+//boss:hotpath per-document scoring step.
+func hotLeaks(id int) *Result {
+	r := Result{ID: id} // want `hotLeaks is //boss:hotpath but the compiler reports an escape`
+	return &r
+}
+
+// hotWaived escapes only on its cold branch, and the branch carries a
+// verified waiver.
+//
+//boss:hotpath hit path; the miss branch below is cold.
+func hotWaived(id int, cold bool) *Result {
+	if cold {
+		r := &Result{ID: id} //boss:escape-ok cold miss branch, amortized by the cache
+		sink = r
+		return r
+	}
+	return nil
+}
+
+// coldOnly allocates nothing; its waiver outlived whatever escape it once
+// excused.
+func coldOnly(id int) int {
+	x := id * 2 //boss:escape-ok left behind by a refactor
+	// want-1 `stale //boss:escape-ok marker`
+	return x
+}
+
+// coldEscapes allocates on the heap but is not //boss:hotpath, so the
+// compiler diagnostic is not a finding.
+func coldEscapes(id int) *Result {
+	return &Result{ID: id}
+}

@@ -41,7 +41,9 @@ type listedPackage struct {
 }
 
 // Load resolves patterns (e.g. "./...") in the module rooted at dir, parses
-// and type-checks every matched package, and returns them in a stable order.
+// and type-checks every matched package, and returns the Program over them:
+// the packages in stable order plus the shared summary/call-graph layer
+// every analyzer consumes.
 //
 // The loader leans on the go tool rather than on x/tools/go/packages: one
 // `go list -deps -export -json` invocation yields both the pattern matches
@@ -49,7 +51,7 @@ type listedPackage struct {
 // data into its cache even offline), and go/importer's gc mode reads those
 // files back for type checking. Test files are not loaded: the invariants
 // the suite enforces are production-code invariants.
-func Load(dir string, patterns ...string) ([]*Package, error) {
+func Load(dir string, patterns ...string) (*Program, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -140,14 +142,24 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 			TypesInfo:  info,
 		})
 	}
-	return pkgs, nil
+	return buildProgram(dir, patterns, pkgs), nil
+}
+
+// Fset returns the program's shared file set (one per Load).
+func (p *Program) Fset() *token.FileSet {
+	if len(p.Pkgs) == 0 {
+		return token.NewFileSet()
+	}
+	return p.Pkgs[0].Fset
 }
 
 // Run applies every analyzer to every package and returns the diagnostics
-// sorted by position then analyzer name.
-func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+// in the suite's canonical global order: (file, line, column, analyzer
+// name, message). The order is independent of analyzer registration and
+// package iteration, so successive runs diff cleanly in CI.
+func (p *Program) Run(analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
+	for _, pkg := range p.Pkgs {
 		for _, a := range analyzers {
 			pass := &Pass{
 				Analyzer:  a,
@@ -155,6 +167,8 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				Files:     pkg.Files,
 				Pkg:       pkg.Pkg,
 				TypesInfo: pkg.TypesInfo,
+				P:         pkg,
+				Prog:      p,
 			}
 			pass.Report = func(d Diagnostic) {
 				d.Analyzer = a.Name
@@ -165,24 +179,22 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			}
 		}
 	}
-	fset := (*token.FileSet)(nil)
-	if len(pkgs) > 0 {
-		fset = pkgs[0].Fset
-	}
+	fset := p.Fset()
 	sort.SliceStable(diags, func(i, j int) bool {
-		if fset != nil {
-			pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
-			if pi.Filename != pj.Filename {
-				return pi.Filename < pj.Filename
-			}
-			if pi.Line != pj.Line {
-				return pi.Line < pj.Line
-			}
-			if pi.Column != pj.Column {
-				return pi.Column < pj.Column
-			}
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
 		}
-		return diags[i].Analyzer < diags[j].Analyzer
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		if diags[i].Analyzer != diags[j].Analyzer {
+			return diags[i].Analyzer < diags[j].Analyzer
+		}
+		return diags[i].Message < diags[j].Message
 	})
 	return diags, nil
 }

@@ -1,0 +1,290 @@
+// Package lockorder checks the mutex discipline of the concurrent
+// serving packages (cache, pool, front):
+//
+//  1. pairing: a function that acquires a mutex class must release it in
+//     the same function (directly or by defer) — Lock pairs with Unlock,
+//     RLock with RUnlock. Handing a held lock to a callee or caller is
+//     how the serving tier would deadlock under load shedding;
+//
+//  2. double acquisition: acquiring a class while an acquisition of the
+//     same class is still outstanding in the same function (sync.Mutex
+//     is not reentrant);
+//
+//  3. ordering: the analyzer builds the module-wide acquisition-order
+//     graph — an edge A → B for every site that acquires B (directly or
+//     through any chain of statically resolved callees) while holding A —
+//     and reports every cycle. Two goroutines taking A and B in opposite
+//     orders is the textbook deadlock, and it is invisible to the race
+//     detector until the schedule actually interleaves.
+//
+// Classes are (type, field) pairs — "pool.shardState.mu" — so the
+// GOMAXPROCS-sharded cache mutexes form one class, and an edge within a
+// class (holding one shard's mutex while taking another's) is reported
+// as a cycle of length one unless the code never does it.
+//
+// Held-lock tracking is a linear, source-order scan per function:
+// releases in early-return branches under-approximate the held set,
+// which errs on the quiet side (no false edges). The whole-module pieces
+// (graph, cycles) run once per Load, on the first in-scope package.
+package lockorder
+
+import (
+	"go/token"
+	"sort"
+
+	"boss/internal/analysis"
+)
+
+// ScopePackages are the packages whose mutexes participate.
+var ScopePackages = []string{
+	"internal/cache",
+	"internal/pool",
+	"internal/front",
+}
+
+// Analyzer is the lockorder check.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc:  "require same-function mutex pairing and an acyclic module-wide lock acquisition order in cache/pool/front",
+	Run:  run,
+}
+
+// edge is one observed acquisition-order constraint: to was acquired
+// while from was held.
+type edge struct {
+	from, to string
+	pos      token.Pos // the acquiring site
+	via      string    // callee name when the acquisition is indirect
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PkgPathHasAny(pass.Pkg.Path(), ScopePackages) {
+		return nil
+	}
+	// The graph spans packages; build and report it exactly once per
+	// Load, from the first in-scope package in the program's stable
+	// package order.
+	for _, pkg := range pass.Prog.Pkgs {
+		if analysis.PkgPathHasAny(pkg.Pkg.Path(), ScopePackages) {
+			if pkg != pass.P {
+				return nil
+			}
+			break
+		}
+	}
+
+	// Deterministic function order: sort summaries by key.
+	var keys []string
+	for key, fi := range pass.Prog.Funcs {
+		if analysis.PkgPathHasAny(fi.Pkg.Pkg.Path(), ScopePackages) {
+			keys = append(keys, key)
+		}
+	}
+	sort.Strings(keys)
+
+	var edges []edge
+	for _, key := range keys {
+		edges = append(edges, checkFunc(pass, pass.Prog.Funcs[key])...)
+	}
+	reportCycles(pass, edges)
+	return nil
+}
+
+// event interleaves a function's lock operations and call sites in
+// source order.
+type event struct {
+	pos  token.Pos
+	op   *analysis.LockOp // nil for a call site
+	call *analysis.CallSite
+}
+
+// checkFunc reports pairing violations and returns the function's
+// acquisition-order edges.
+func checkFunc(pass *analysis.Pass, fi *analysis.FuncInfo) []edge {
+	// Pairing: every acquired class needs its matching release somewhere
+	// in this function.
+	released := make(map[string]bool)
+	for i := range fi.Locks {
+		op := &fi.Locks[i]
+		if !op.Acquires() {
+			released[op.Op+":"+op.Class] = true
+		}
+	}
+	for i := range fi.Locks {
+		op := &fi.Locks[i]
+		if op.Acquires() && !released[op.ReleaseOf()+":"+op.Class] {
+			pass.Reportf(op.Call.Pos(), "%s of %s is never %sed in %s: release in the acquiring function (defer the unlock next to the lock)",
+				op.Op, op.Class, op.ReleaseOf(), fi.Obj.Name())
+		}
+	}
+
+	// Source-order scan with a held multiset.
+	var events []event
+	for i := range fi.Locks {
+		events = append(events, event{pos: fi.Locks[i].Call.Pos(), op: &fi.Locks[i]})
+	}
+	for i := range fi.Calls {
+		events = append(events, event{pos: fi.Calls[i].Call.Pos(), call: &fi.Calls[i]})
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	held := make(map[string]int)
+	var order []string // held classes in acquisition order (for messages)
+	var edges []edge
+	for _, ev := range events {
+		if ev.op != nil {
+			op := ev.op
+			switch {
+			case op.Acquires() && !op.Deferred:
+				// A self-edge (h == op.Class) is reported by the cycle
+				// pass as a length-one cycle: double acquisition.
+				for _, h := range order {
+					if held[h] <= 0 {
+						continue
+					}
+					edges = append(edges, edge{from: h, to: op.Class, pos: op.Call.Pos()})
+				}
+				held[op.Class]++
+				order = append(order, op.Class)
+			case !op.Acquires() && !op.Deferred:
+				if held[op.Class] > 0 {
+					held[op.Class]--
+					for i := len(order) - 1; i >= 0; i-- {
+						if order[i] == op.Class {
+							order = append(order[:i], order[i+1:]...)
+							break
+						}
+					}
+				}
+				// Deferred releases keep the class held to scan end.
+			}
+			continue
+		}
+		// Call site while holding locks: the callee's transitive
+		// acquisitions happen under everything currently held.
+		if len(order) == 0 {
+			continue
+		}
+		acq := pass.Prog.TransitiveLocks(ev.call.Key)
+		if len(acq) == 0 {
+			continue
+		}
+		var acqSorted []string
+		for c := range acq {
+			acqSorted = append(acqSorted, c)
+		}
+		sort.Strings(acqSorted)
+		for _, h := range order {
+			if held[h] <= 0 {
+				continue
+			}
+			for _, c := range acqSorted {
+				edges = append(edges, edge{from: h, to: c, pos: ev.call.Call.Pos(), via: ev.call.Callee.Name()})
+			}
+		}
+	}
+	return edges
+}
+
+// reportCycles finds cycles in the acquisition-order graph and reports
+// one finding per cycle at the closing edge's site.
+func reportCycles(pass *analysis.Pass, edges []edge) {
+	adj := make(map[string][]edge)
+	var nodes []string
+	seen := make(map[string]bool)
+	for _, e := range edges {
+		adj[e.from] = append(adj[e.from], e)
+		for _, n := range []string{e.from, e.to} {
+			if !seen[n] {
+				seen[n] = true
+				nodes = append(nodes, n)
+			}
+		}
+	}
+	sort.Strings(nodes)
+	for n := range adj {
+		es := adj[n]
+		sort.Slice(es, func(i, j int) bool {
+			if es[i].to != es[j].to {
+				return es[i].to < es[j].to
+			}
+			return es[i].pos < es[j].pos
+		})
+	}
+
+	const (
+		white = iota
+		gray
+		black
+	)
+	color := make(map[string]int)
+	var stack []edge
+	reported := make(map[string]bool)
+
+	var dfs func(n string)
+	dfs = func(n string) {
+		color[n] = gray
+		for _, e := range adj[n] {
+			if color[e.to] == gray {
+				// Reconstruct the cycle from the stack.
+				cycle := []edge{e}
+				for i := len(stack) - 1; i >= 0; i-- {
+					if stack[i].from == e.to {
+						cycle = append([]edge{}, stack[i:]...)
+						cycle = append(cycle, e)
+						break
+					}
+				}
+				reportCycle(pass, cycle, reported)
+				continue
+			}
+			if color[e.to] == white {
+				stack = append(stack, e)
+				dfs(e.to)
+				stack = stack[:len(stack)-1]
+			}
+		}
+		color[n] = black
+	}
+	for _, n := range nodes {
+		if color[n] == white {
+			dfs(n)
+		}
+	}
+}
+
+func reportCycle(pass *analysis.Pass, cycle []edge, reported map[string]bool) {
+	if len(cycle) == 0 {
+		return
+	}
+	// Canonical signature so each cycle reports once regardless of entry.
+	var classes []string
+	for _, e := range cycle {
+		classes = append(classes, e.from)
+	}
+	sort.Strings(classes)
+	sig := ""
+	for _, c := range classes {
+		sig += c + ";"
+	}
+	if reported[sig] {
+		return
+	}
+	reported[sig] = true
+
+	closing := cycle[len(cycle)-1]
+	if len(cycle) == 1 && closing.from == closing.to {
+		via := ""
+		if closing.via != "" {
+			via = " through " + closing.via
+		}
+		pass.Reportf(closing.pos, "%s is acquired%s while already held: sync mutexes are not reentrant and same-class instances need a fixed order", closing.from, via)
+		return
+	}
+	path := ""
+	for _, e := range cycle {
+		path += e.from + " -> "
+	}
+	path += closing.to
+	pass.Reportf(closing.pos, "lock order cycle: %s; this edge closes the cycle — acquire classes in one global order", path)
+}

@@ -1,0 +1,23 @@
+// Package front holds its own mutex while calling into pool — a benign
+// cross-package acquisition edge (no reverse direction exists).
+package front
+
+import (
+	"sync"
+
+	"fixtures/internal/pool"
+)
+
+type Door struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Admit acquires the door mutex, then pool's gate through the exported
+// helper: edge front.Door.mu -> pool.Gate.mu, acyclic.
+func Admit(d *Door, g *pool.Gate) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.n++
+	pool.Acquire(g)
+}

@@ -1,0 +1,87 @@
+// Package pool exercises lockorder: pairing, double acquisition, and the
+// module-wide acquisition-order cycle.
+package pool
+
+import "sync"
+
+type hub struct {
+	mua sync.Mutex
+	mub sync.Mutex
+}
+
+// lockBoth takes a before b — one direction of the order.
+func lockBoth(h *hub) {
+	h.mua.Lock()
+	defer h.mua.Unlock()
+	h.mub.Lock()
+	defer h.mub.Unlock()
+}
+
+// grabA acquires and releases a; its transitive lock set feeds the
+// interprocedural edge below.
+func grabA(h *hub) {
+	h.mua.Lock()
+	defer h.mua.Unlock()
+}
+
+// lockViaHelper takes a (through grabA) while holding b: with lockBoth's
+// a-before-b this closes a cycle.
+func lockViaHelper(h *hub) {
+	h.mub.Lock()
+	defer h.mub.Unlock()
+	grabA(h) // want `lock order cycle`
+}
+
+// sequential releases a before taking b: held-set scan records no edge,
+// so this direction does not conflict with lockBoth.
+func sequential(h *hub) {
+	h.mua.Lock()
+	h.mua.Unlock()
+	h.mub.Lock()
+	h.mub.Unlock()
+}
+
+type Gate struct {
+	mu sync.Mutex
+	n  int
+}
+
+// doubleLock re-acquires a held, non-reentrant mutex.
+func doubleLock(g *Gate) {
+	g.mu.Lock()
+	g.mu.Lock() // want `is acquired while already held`
+	g.n++
+	g.mu.Unlock()
+	g.mu.Unlock()
+}
+
+type leaky struct {
+	mu sync.Mutex
+	n  int
+}
+
+// holdForever acquires without any release in the function.
+func holdForever(l *leaky) int {
+	l.mu.Lock() // want `Lock of fixtures/internal/pool\.leaky\.mu is never Unlocked in holdForever`
+	return l.n
+}
+
+type rwbox struct {
+	mu sync.RWMutex
+	v  int
+}
+
+// readLocked pairs RLock with RUnlock: clean.
+func readLocked(b *rwbox) int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.v
+}
+
+// Acquire is the exported entry the front fixture calls while holding its
+// own mutex, creating a benign cross-package edge.
+func Acquire(g *Gate) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.n++
+}

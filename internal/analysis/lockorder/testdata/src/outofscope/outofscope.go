@@ -1,0 +1,16 @@
+// Package outofscope is not a cache/pool/front package: lockorder does
+// not look at its mutexes, even obviously unpaired ones.
+package outofscope
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Hold never releases, but the package is out of scope.
+func Hold(b *box) int {
+	b.mu.Lock()
+	return b.n
+}

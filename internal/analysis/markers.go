@@ -10,19 +10,37 @@ import (
 // Marker comments form the annotation contract between the code and the
 // analyzer suite (documented in DESIGN.md "Enforced invariants"):
 //
-//	//boss:hotpath       — hotpathalloc enforces allocation-free constructs
+//	//boss:hotpath       — hotpathalloc + hotpathescape enforce
+//	                       allocation-free code (syntactic bans and the
+//	                       compiler's escape analysis, respectively)
 //	//boss:wallclock     — waives simdeterminism's wall-clock ban
 //	//boss:pool-escapes  — waives poolhygiene's Get/Put pairing
+//	//boss:ctx-root      — waives ctxflow's context.Background/TODO ban
+//	                       (the function is a deliberate context root)
+//	//boss:daemon        — waives goroutineleak for a goroutine that is
+//	                       meant to live for the process lifetime
+//	//boss:escape-ok     — line-level waiver for one compiler-reported
+//	                       escape inside a //boss:hotpath function (the
+//	                       escape is on a cold branch)
 //
 // A marker applies to a function when it appears in the function's doc
 // comment, and to a whole file when it appears in the file's header (any
 // comment group that starts before the first non-import declaration).
-// Markers may carry a trailing justification: "//boss:wallclock QPS is a
-// host-side measurement".
+// //boss:daemon additionally applies to a single go statement when it
+// appears on the line directly above it, and //boss:escape-ok to a single
+// source line. Markers may carry a trailing justification:
+// "//boss:wallclock QPS is a host-side measurement".
+//
+// Every waiver is verified: a marker whose referent no longer exists, or
+// that no longer suppresses anything (the analyzer it waives would not
+// fire without it), is itself a finding, so waivers cannot rot in place.
 const (
 	MarkerHotPath     = "//boss:hotpath"
 	MarkerWallclock   = "//boss:wallclock"
 	MarkerPoolEscapes = "//boss:pool-escapes"
+	MarkerCtxRoot     = "//boss:ctx-root"
+	MarkerDaemon      = "//boss:daemon"
+	MarkerEscapeOK    = "//boss:escape-ok"
 )
 
 // commentHasMarker reports whether any line of the group is the marker,
@@ -63,6 +81,81 @@ func FileHasMarker(f *ast.File, marker string) bool {
 		}
 		if commentHasMarker(g, marker) {
 			return true
+		}
+	}
+	return false
+}
+
+// markerLine reports whether a single comment line is the marker.
+func markerLine(c *ast.Comment, marker string) bool {
+	text := strings.TrimSpace(c.Text)
+	return text == marker || strings.HasPrefix(text, marker+" ")
+}
+
+// DanglingMarkers returns the positions of marker comments in f that are
+// attached to nothing the analyzers look at: not a function's doc comment
+// and not the file header. These are markers whose referent declaration
+// was refactored away (or that sit on a var/type declaration, which no
+// analyzer consults) — stale by construction.
+func DanglingMarkers(f *ast.File, marker string) []token.Pos {
+	attached := make(map[*ast.CommentGroup]bool)
+	var headerEnd token.Pos
+	for _, d := range f.Decls {
+		if gd, ok := d.(*ast.GenDecl); ok && gd.Tok == token.IMPORT {
+			continue
+		}
+		if headerEnd == token.NoPos {
+			headerEnd = d.Pos()
+		}
+		if fn, ok := d.(*ast.FuncDecl); ok && fn.Doc != nil {
+			attached[fn.Doc] = true
+		}
+	}
+	var out []token.Pos
+	for _, g := range f.Comments {
+		if attached[g] {
+			continue
+		}
+		if headerEnd == token.NoPos || g.Pos() < headerEnd {
+			continue // file header: a legal whole-file marker position
+		}
+		for _, c := range g.List {
+			if markerLine(c, marker) {
+				out = append(out, c.Pos())
+			}
+		}
+	}
+	return out
+}
+
+// LineMarkers returns the positions of every marker comment line in f,
+// wherever it appears (doc comment, header, inline, floating).
+func LineMarkers(f *ast.File, marker string) []token.Pos {
+	var out []token.Pos
+	for _, g := range f.Comments {
+		for _, c := range g.List {
+			if markerLine(c, marker) {
+				out = append(out, c.Pos())
+			}
+		}
+	}
+	return out
+}
+
+// HasLineMarker reports whether a marker comment sits on the given line
+// or on the line directly above it — the attachment rule for statement-
+// level markers (//boss:daemon above a go statement, //boss:escape-ok on
+// an escaping line).
+func HasLineMarker(fset *token.FileSet, f *ast.File, line int, marker string) bool {
+	for _, g := range f.Comments {
+		for _, c := range g.List {
+			if !markerLine(c, marker) {
+				continue
+			}
+			cl := fset.Position(c.Pos()).Line
+			if cl == line || cl == line-1 {
+				return true
+			}
 		}
 	}
 	return false

@@ -35,12 +35,21 @@ var Analyzer = &analysis.Analyzer{
 
 func run(pass *analysis.Pass) error {
 	for _, file := range pass.Files {
+		// A //boss:pool-escapes marker that is not a function's doc comment
+		// waives nothing — its function was renamed or refactored away.
+		for _, pos := range analysis.DanglingMarkers(file, analysis.MarkerPoolEscapes) {
+			pass.Reportf(pos, "dangling //boss:pool-escapes marker: not attached to any function declaration; move it onto the escaping function's doc comment or delete it")
+		}
 		for _, decl := range file.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
 			if !ok || fn.Body == nil {
 				continue
 			}
-			checkFunc(pass, fn, analysis.FuncHasMarker(fn, analysis.MarkerPoolEscapes))
+			escapes := analysis.FuncHasMarker(fn, analysis.MarkerPoolEscapes)
+			suppressed := checkFunc(pass, fn, escapes)
+			if escapes && suppressed == 0 {
+				pass.Reportf(fn.Pos(), "stale //boss:pool-escapes marker: every Get in %s is paired with a Put, so the waiver suppresses nothing; remove it", fn.Name.Name)
+			}
 		}
 	}
 	return nil
@@ -53,7 +62,11 @@ type poolCall struct {
 	deferred bool
 }
 
-func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, escapes bool) {
+// checkFunc checks one function. With escapes set it reports nothing for
+// the Get/Put pairing rules and instead returns how many findings the
+// waiver suppressed, so the caller can flag a waiver that no longer
+// suppresses anything.
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, escapes bool) (suppressed int) {
 	info := pass.TypesInfo
 	var gets, puts []poolCall
 	var returns []token.Pos
@@ -86,10 +99,11 @@ func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, escapes bool) {
 	})
 
 	for _, g := range gets {
-		if escapes {
-			continue
-		}
 		if !pairedPut(g, puts) {
+			if escapes {
+				suppressed++
+				continue
+			}
 			pass.Reportf(g.call.Pos(), "sync.Pool.Get without a Put on the same pool in this function (waive with //boss:pool-escapes if the object outlives the call)")
 			continue
 		}
@@ -100,6 +114,10 @@ func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, escapes bool) {
 				continue
 			}
 			if !putBefore(g, puts, ret) {
+				if escapes {
+					suppressed++
+					continue
+				}
 				pass.Reportf(ret, "return leaks a pooled object: no Put on the pool obtained at %s before this return", pass.Fset.Position(g.call.Pos()))
 			}
 		}
@@ -108,6 +126,7 @@ func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, escapes bool) {
 	for _, p := range puts {
 		checkResetBeforePut(pass, fn, p)
 	}
+	return suppressed
 }
 
 // pairedPut reports whether some Put targets the same pool object as g.

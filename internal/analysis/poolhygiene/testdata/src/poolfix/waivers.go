@@ -1,0 +1,23 @@
+package poolfix
+
+// anchor keeps the marker below out of the legal file-header position.
+func anchor() int {
+	return 0
+}
+
+// The marker below floats between declarations: whatever function it
+// waived was renamed away.
+
+//boss:pool-escapes orphaned waiver
+// want-1 `dangling //boss:pool-escapes marker`
+
+// pairedWaived Gets and Puts on every path, so its waiver suppresses
+// nothing: the leak it once excused has been fixed.
+//
+//boss:pool-escapes left behind after the leak was fixed.
+func pairedWaived() int { // want `stale //boss:pool-escapes marker: every Get in pairedWaived is paired with a Put`
+	b := bufPool.Get().(*buf)
+	b.n = 0
+	bufPool.Put(b)
+	return 1
+}

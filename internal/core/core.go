@@ -246,8 +246,6 @@ type run struct {
 // allocTerms carves a zero-length termTF slice with capacity n out of the
 // run's arena. Appending up to n elements writes into the arena; the carved
 // slice stays valid until releaseRun.
-//
-//boss:pool-escapes carved slices live in match records until releaseRun.
 func (r *run) allocTerms(n int) []termTF {
 	if len(r.termArena)+n > cap(r.termArena) {
 		if cap(r.termArena) > 0 {
@@ -511,7 +509,7 @@ func (r *run) stateFor(pl *index.PostingList) *listState {
 			ls = r.lsFree[n-1]
 			r.lsFree = r.lsFree[:n-1]
 		} else {
-			ls = &listState{blocks: make(map[int]*blockData), metaSeen: make(map[int]bool)}
+			ls = &listState{blocks: make(map[int]*blockData), metaSeen: make(map[int]bool)} //boss:escape-ok free-list miss: one listState per first-touched list, recycled via lsFree
 		}
 		r.lists[pl] = ls
 	}
@@ -650,7 +648,7 @@ func (r *run) fetchBlock(ls *listState, pl *index.PostingList, b int) *blockData
 	// never published to the shared cache). Zero means unchecksummed.
 	if meta.Checksum != 0 && index.ChecksumPayload(payload) != meta.Checksum {
 		r.m.IntegrityFailures++
-		r.failCorrupt(pl, b)
+		r.failCorrupt(pl, b) //boss:escape-ok cold corrupt-block error path
 		return nil
 	}
 	mod := r.decoder(pl.Scheme)
@@ -718,7 +716,7 @@ func (r *run) fetchBlock(ls *listState, pl *index.PostingList, b int) *blockData
 //boss:hotpath the fault-aware arm of the per-block fetch loop.
 func (r *run) chargeFaultyRead(inj *mem.Injector, pl *index.PostingList, meta index.BlockMeta, b int) bool {
 	if inj.Dead() {
-		r.failDown(pl, b)
+		r.failDown(pl, b) //boss:escape-ok cold device-down error path
 		return false
 	}
 	key := mem.StableKey(pl.Term)
@@ -731,15 +729,15 @@ func (r *run) chargeFaultyRead(inj *mem.Injector, pl *index.PostingList, meta in
 			// The device's own ECC/CRC detected an unrecoverable media
 			// error — same detection path as a host-side checksum miss.
 			r.m.IntegrityFailures++
-			r.failMedia(pl, b)
+			r.failMedia(pl, b) //boss:escape-ok cold media-fault error path
 			return false
 		case mem.FaultDeviceDown:
-			r.failDown(pl, b)
+			r.failDown(pl, b) //boss:escape-ok cold device-down error path
 			return false
 		default: // mem.FaultTransient
 			r.m.TransientRetries++
 			if attempt+1 >= maxFetchAttempts {
-				r.failTransient(pl, b)
+				r.failTransient(pl, b) //boss:escape-ok cold transient-exhausted error path
 				return false
 			}
 		}

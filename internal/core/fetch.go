@@ -112,7 +112,7 @@ func (e *FetchEngine) FetchInto(ctx context.Context, docID uint32, m *perf.Metri
 	}
 	ds := e.ds
 	if int64(docID) >= int64(ds.NumDocs) {
-		return failDocRange(docID, ds.NumDocs)
+		return failDocRange(docID, ds.NumDocs) //boss:escape-ok cold out-of-range error path
 	}
 	bi := ds.BlockOf(docID)
 	meta := &ds.Blocks[bi]
@@ -158,7 +158,7 @@ func (e *FetchEngine) FetchInto(ctx context.Context, docID uint32, m *perf.Metri
 		// never published to the shared cache).
 		if docstore.ChecksumPayload(payload) != meta.Checksum {
 			m.IntegrityFailures++
-			return failDocCorrupt(bi)
+			return failDocCorrupt(bi) //boss:escape-ok cold corruption error path
 		}
 		cyc := docDecodeCycles(int64(meta.RawLen))
 		n := int(meta.RawLen)
@@ -170,18 +170,18 @@ func (e *FetchEngine) FetchInto(ctx context.Context, docID uint32, m *perf.Metri
 			dst := ce.ByteBuf(n)
 			if err := ds.DecodeBlock(dst, payload); err != nil {
 				ch.Release(ce)
-				return failDocDecode(bi, err)
+				return failDocDecode(bi, err) //boss:escape-ok cold decode-failure error path
 			}
 			ce = ch.PublishBytes(cache.Key{List: ds.ID(), Block: uint32(bi), Class: cache.ClassDoc}, ce, dst, cyc)
 			raw = ce.Data()
 			buf.ent, buf.c = ce, ch
 		} else {
 			if cap(buf.scratch) < n {
-				buf.scratch = make([]byte, n)
+				buf.scratch = make([]byte, n) //boss:escape-ok scratch growth, amortized across fetches through one DocBuf
 			}
 			dst := buf.scratch[:n]
 			if err := ds.DecodeBlock(dst, payload); err != nil {
-				return failDocDecode(bi, err)
+				return failDocDecode(bi, err) //boss:escape-ok cold decode-failure error path
 			}
 			raw = dst
 		}
@@ -205,7 +205,7 @@ func (e *FetchEngine) FetchInto(ctx context.Context, docID uint32, m *perf.Metri
 //boss:hotpath the fault-aware arm of the per-block doc fetch.
 func (e *FetchEngine) chargeFaultyDocRead(inj *mem.Injector, meta *docstore.BlockMeta, b int, m *perf.Metrics) error {
 	if inj.Dead() {
-		return failDocDown(b)
+		return failDocDown(b) //boss:escape-ok cold device-down error path
 	}
 	for attempt := uint32(0); ; attempt++ {
 		m.AddSeqRead(int64(meta.CompLen), mem.CatLoadDoc)
@@ -214,13 +214,13 @@ func (e *FetchEngine) chargeFaultyDocRead(inj *mem.Injector, meta *docstore.Bloc
 			return nil
 		case mem.FaultUncorrectable:
 			m.IntegrityFailures++
-			return failDocMedia(b)
+			return failDocMedia(b) //boss:escape-ok cold media-fault error path
 		case mem.FaultDeviceDown:
-			return failDocDown(b)
+			return failDocDown(b) //boss:escape-ok cold device-down error path
 		default: // mem.FaultTransient
 			m.TransientRetries++
 			if attempt+1 >= maxFetchAttempts {
-				return failDocTransient(b)
+				return failDocTransient(b) //boss:escape-ok cold transient-exhausted error path
 			}
 		}
 	}

@@ -89,15 +89,15 @@ func (r *run) union(pls []*index.PostingList) {
 	// Stream records live in run-owned scratch; the pointer slice resizes
 	// only here, so the &r.ustreams[i] pointers below stay valid throughout.
 	if cap(r.ustreams) < len(pls) {
-		r.ustreams = make([]ustream, len(pls))
+		r.ustreams = make([]ustream, len(pls)) //boss:escape-ok stream-scratch growth, amortized across queries on one run
 	}
 	if cap(r.streams) < len(pls) {
-		r.streams = make([]*ustream, 0, len(pls))
+		r.streams = make([]*ustream, 0, len(pls)) //boss:escape-ok stream-scratch growth, amortized across queries on one run
 	}
 	r.ustreams = r.ustreams[:len(pls)]
 	streams := r.streams[:0]
 	for i, pl := range pls {
-		r.ustreams[i] = ustream{pl: pl, ls: r.stateFor(pl), ord: i, charged: -1}
+		r.ustreams[i] = ustream{pl: pl, ls: r.stateFor(pl), ord: i, charged: -1} //boss:escape-ok free-list miss inside inlined stateFor, recycled via lsFree
 		streams = append(streams, &r.ustreams[i])
 	}
 	for {

@@ -137,14 +137,14 @@ func (m *Module) DecodeInto(dst []uint32, payload []byte, n int, base uint32, ap
 	}
 	m.outs = outs
 	if len(outs) != n {
-		return nil, 0, 0, errValueCount(len(outs), n)
+		return nil, 0, 0, errValueCount(len(outs), n) //boss:escape-ok cold value-count-corrupt error path
 	}
 
 	// Stage 3: exception patching.
 	if m.cfg.UseExceptions {
 		for _, e := range exceptions {
 			if e.pos >= len(outs) {
-				return nil, 0, 0, errExceptionRange(e.pos)
+				return nil, 0, 0, errExceptionRange(e.pos) //boss:escape-ok cold exception-range-corrupt error path
 			}
 			outs[e.pos] |= e.high
 		}

@@ -398,7 +398,7 @@ func (f *Front) Submit(req Request) (*Ticket, error) {
 		}
 	}
 
-	fl := f.getFlightLocked()
+	fl := f.getFlightLocked() //boss:escape-ok free-list miss inside inlined getFlightLocked
 	fl.key = key
 	fl.expr = req.Expr
 	fl.fetchIDs = append(fl.fetchIDs[:0], req.FetchIDs...)
@@ -590,7 +590,7 @@ func fetchCanon(ids []uint32) string {
 //
 //boss:hotpath one call per admitted or coalesced request.
 func (f *Front) attachLocked(fl *flight, deadline time.Time, dedup bool) *Ticket {
-	t := f.getTicketLocked()
+	t := f.getTicketLocked() //boss:escape-ok free-list miss inside inlined getTicketLocked
 	t.fl = fl
 	t.dedup = dedup
 	t.prev = nil
@@ -695,7 +695,7 @@ func (f *Front) flushLocked(reason int) {
 	if f.npending == 0 {
 		return
 	}
-	bt := f.getBatchLocked()
+	bt := f.getBatchLocked() //boss:escape-ok free-list miss inside inlined getBatchLocked
 	for fl := f.pendHead; fl != nil; {
 		next := fl.next
 		fl.prev = nil
@@ -728,6 +728,11 @@ func (f *Front) flushLocked(reason int) {
 
 // runExecutor drains formed batches through the backend, one at a time,
 // fanning each flight's result out to its waiters.
+//
+// flight's deadline is enforced per-ticket by the deadline watcher, not by
+// cancelling the shared batch execution.
+//
+//boss:ctx-root the executor daemon outlives every request context; each
 func (f *Front) runExecutor() {
 	defer f.wg.Done()
 	for bt := range f.execCh {
@@ -844,7 +849,7 @@ func (f *Front) recordLocked(kind DecisionKind, tenant, key string, n int) {
 func (f *Front) getTicketLocked() *Ticket {
 	t := f.freeTickets
 	if t == nil {
-		return &Ticket{f: f, done: make(chan struct{}, 1)}
+		return &Ticket{f: f, done: make(chan struct{}, 1)} //boss:escape-ok free-list miss: tickets recycle through freeTickets
 	}
 	f.freeTickets = t.next
 	t.next = nil
@@ -871,7 +876,7 @@ func (f *Front) putTicketLocked(t *Ticket) {
 func (f *Front) getFlightLocked() *flight {
 	fl := f.freeFlights
 	if fl == nil {
-		return &flight{}
+		return &flight{} //boss:escape-ok free-list miss: flights recycle through freeFlights
 	}
 	f.freeFlights = fl.next
 	fl.next = nil

@@ -355,10 +355,10 @@ func (cl *Cluster) runShardResilient(ctx context.Context, node *query.Node, dnf 
 	st := cl.states[si]
 	for attempt := 0; ; attempt++ {
 		if cause := ctx.Err(); cause != nil {
-			return shardOut{err: shardError(si, cause)}
+			return shardOut{err: shardError(si, cause)} //boss:escape-ok cold cancellation error path
 		}
 		if !st.allow(si, cl.now(), cl.res.BreakerCooldown) {
-			return shardOut{err: breakerError(si)}
+			return shardOut{err: breakerError(si)} //boss:escape-ok cold breaker-open error path
 		}
 		recordAttempt(st, si, attempt)
 		out := cl.runShardCtx(ctx, node, dnf, si, k)
