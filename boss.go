@@ -57,6 +57,7 @@ type Builder struct {
 	texts   []string // raw document text, packed into the document store
 	termTFs []map[string]uint32
 	params  score.Params
+	impacts bool
 }
 
 // NewBuilder returns an empty index builder with the paper's BM25
@@ -69,6 +70,13 @@ func NewBuilder() *Builder {
 func (b *Builder) SetBM25(k1, bParam float64) {
 	b.params = score.Params{K1: k1, B: bParam}
 }
+
+// EnableImpacts makes Build quantize each posting's BM25 contribution
+// into the posting blocks (one byte per posting), which the sparse-dot
+// query family — SPARSE("a", "b", ...) — reads instead of recomputing
+// BM25. Boolean queries are unaffected; without this, SPARSE queries
+// fail with an error naming the missing build option.
+func (b *Builder) EnableImpacts() { b.impacts = true }
 
 // Add ingests one document. name identifies the document in search results;
 // docIDs are assigned in insertion order.
@@ -139,7 +147,7 @@ func (b *Builder) Build() *Index {
 		}
 	}
 	return &Index{
-		idx:   index.Build(c, index.BuildOptions{Scheme: compress.SchemeHybrid, Params: b.params}),
+		idx:   index.Build(c, index.BuildOptions{Scheme: compress.SchemeHybrid, Params: b.params, Impacts: b.impacts}),
 		names: b.names,
 		docs:  db.Build(),
 	}

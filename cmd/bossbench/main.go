@@ -13,6 +13,7 @@
 //	bossbench -chaos               # availability/QPS under fault injection
 //	bossbench -overload            # front-door goodput/tail-latency under overload
 //	bossbench -fetch               # document fetch phase: decode GB/s cold vs cached, search+fetch QPS
+//	bossbench -sparse              # Q7 sparse-dot: MaxScore pruning vs exhaustive, Q7 vs conjunctive QPS
 //	bossbench -profile out         # also write out.cpu.pprof + out.heap.pprof
 package main
 
@@ -42,6 +43,7 @@ func main() {
 		chaos   = flag.Bool("chaos", false, "sweep fault-injection rates and report availability/QPS of the resilient serving path")
 		over    = flag.Bool("overload", false, "sweep offered load past capacity and report front-door goodput, shedding, and tail latency")
 		fetch   = flag.Bool("fetch", false, "measure the document fetch phase: decode GB/s cold vs cached, search+fetch QPS")
+		sparse  = flag.Bool("sparse", false, "measure the Q7 sparse-dot family: MaxScore pruning vs exhaustive, Q7 QPS vs conjunctive baseline")
 		shards  = flag.Int("shards", 4, "cluster shard count for -wallclock, -chaos, -overload, and -fetch")
 		jsonOut = flag.Bool("json", false, "with -wallclock, -chaos, -overload, or -fetch, emit the report as JSON")
 		profile = flag.String("profile", "", "write <prefix>.cpu.pprof and <prefix>.heap.pprof covering the run")
@@ -103,6 +105,25 @@ func main() {
 
 	if *over {
 		rep := harness.Overload(ctx, *shards)
+		rep.Created = time.Now().UTC().Format(time.RFC3339)
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(rep); err != nil {
+				fmt.Fprintf(os.Stderr, "bossbench: %v\n", err)
+				os.Exit(1)
+			}
+		} else if *csv {
+			t := rep.Table()
+			fmt.Printf("# %s: %s\n%s\n", t.ID, t.Title, t.CSV())
+		} else {
+			fmt.Println(rep.Table().String())
+		}
+		return
+	}
+
+	if *sparse {
+		rep := harness.Sparse(ctx)
 		rep.Created = time.Now().UTC().Format(time.RFC3339)
 		if *jsonOut {
 			enc := json.NewEncoder(os.Stdout)

@@ -54,9 +54,14 @@ func main() {
 		os.Exit(1)
 	}
 
+	sparse := node.Op == query.OpSparse
+
 	fmt.Printf("corpus %s (scale %.3f): generating and indexing...\n", spec.Name, *scale)
 	c := corpus.Generate(spec)
-	hybrid := index.Build(c, index.BuildOptions{Scheme: compress.SchemeHybrid})
+	// Sparse-dot (Q7) reads quantized impacts straight from the posting
+	// payloads, so the ad-hoc index carries them whenever the query needs
+	// them; boolean queries keep the plain build.
+	hybrid := index.Build(c, index.BuildOptions{Scheme: compress.SchemeHybrid, Impacts: sparse})
 	fixed := index.Build(c, index.BuildOptions{Scheme: compress.BP})
 	fmt.Printf("  %d docs, %d terms, %d postings, footprint %.1f MB\n\n",
 		spec.NumDocs, spec.NumTerms, c.TotalPostings, float64(hybrid.TotalBytes)/1e6)
@@ -83,13 +88,18 @@ func main() {
 	} else {
 		outcomes = append(outcomes, outcome{"Lucene-like engine", res.TopK, res.M, hostDev, 0})
 	}
-	if res, err := iiu.New(fixed).Run(node, *k); err != nil {
-		fmt.Fprintf(os.Stderr, "iiu: %v\n", err)
-		os.Exit(1)
-	} else {
-		outcomes = append(outcomes, outcome{"IIU", res.TopK, res.M, dev, mem.DefaultLinkGBs})
+	// The IIU model predates the sparse-dot family; its hardware walks
+	// boolean DNF plans only, so Q7 skips it rather than faking a result.
+	if !sparse {
+		if res, err := iiu.New(fixed).Run(node, *k); err != nil {
+			fmt.Fprintf(os.Stderr, "iiu: %v\n", err)
+			os.Exit(1)
+		} else {
+			outcomes = append(outcomes, outcome{"IIU", res.TopK, res.M, dev, mem.DefaultLinkGBs})
+		}
 	}
-	if res, err := core.New(hybrid, core.DefaultOptions()).Run(node, *k); err != nil {
+	acc := core.New(hybrid, core.DefaultOptions())
+	if res, err := acc.Run(node, *k); err != nil {
 		fmt.Fprintf(os.Stderr, "boss: %v\n", err)
 		os.Exit(1)
 	} else {
@@ -101,6 +111,32 @@ func main() {
 	boss := outcomes[len(outcomes)-1]
 	for i, e := range boss.topk {
 		fmt.Printf("  %2d. doc%-8d score %.4f\n", i+1, e.DocID, e.Score)
+	}
+
+	if sparse {
+		// Show the MaxScore partition at the converged top-k threshold:
+		// which term lists stayed essential (drive candidates) and which
+		// were demoted to probe-only once the heap filled.
+		threshold := 0.0
+		if len(boss.topk) >= *k {
+			threshold = boss.topk[len(boss.topk)-1].Score
+		}
+		plan, err := acc.PlanSparse(node.Terms(), threshold)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bossquery: plan: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nsparse plan (threshold %.4f):\n", threshold)
+		fmt.Printf("  %-12s %12s %12s  %s\n", "term", "max-impact", "cum-bound", "role")
+		for i, ti := range plan.Terms {
+			role := "non-essential"
+			if i >= plan.Essential {
+				role = "essential"
+			}
+			fmt.Printf("  %-12s %12.4f %12.4f  %s\n", ti.Term, ti.MaxImpact, ti.Prefix, role)
+		}
+		fmt.Printf("  %d essential / %d non-essential of %d lists\n",
+			len(plan.Terms)-plan.Essential, plan.Essential, len(plan.Terms))
 	}
 
 	fmt.Printf("\n%-20s %12s %12s %12s %10s %10s %10s\n",

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"fixtures/internal/cache"
+	"fixtures/internal/mem"
+	"fixtures/internal/perf"
+)
+
+// Sparse-dot fixtures: the impact-read scorer serves quantized impacts
+// from the raw payload tail, which the block's sequential stream charge
+// already covers. The hit arm therefore replays exactly the cold stream
+// charge plus the recorded decode cycles — reading the impact bytes adds
+// no category of its own on either arm.
+
+// sparseFetchBalanced is the impact-read scorer's cache-hit arm done
+// right: hit and cold both charge the postings stream (whose length
+// includes the impact tail) and the hit replays the decode cycles the
+// publish recorded. Balanced; no findings.
+func (e *Engine) sparseFetchBalanced(m *perf.Metrics, k cache.Key) []byte {
+	m.AddSeqRead(8, mem.CatMeta)
+	ent := e.c.Get(k)
+	if ent != nil {
+		m.AddSeqRead(72, mem.CatPostings) // docs+tfs stream plus impact tail
+		m.AddCompute(ent.Cycles())
+		return ent.Data()
+	}
+	m.AddSeqRead(72, mem.CatPostings)
+	ne := e.c.Reserve(72)
+	ne = e.c.Publish(k, ne, 21)
+	m.AddCompute(21)
+	return ne.Data()
+}
+
+// sparseFetchStaleCycles reads the impact tail on both arms but serves
+// the hit without replaying the recorded decode cycles, so the simulated
+// compute time would shrink with the hit rate.
+func (e *Engine) sparseFetchStaleCycles(m *perf.Metrics, k cache.Key) []byte { // want `sparseFetchStaleCycles violates charge replay: no cache-hit arm replays recorded decode cycles`
+	ent := e.c.Get(k)
+	if ent != nil {
+		m.AddSeqRead(72, mem.CatPostings)
+		return ent.Data()
+	}
+	m.AddSeqRead(72, mem.CatPostings)
+	ne := e.c.Reserve(72)
+	ne = e.c.Publish(k, ne, 21)
+	return ne.Data()
+}
+
+// sparseFetchImpactSkew charges the hit arm as if the impact tail were a
+// separate metadata read instead of replaying the cold stream category.
+func (e *Engine) sparseFetchImpactSkew(m *perf.Metrics, k cache.Key) []byte { // want `sparseFetchImpactSkew violates charge replay: cache-hit path charges \{CatMeta\} but cold path charges \{CatPostings\}`
+	ent := e.c.Get(k)
+	if ent != nil {
+		m.AddSeqRead(8, mem.CatMeta)
+		m.AddCompute(ent.Cycles())
+		return ent.Data()
+	}
+	m.AddSeqRead(72, mem.CatPostings)
+	ne := e.c.Reserve(72)
+	ne = e.c.Publish(k, ne, 21)
+	return ne.Data()
+}

@@ -1,0 +1,70 @@
+package hot
+
+// MaxScore fixtures modeled on the sparse-dot essential-list loop: each
+// candidate document gathers the matching essential streams, then probes
+// the non-essential ones in descending bound order. The good twin keeps
+// its match scratch rooted at the run record (the reslice idiom) and
+// open-codes the abandon check; the bad twin does the obvious thing —
+// collect matches into a fresh slice per candidate and wrap the abandon
+// predicate in a closure — and allocates on every scored document.
+
+// msStream is one posting stream in the sparse operator.
+type msStream struct {
+	doc   uint32
+	imp   uint8
+	bound float64
+}
+
+// msRun owns the per-query scratch the essential loop reuses.
+type msRun struct {
+	matched []*msStream
+	prefix  []float64
+}
+
+// essentialGather is the good twin: matches collect into the run-owned
+// scratch via the reslice idiom, and the per-stream abandon test is an
+// open-coded comparison, so the loop draws nothing per candidate.
+//
+//boss:hotpath
+func (r *msRun) essentialGather(streams []*msStream, d uint32, cut float64) []*msStream {
+	matched := r.matched[:0]
+	sum := 0.0
+	for _, s := range streams {
+		if s.doc == d {
+			matched = append(matched, s)
+			sum += float64(s.imp)
+		}
+	}
+	for j := len(r.prefix) - 1; j >= 0; j-- {
+		if sum+r.prefix[j] < cut {
+			break
+		}
+		sum += r.prefix[j]
+	}
+	r.matched = matched
+	return matched
+}
+
+// essentialGatherFresh is the bad twin: the match list originates in the
+// function and the abandon predicate captures the running sum, so every
+// candidate pays a slice growth and a closure allocation.
+//
+//boss:hotpath
+func (r *msRun) essentialGatherFresh(streams []*msStream, d uint32, cut float64) []*msStream {
+	var matched []*msStream
+	sum := 0.0
+	for _, s := range streams {
+		if s.doc == d {
+			matched = append(matched, s) // want `append grows a slice that originates in this function`
+			sum += float64(s.imp)
+		}
+	}
+	abandoned := func(rem float64) bool { return sum+rem < cut } // want `closure allocation in hot path`
+	for j := len(r.prefix) - 1; j >= 0; j-- {
+		if abandoned(r.prefix[j]) {
+			break
+		}
+		sum += r.prefix[j]
+	}
+	return matched
+}

@@ -57,6 +57,10 @@ const DefaultK = 1000
 // context.DeadlineExceeded, so both errors.Is targets match.
 var ErrDeadlineExceeded = errors.New("core: query deadline exceeded")
 
+// ErrNoImpacts reports a sparse-dot (Q7) query against a posting list
+// built without impact payloads (index.BuildOptions.Impacts).
+var ErrNoImpacts = errors.New("core: posting list carries no quantized impacts (index built without Impacts)")
+
 // maxFetchAttempts bounds inline re-reads of a block after injected
 // transient faults before the run gives up (device firmware retry
 // budget).
@@ -241,6 +245,19 @@ type run struct {
 	matchBufN   int
 	ordScratch  []*index.PostingList
 	mergePos    []int
+
+	// Per-family scoring strategy, resolved once per run: the boolean
+	// families (Q1–Q6) recompute BM25 through bm25, the sparse family
+	// (Q7) reads precomputed impacts through impact. Both live on the
+	// record so resolving the interface never allocates.
+	scorer Scorer
+	bm25   bm25Scorer
+	impact impactScorer
+
+	// Sparse-path scratch (sparse.go), reused like the union scratch.
+	sstreams []sstream
+	sorder   []*sstream
+	sprefix  []float64
 }
 
 // allocTerms carves a zero-length termTF slice with capacity n out of the
@@ -298,6 +315,11 @@ func (a *Accelerator) newRun(k, nTerms int) *run {
 	r.nTerms = nTerms
 	r.ctx = nil
 	r.err = nil
+	// Default to the BM25-recompute scorer; the sparse path swaps in the
+	// impact reader before executing.
+	r.bm25.idx = a.idx
+	r.bm25.fixedPoint = a.opts.FixedPoint
+	r.scorer = &r.bm25
 	return r
 }
 
@@ -344,6 +366,14 @@ func (a *Accelerator) releaseRun(r *run) {
 	r.m = nil
 	r.ctx = nil
 	r.err = nil
+	r.scorer = nil
+	// Sparse scratch holds posting-list pointers; clear so a pooled run
+	// never pins a previous query's lists.
+	clear(r.sstreams)
+	r.sstreams = r.sstreams[:0]
+	clear(r.sorder)
+	r.sorder = r.sorder[:0]
+	r.sprefix = r.sprefix[:0]
 	r.fetchCycles, r.mergeCycles, r.scoreOps, r.topkInserts = 0, 0, 0, 0
 	a.runs.Put(r)
 }
@@ -361,6 +391,9 @@ func (a *Accelerator) RunCtx(ctx context.Context, node *query.Node, k int) (Resu
 	if n := node.CountTerms(); n > MaxQueryTerms {
 		return Result{}, fmt.Errorf("core: query has %d terms; hardware handles up to %d (split into subqueries on the host, Section IV-D)", n, MaxQueryTerms)
 	}
+	if node.Op == query.OpSparse {
+		return a.runSparse(ctx, node.Terms(), k)
+	}
 	return a.runDNF(ctx, node.DNF(), k)
 }
 
@@ -375,6 +408,19 @@ func (a *Accelerator) RunDNF(dnf [][]string, k int) (Result, error) {
 // RunDNFCtx is RunDNF under a deadline/cancellation context.
 func (a *Accelerator) RunDNFCtx(ctx context.Context, dnf [][]string, k int) (Result, error) {
 	return a.runDNF(ctx, dnf, k)
+}
+
+// RunSparse executes a sparse-dot (Q7) query over the given terms.
+// Callers that fan one sparse query out to several accelerators
+// (pool.Cluster) extract the term list once and share it; the term-count
+// limit is the caller's to enforce (Run checks it against the AST).
+func (a *Accelerator) RunSparse(terms []string, k int) (Result, error) {
+	return a.runSparse(nil, terms, k)
+}
+
+// RunSparseCtx is RunSparse under a deadline/cancellation context.
+func (a *Accelerator) RunSparseCtx(ctx context.Context, terms []string, k int) (Result, error) {
+	return a.runSparse(ctx, terms, k)
 }
 
 func (a *Accelerator) runDNF(ctx context.Context, dnf [][]string, k int) (Result, error) {
@@ -791,39 +837,100 @@ func (r *run) failDecode(what string, pl *index.PostingList, b int, err error) {
 // cutoff returns the current top-k threshold (-Inf while not full).
 func (r *run) cutoff() float64 { return r.sel.Threshold() }
 
+// Scorer is the per-family scoring strategy: how one document's score is
+// assembled from its matched postings, and what per-document scoring
+// metadata the family reads. It is resolved exactly once per run (both
+// implementations live on the run record, so the resolution allocates
+// nothing) and every scored document goes through it, which is what lets
+// new query families plug in without touching the execution operators.
+type Scorer interface {
+	// ScoreTerms computes one document's total score from its matched
+	// term postings.
+	ScoreTerms(doc uint32, terms []termTF) float64
+	// NormBytes is the per-document scoring-metadata traffic the family
+	// charges (BM25's 4 B document normalizer; 0 for impact-read, whose
+	// weights are precomputed into the posting payload).
+	NormBytes() int64
+}
+
+// bm25Scorer recomputes BM25 per posting — the Q1–Q6 strategy, float64
+// by default or Q16.16 like the synthesized hardware.
+type bm25Scorer struct {
+	idx        *index.Index
+	fixedPoint bool
+}
+
+// ScoreTerms sums the matched terms' BM25 contributions in query order,
+// bit-identical to the pre-Scorer inline loop.
+//
+//boss:hotpath one call per evaluated document on the boolean paths.
+func (s *bm25Scorer) ScoreTerms(doc uint32, terms []termTF) float64 {
+	var sum float64
+	for _, tt := range terms {
+		if s.fixedPoint {
+			p := s.idx.Params
+			fs := p.FixedTermScore(
+				score.ToFixed(tt.pl.IDF),
+				tt.tf,
+				score.ToFixed(s.idx.DocNorms[doc]),
+			)
+			sum += fs.Float()
+		} else {
+			sum += s.idx.TermScore(tt.pl, doc, tt.tf)
+		}
+	}
+	return sum
+}
+
+func (s *bm25Scorer) NormBytes() int64 { return index.DocNormBytes }
+
+// impactScorer reads the 8-bit quantized impacts decoded with each block
+// — the Q7 strategy. Summation is pure integer arithmetic in Q16.16
+// (code × per-list step per posting), with a single exact float
+// conversion per document for the top-k module; no per-posting float
+// math and no per-document norm access.
+type impactScorer struct{}
+
+// ScoreTerms sums the matched terms' dequantized impacts. Fixed-point
+// addition is associative, so the result is independent of term order.
+//
+//boss:hotpath one call per evaluated document on the sparse path.
+func (impactScorer) ScoreTerms(doc uint32, terms []termTF) float64 {
+	var sum score.Fixed
+	for _, tt := range terms {
+		sum += score.Impact(tt.imp, tt.pl.ImpactStep)
+	}
+	return sum.Float()
+}
+
+func (impactScorer) NormBytes() int64 { return 0 }
+
 // scoreDoc scores one document given its matched term postings, charges
-// norm traffic and scoring work, and offers it to the top-k module.
+// metadata traffic and scoring work per the run's Scorer, and offers it
+// to the top-k module.
 //
 //boss:hotpath one call per evaluated document.
 func (r *run) scoreDoc(doc uint32, terms []termTF) {
 	r.m.DocsEvaluated++
 	// One per-document scoring-metadata access (the paper's +4 B/doc BM25
-	// normalizer). Scored docIDs ascend within a query, so the access
-	// stream is prefetch-friendly: charged at sequential bandwidth.
-	r.m.AddSeqRead(index.DocNormBytes, mem.CatLoadScore)
-	var s float64
-	for _, tt := range terms {
-		if r.acc.opts.FixedPoint {
-			p := r.acc.idx.Params
-			fs := p.FixedTermScore(
-				score.ToFixed(tt.pl.IDF),
-				tt.tf,
-				score.ToFixed(r.acc.idx.DocNorms[doc]),
-			)
-			s += fs.Float()
-		} else {
-			s += r.acc.idx.TermScore(tt.pl, doc, tt.tf)
-		}
-		r.scoreOps++
+	// normalizer; nothing for impact-read). Scored docIDs ascend within a
+	// query, so the access stream is prefetch-friendly: charged at
+	// sequential bandwidth.
+	if nb := r.scorer.NormBytes(); nb != 0 {
+		r.m.AddSeqRead(nb, mem.CatLoadScore)
 	}
+	s := r.scorer.ScoreTerms(doc, terms)
+	r.scoreOps += float64(len(terms))
 	r.topkInserts++
 	r.sel.Insert(doc, s)
 }
 
-// termTF is one matched term's posting data for a document.
+// termTF is one matched term's posting data for a document. imp is the
+// 8-bit quantized impact code, read only by the sparse family.
 type termTF struct {
-	pl *index.PostingList
-	tf uint32
+	pl  *index.PostingList
+	tf  uint32
+	imp uint8
 }
 
 // match is a matched document with all its term postings.

@@ -75,7 +75,7 @@ func (r *run) scanList(pl *index.PostingList) []match {
 		for i := range bd.docs {
 			mc++
 			terms := r.allocTerms(1)
-			terms = append(terms, termTF{pl, bd.tfs[i]})
+			terms = append(terms, termTF{pl: pl, tf: bd.tfs[i]})
 			out = append(out, match{doc: bd.docs[i], terms: terms})
 		}
 	}
@@ -141,7 +141,7 @@ func (r *run) firstPass(a, b *index.PostingList) []match {
 				posB++
 			default:
 				terms := r.allocTerms(2)
-				terms = append(terms, termTF{a, A.tfs[posA]}, termTF{b, B.tfs[posB]})
+				terms = append(terms, termTF{pl: a, tf: A.tfs[posA]}, termTF{pl: b, tf: B.tfs[posB]})
 				out = append(out, match{doc: da, terms: terms})
 				posA++
 				posB++
@@ -209,7 +209,7 @@ func (r *run) nextPass(candidates []match, c *index.PostingList) []match {
 		if posC < len(C.docs) && C.docs[posC] == cand.doc {
 			terms := r.allocTerms(len(cand.terms) + 1)
 			terms = append(terms, cand.terms...)
-			terms = append(terms, termTF{c, C.tfs[posC]})
+			terms = append(terms, termTF{pl: c, tf: C.tfs[posC]})
 			out = append(out, match{doc: cand.doc, terms: terms})
 		}
 	}

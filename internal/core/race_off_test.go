@@ -1,0 +1,8 @@
+//go:build !race
+
+package core
+
+// raceEnabled reports whether the race detector instruments this build.
+// Under -race the runtime intentionally randomizes sync.Pool reuse to
+// surface races, so allocation-envelope pins are skipped there.
+const raceEnabled = false

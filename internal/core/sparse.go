@@ -1,0 +1,360 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"boss/internal/index"
+	"boss/internal/mem"
+	"boss/internal/score"
+)
+
+// The sparse-dot (Q7) family executes with the MaxScore pruning operator:
+// posting lists are ordered by their dequantized list-wide maximum impact
+// and split, against the running top-k threshold, into an essential set
+// (streamed document-at-a-time; these drive candidate selection) and a
+// non-essential set (probed per candidate, skipping via block metadata
+// and per-block maximum impacts, often without fetching a single block).
+// A document appearing only in non-essential lists can never beat the
+// threshold, so candidates come from essential lists alone — that is the
+// operator's entire savings, and it is exact: a candidate is abandoned
+// only when a strict upper bound on its total score is below the cutoff,
+// so the produced top-k is byte-identical to exhaustive evaluation.
+
+// sstream is one term's posting-list stream inside the sparse path.
+type sstream struct {
+	pl      *index.PostingList
+	ls      *listState // the run's bookkeeping record for pl
+	ub      float64    // dequantized list-wide maximum impact
+	bi      int        // current block index
+	bd      *blockData // decoded block, nil when not (yet) loaded
+	imps    []byte     // current block's impact codes (aliases pl.Data)
+	pos     int        // cursor within bd
+	charged int        // last block index charged via chargeMeta (memo)
+}
+
+// SparsePlan describes the essential/non-essential partition the MaxScore
+// operator would choose for a sparse query at a given top-k threshold —
+// the introspection cmd/bossquery prints. Terms are sorted by ascending
+// list bound, the operator's working order.
+type SparsePlan struct {
+	Terms     []SparseTermInfo
+	Essential int // Terms[Essential:] are essential at the given threshold
+}
+
+// SparseTermInfo is one term's entry in a SparsePlan.
+type SparseTermInfo struct {
+	Term      string
+	MaxImpact float64 // dequantized list-wide maximum impact
+	Prefix    float64 // cumulative bound of this and all lower-bound terms
+}
+
+// PlanSparse resolves a sparse query's terms and reports the MaxScore
+// partition at the given threshold (use 0 for a cold top-k). Terms
+// missing impacts or not indexed fail exactly like RunSparse.
+func (a *Accelerator) PlanSparse(terms []string, threshold float64) (*SparsePlan, error) {
+	lists, err := a.planSparse(terms)
+	if err != nil {
+		return nil, err
+	}
+	infos := make([]SparseTermInfo, len(lists))
+	for i, pl := range lists {
+		infos[i] = SparseTermInfo{
+			Term:      pl.Term,
+			MaxImpact: score.Impact(pl.MaxImpact, pl.ImpactStep).Float(),
+		}
+	}
+	sort := func(s []SparseTermInfo) {
+		for i := 1; i < len(s); i++ {
+			for j := i; j > 0 && s[j].MaxImpact < s[j-1].MaxImpact; j-- {
+				s[j], s[j-1] = s[j-1], s[j]
+			}
+		}
+	}
+	sort(infos)
+	acc := 0.0
+	ess := 0
+	for i := range infos {
+		acc += infos[i].MaxImpact
+		infos[i].Prefix = acc
+		if infos[i].Prefix < threshold {
+			ess = i + 1
+		}
+	}
+	return &SparsePlan{Terms: infos, Essential: ess}, nil
+}
+
+// planSparse resolves sparse-query terms to impact-enabled posting lists.
+func (a *Accelerator) planSparse(terms []string) ([]*index.PostingList, error) {
+	lists := make([]*index.PostingList, len(terms))
+	for i, t := range terms {
+		pl := a.idx.List(t)
+		if pl == nil {
+			return nil, fmt.Errorf("core: term %q not indexed", t)
+		}
+		if !pl.HasImpacts() {
+			return nil, fmt.Errorf("core: term %q: %w", t, ErrNoImpacts)
+		}
+		lists[i] = pl
+	}
+	return lists, nil
+}
+
+// runSparse executes a sparse-dot query: resolve lists, swap in the
+// impact-read scorer, and drive the MaxScore operator. The result-traffic
+// and compute charges mirror runDNF's.
+func (a *Accelerator) runSparse(ctx context.Context, terms []string, k int) (Result, error) {
+	if ctx != nil {
+		if cause := ctx.Err(); cause != nil {
+			return Result{}, ctxError(cause)
+		}
+	}
+	lists, err := a.planSparse(terms)
+	if err != nil {
+		return Result{}, err
+	}
+	r := a.newRun(k, len(lists))
+	defer a.releaseRun(r)
+	r.ctx = ctx
+	r.scorer = &r.impact
+
+	r.sparse(lists)
+	if r.err != nil {
+		return Result{}, r.err
+	}
+
+	results := r.sel.Results()
+	outBytes := int64(len(results)) * resultEntryBytes
+	if a.opts.HostTopK {
+		outBytes = r.m.DocsEvaluated * resultEntryBytes
+	}
+	r.m.AddHostWrite(outBytes, mem.CatStoreResult)
+	r.m.AddCompute(r.computeTime())
+	return Result{TopK: results, M: r.m}, nil
+}
+
+// sparse runs the MaxScore driver loop over the query's posting lists.
+// With DocET off (the exhaustive ablation) every list stays essential and
+// the loop degenerates to a full scoring merge — the comparison baseline
+// for the pruning bench.
+//
+//boss:hotpath the sparse-path driver loop; scratch lives on the run record.
+func (r *run) sparse(pls []*index.PostingList) {
+	n := len(pls)
+	if cap(r.sstreams) < n {
+		r.sstreams = make([]sstream, n) //boss:escape-ok stream-scratch growth, amortized across queries on one run
+	}
+	if cap(r.sorder) < n {
+		r.sorder = make([]*sstream, 0, n) //boss:escape-ok stream-scratch growth, amortized across queries on one run
+	}
+	if cap(r.sprefix) < n {
+		r.sprefix = make([]float64, 0, n) //boss:escape-ok bound-scratch growth, amortized across queries on one run
+	}
+	r.sstreams = r.sstreams[:n]
+	order := r.sorder[:0]
+	for i, pl := range pls {
+		r.sstreams[i] = sstream{pl: pl, ls: r.stateFor(pl), ub: score.Impact(pl.MaxImpact, pl.ImpactStep).Float(), charged: -1} //boss:escape-ok free-list miss inside inlined stateFor, recycled via lsFree
+		order = append(order, &r.sstreams[i])
+	}
+	sortByBound(order)
+	r.sorder = order
+	// prefix[i] bounds the total contribution of order[:i+1]: the largest
+	// score a document matching only those lists could reach. All bounds
+	// are dequantized Q16.16 values (dyadic rationals far below 2^53), so
+	// the float sums and comparisons below are exact.
+	prefix := r.sprefix[:n]
+	acc := 0.0
+	for i, s := range order {
+		acc += s.ub
+		prefix[i] = acc
+	}
+
+	for {
+		// Partition against the current threshold: lists whose cumulative
+		// bound cannot reach the cutoff are non-essential. Strict <, so
+		// cutoff ties are never pruned (they are scored and lose the
+		// top-k tie-break exactly as in exhaustive order).
+		cut := math.Inf(-1)
+		ess := 0
+		if r.acc.opts.DocET && r.sel.Full() {
+			cut = r.cutoff()
+			for ess < n && prefix[ess] < cut {
+				ess++
+			}
+			if ess == n {
+				return // even all lists together cannot beat the cutoff
+			}
+		}
+
+		// The next candidate is the smallest upcoming docID across the
+		// essential streams; loading their current blocks is what keeps
+		// candidate selection exact.
+		d := uint32(math.MaxUint32)
+		live := false
+		for _, s := range order[ess:] {
+			if !r.sparseLoad(s) {
+				if r.err != nil {
+					return
+				}
+				continue
+			}
+			if nd := s.bd.docs[s.pos]; !live || nd < d {
+				d = nd
+				live = true
+			}
+		}
+		if !live {
+			return // essential streams exhausted; no remaining doc can win
+		}
+		r.mergeCycles += 1.5 // one selector decision per candidate
+
+		// Essential contributions at d (integer accumulation).
+		terms := r.terms[:0]
+		var sum score.Fixed
+		for _, s := range order[ess:] {
+			if s.bd != nil && s.pos < len(s.bd.docs) && s.bd.docs[s.pos] == d {
+				code := s.imps[s.pos]
+				sum += score.Impact(code, s.pl.ImpactStep)
+				terms = append(terms, termTF{pl: s.pl, tf: s.bd.tfs[s.pos], imp: code})
+				s.pos++
+			}
+		}
+
+		// Non-essential probes in descending-bound order: before each,
+		// check whether even perfect matches in every remaining list
+		// could reach the cutoff; abandon the candidate the moment they
+		// cannot.
+		abandoned := false
+		for j := ess - 1; j >= 0; j-- {
+			if r.sel.Full() && sum.Float()+prefix[j] < cut {
+				abandoned = true
+				break
+			}
+			s := order[j]
+			rem := 0.0
+			if j > 0 {
+				rem = prefix[j-1]
+			}
+			code, abandon := r.sparseProbe(s, d, sum, rem, cut)
+			if r.err != nil {
+				return
+			}
+			if abandon {
+				abandoned = true
+				break
+			}
+			if code != 0 {
+				sum += score.Impact(code, s.pl.ImpactStep)
+				terms = append(terms, termTF{pl: s.pl, tf: s.bd.tfs[s.pos], imp: code})
+			}
+		}
+		r.terms = terms
+		if !abandoned {
+			r.scoreDoc(d, terms)
+		}
+	}
+}
+
+// sparseLoad positions an essential stream on its next posting, fetching
+// and decoding the current block if needed. Returns false when the stream
+// is exhausted or the fetch failed (r.err latched).
+//
+//boss:hotpath once per essential stream per candidate selection.
+func (r *run) sparseLoad(s *sstream) bool {
+	for {
+		if s.bi >= len(s.pl.Blocks) {
+			return false
+		}
+		if s.bi != s.charged {
+			r.chargeMeta(s.ls, s.bi)
+			s.charged = s.bi
+		}
+		if s.bd == nil {
+			s.bd = r.fetchBlock(s.ls, s.pl, s.bi)
+			if s.bd == nil {
+				return false // r.err latched; sparse loop unwinds
+			}
+			s.imps = s.pl.BlockImpacts(s.bi)
+			s.pos = 0
+		}
+		if s.pos >= len(s.bd.docs) {
+			s.bi++
+			s.bd = nil
+			s.pos = 0
+			continue
+		}
+		return true
+	}
+}
+
+// sparseProbe seeks a non-essential stream to candidate d and reads its
+// impact code. Blocks wholly before d pass on metadata alone (counted
+// skipped when never loaded); when d falls inside a block's range, the
+// per-block maximum impact is checked first — if even it cannot lift the
+// candidate to the cutoff the probe reports abandon without fetching.
+// Returns (code, abandon); code 0 means d is absent from the list.
+//
+//boss:hotpath once per non-essential stream per surviving candidate.
+func (r *run) sparseProbe(s *sstream, d uint32, sum score.Fixed, rem, cut float64) (uint8, bool) {
+	for {
+		if s.bi >= len(s.pl.Blocks) {
+			return 0, false
+		}
+		if s.bi != s.charged {
+			r.chargeMeta(s.ls, s.bi)
+			s.charged = s.bi
+		}
+		blk := &s.pl.Blocks[s.bi]
+		if blk.LastDoc < d {
+			if s.bd == nil {
+				r.m.BlocksSkipped++
+			}
+			s.bi++
+			s.bd = nil
+			s.pos = 0
+			continue
+		}
+		if blk.FirstDoc > d {
+			return 0, false // d sits in the gap before this block
+		}
+		if s.bd == nil {
+			if r.acc.opts.BlockET && r.sel.Full() &&
+				sum.Float()+score.Impact(blk.MaxImpact, s.pl.ImpactStep).Float()+rem < cut {
+				// Even this block's best impact plus every remaining
+				// list's bound cannot reach the cutoff: abandon the
+				// candidate without fetching the block.
+				return 0, true
+			}
+			s.bd = r.fetchBlock(s.ls, s.pl, s.bi)
+			if s.bd == nil {
+				return 0, false // r.err latched; sparse loop unwinds
+			}
+			s.imps = s.pl.BlockImpacts(s.bi)
+			s.pos = 0
+		}
+		var mc int64
+		for s.pos < len(s.bd.docs) && s.bd.docs[s.pos] < d {
+			s.pos++
+			mc++
+		}
+		r.mergeCycles += float64(mc)
+		if s.pos < len(s.bd.docs) && s.bd.docs[s.pos] == d {
+			return s.imps[s.pos], false
+		}
+		return 0, false
+	}
+}
+
+// sortByBound insertion-sorts streams by ascending list bound. Stable, so
+// equal-bound terms keep query order and runs are deterministic; like the
+// union module's sorter it stays O(small²) and alloc-free.
+//
+//boss:hotpath called once per sparse query.
+func sortByBound(ss []*sstream) {
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && ss[j].ub < ss[j-1].ub; j-- {
+			ss[j], ss[j-1] = ss[j-1], ss[j]
+		}
+	}
+}

@@ -226,7 +226,7 @@ func (r *run) mergeStep(active []*ustream) {
 	terms := r.terms[:0]
 	for _, s := range active {
 		if s.bd.docs[s.pos] == minDoc {
-			terms = append(terms, termTF{s.pl, s.bd.tfs[s.pos]})
+			terms = append(terms, termTF{pl: s.pl, tf: s.bd.tfs[s.pos]})
 			s.pos++
 		}
 	}
@@ -283,7 +283,7 @@ func (r *run) wandStep(active []*ustream, hi uint32) bool {
 		sortByOrd(matched)
 		terms := r.terms[:0]
 		for _, s := range matched {
-			terms = append(terms, termTF{s.pl, s.bd.tfs[s.pos]})
+			terms = append(terms, termTF{pl: s.pl, tf: s.bd.tfs[s.pos]})
 			s.pos++
 		}
 		r.terms = terms

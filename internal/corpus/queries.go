@@ -9,7 +9,9 @@ import (
 // QueryType identifies one of the six query shapes of Table II.
 type QueryType int
 
-// Query types per Table II of the paper.
+// Query types per Table II of the paper, plus the Q7 sparse-dot family
+// (impact-ordered retrieval; not part of Table II, so AllQueryTypes and
+// the figure harness exclude it).
 const (
 	Q1 QueryType = iota + 1 // 1 term:  A
 	Q2                      // 2 terms: A AND B
@@ -17,9 +19,10 @@ const (
 	Q4                      // 4 terms: A AND B AND C AND D
 	Q5                      // 4 terms: A OR B OR C OR D
 	Q6                      // 4 terms: A AND (B OR C OR D)
+	Q7                      // 8 terms: SPARSE(A, ..., H)
 )
 
-// String returns "Q1".."Q6".
+// String returns "Q1".."Q7".
 func (q QueryType) String() string { return fmt.Sprintf("Q%d", int(q)) }
 
 // NumTerms reports the term count of the query type.
@@ -31,6 +34,8 @@ func (q QueryType) NumTerms() int {
 		return 2
 	case Q4, Q5, Q6:
 		return 4
+	case Q7:
+		return 8
 	default:
 		return 0
 	}
@@ -52,12 +57,16 @@ func (q QueryType) Operation() string {
 		return "A OR B OR C OR D"
 	case Q6:
 		return "A AND (B OR C OR D)"
+	case Q7:
+		return "SPARSE(A, ..., H)"
 	default:
 		return "?"
 	}
 }
 
-// AllQueryTypes lists Q1..Q6 in order.
+// AllQueryTypes lists Q1..Q6 in order — the Table II families. Q7 is
+// deliberately excluded: the figure harness iterates this list, and the
+// sparse family has its own bench (harness.Sparse).
 func AllQueryTypes() []QueryType {
 	return []QueryType{Q1, Q2, Q3, Q4, Q5, Q6}
 }
@@ -90,6 +99,8 @@ func buildExpr(t QueryType, terms []string) string {
 		return strings.Join(quoted, " OR ")
 	case Q6:
 		return quoted[0] + " AND (" + strings.Join(quoted[1:], " OR ") + ")"
+	case Q7:
+		return "SPARSE(" + strings.Join(quoted, ", ") + ")"
 	default:
 		panic("corpus: unknown query type")
 	}

@@ -173,6 +173,20 @@ func (e *Engine) build(node *query.Node, m *perf.Metrics, ta *tally) (iter, erro
 			children[i] = it
 		}
 		return e.newOrIter(children, ta), nil
+	case query.OpSparse:
+		// The software baseline has no impact payloads: it evaluates the
+		// sparse family as an exhaustive union with exact float BM25 —
+		// the reference the quantized accelerator ranking is compared
+		// against (top-k overlap, not byte equality).
+		children := make([]iter, len(node.Children))
+		for i, c := range node.Children {
+			it, err := e.build(c, m, ta)
+			if err != nil {
+				return nil, err
+			}
+			children[i] = it
+		}
+		return e.newOrIter(children, ta), nil
 	default:
 		return nil, fmt.Errorf("engine: unknown query op %d", node.Op)
 	}

@@ -21,9 +21,10 @@ import (
 // files are self-describing when diffed across the stacked sequence.
 const (
 	// v2 adds the -fetch report (document fetch phase) alongside the
-	// overload and chaos envelopes; existing fields are unchanged.
+	// overload and chaos envelopes, and later the -sparse report (Q7
+	// impact-ordered retrieval); existing fields are unchanged.
 	BenchSchema = "bossbench/v2"
-	BenchPR     = 7
+	BenchPR     = 9
 )
 
 // overloadDeadline is each request's latency budget: a completion after

@@ -48,6 +48,11 @@ type BlockMeta struct {
 	// paper's 19-byte metadata budget: SCM devices keep block CRCs in
 	// the per-line ECC/spare area, so BlockMetaBytes is unchanged.
 	Checksum uint32
+	// MaxImpact is the largest 8-bit quantized impact code of any posting
+	// in the block (impact-enabled lists only; see BuildOptions.Impacts).
+	// The MaxScore operator skips whole blocks on it the way BlockMaxWAND
+	// skips on MaxScore.
+	MaxImpact uint8
 }
 
 // PostingList is one term's compressed posting list.
@@ -59,6 +64,13 @@ type PostingList struct {
 	MaxScore float64         // list-wide maximum term-score (WAND bound)
 	Blocks   []BlockMeta
 	Data     []byte // concatenated compressed block payloads
+
+	// ImpactStep is the per-list Q16.16 dequantization step of the 8-bit
+	// impact codes stored at each block payload's tail (listMax/255);
+	// zero means the list carries no impacts. MaxImpact is the list-wide
+	// maximum code, the MaxScore operator's per-term upper bound.
+	ImpactStep score.Fixed
+	MaxImpact  uint8
 
 	// BaseAddr is the list's placement in the simulated memory node's
 	// address space, assigned by the builder.
@@ -157,6 +169,12 @@ type BuildOptions struct {
 	// Global, when non-nil, supplies collection-wide statistics for IDF
 	// and length normalization (sharded indexes).
 	Global *GlobalStats
+	// Impacts stores each posting's 8-bit quantized term score at the
+	// block payload's tail (after the tf stream), plus per-block and
+	// per-list max-impact metadata — the Q7 "sparse-dot" family's
+	// precomputed weights. Off by default: it grows every block payload
+	// by Count bytes, so only impact-serving indexes opt in.
+	Impacts bool
 }
 
 // Build constructs an index from a generated corpus.
@@ -270,6 +288,23 @@ func buildList(idx *Index, term string, postings []corpus.Posting, opts BuildOpt
 	pl.codec = compress.ForScheme(scheme)
 	codec := pl.codec
 
+	// Impact quantization is scaled to the list-wide maximum score, so an
+	// impact-enabled list needs every posting's score before the first
+	// block is laid out.
+	var scores []float64
+	listMax := 0.0
+	if opts.Impacts {
+		scores = make([]float64, len(postings))
+		for i, p := range postings {
+			s := idx.Params.TermScore(pl.IDF, p.TF, idx.DocNorms[p.DocID])
+			scores[i] = s
+			if s > listMax {
+				listMax = s
+			}
+		}
+		pl.ImpactStep = score.ImpactStep(listMax)
+	}
+
 	bs := opts.BlockSize
 	docBuf := make([]uint32, 0, bs)
 	tfBuf := make([]uint32, 0, bs)
@@ -296,14 +331,34 @@ func buildList(idx *Index, term string, postings []corpus.Posting, opts BuildOpt
 		offset := uint32(len(pl.Data))
 		pl.Data = codec.Encode(pl.Data, docBuf)
 		pl.Data = codec.Encode(pl.Data, tfBuf)
+		// Impact codes ride at the payload tail, after the tf stream:
+		// decoders extract exactly Count values per stream and ignore
+		// trailing bytes, so the placement needs no codec changes, and
+		// because Length (and therefore the block's simulated read and
+		// its CRC) covers the tail, the existing fetch charges and
+		// integrity checks extend to impacts for free.
+		maxImpact := uint8(0)
+		if opts.Impacts {
+			for i := range blk {
+				q := score.QuantizeImpact(scores[start+i], listMax)
+				if q > maxImpact {
+					maxImpact = q
+				}
+				pl.Data = append(pl.Data, q)
+			}
+			if maxImpact > pl.MaxImpact {
+				pl.MaxImpact = maxImpact
+			}
+		}
 		pl.Blocks = append(pl.Blocks, BlockMeta{
-			FirstDoc: first,
-			LastDoc:  blk[len(blk)-1].DocID,
-			MaxScore: maxScore,
-			Offset:   offset,
-			Length:   uint32(len(pl.Data)) - offset,
-			Count:    uint16(len(blk)),
-			Checksum: ChecksumPayload(pl.Data[offset:]),
+			FirstDoc:  first,
+			LastDoc:   blk[len(blk)-1].DocID,
+			MaxScore:  maxScore,
+			Offset:    offset,
+			Length:    uint32(len(pl.Data)) - offset,
+			Count:     uint16(len(blk)),
+			Checksum:  ChecksumPayload(pl.Data[offset:]),
+			MaxImpact: maxImpact,
 		})
 		if maxScore > pl.MaxScore {
 			pl.MaxScore = maxScore
@@ -329,6 +384,21 @@ func (pl *PostingList) VerifyBlock(b int) bool {
 		return true
 	}
 	return ChecksumPayload(pl.Data[meta.Offset:meta.Offset+meta.Length]) == meta.Checksum
+}
+
+// HasImpacts reports whether the list carries 8-bit quantized impacts
+// (built with BuildOptions.Impacts).
+func (pl *PostingList) HasImpacts() bool { return pl.ImpactStep != 0 }
+
+// BlockImpacts returns block b's impact codes: the Count bytes at the
+// block payload's tail, one code per posting in docID order. Only valid
+// on impact-enabled lists.
+//
+//boss:hotpath BlockImpacts aliases the list payload; zero-copy.
+func (pl *PostingList) BlockImpacts(b int) []byte {
+	meta := &pl.Blocks[b]
+	end := meta.Offset + meta.Length
+	return pl.Data[end-uint32(meta.Count) : end]
 }
 
 // List returns the posting list for term, or nil if the term is not

@@ -10,6 +10,7 @@ import (
 	"math"
 
 	"boss/internal/compress"
+	"boss/internal/score"
 )
 
 // Binary index format (version 2):
@@ -24,7 +25,18 @@ import (
 //	  dataLen u32 | data bytes
 //	normBaseAddr u64
 //	docNorms: numDocs × f32
+//	impact section (optional, impact-enabled indexes only):
+//	  magic "BOSSIMP1"
+//	  per list (term order): step i32 | listMaxImpact u8 |
+//	                         per block: maxImpact u8
 //	footer: magic "BOSSEND2" | crc u32 (CRC32-C of every preceding byte)
+//
+// The impact section sits between the norms and the footer, announced by
+// its own magic: readers sniff the eight bytes after the norms and accept
+// either the impact magic or the footer, so pre-impact v2 files still
+// load. The per-posting impact codes themselves travel inside each block
+// payload (covered by Length and the block CRC), so the section carries
+// only the per-list step and the per-block/per-list maxima.
 //
 // The footer CRC turns every truncation or bit-flip anywhere in the file
 // into a typed ErrCorrupt at load time instead of undefined behaviour at
@@ -32,6 +44,7 @@ import (
 // fetch time after a clean load.
 const (
 	indexMagic  = "BOSSIDX2"
+	impactMagic = "BOSSIMP1"
 	footerMagic = "BOSSEND2"
 )
 
@@ -88,6 +101,26 @@ func (idx *Index) WriteTo(w io.Writer) (int64, error) {
 	write(idx.NormBaseAddr)
 	for _, n := range idx.DocNorms {
 		write(float32(n))
+	}
+	// Impact section: emitted only when some list carries impacts, so
+	// impact-free indexes serialize byte-identically to pre-impact v2.
+	hasImpacts := false
+	for _, pl := range idx.Lists {
+		if pl.HasImpacts() {
+			hasImpacts = true
+			break
+		}
+	}
+	if hasImpacts {
+		cw.WriteString(impactMagic)
+		for _, term := range idx.Terms() {
+			pl := idx.Lists[term]
+			write(int32(pl.ImpactStep))
+			write(pl.MaxImpact)
+			for _, b := range pl.Blocks {
+				write(b.MaxImpact)
+			}
+		}
 	}
 	// Footer: seal everything written so far under a stream CRC. The
 	// footer magic itself is covered by nothing (it is the seal).
@@ -203,15 +236,40 @@ func Read(r io.Reader) (*Index, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: reading norms: %w", ErrCorrupt, err)
 	}
-	// Footer: the stream CRC accumulated so far must match the sealed
-	// value. Read the footer outside the CRC accounting.
+	// Section sniff: the eight bytes after the norms are either the
+	// optional impact section's magic or the footer's. Anything else is
+	// named explicitly so a file expected to carry impacts fails with an
+	// error distinguishable from an ordinary footer mismatch.
 	sum := cr.crc
-	footer := make([]byte, len(footerMagic))
-	if _, err := io.ReadFull(cr, footer); err != nil {
-		return nil, fmt.Errorf("%w: reading footer: %w", ErrCorrupt, err)
+	sect := make([]byte, len(footerMagic))
+	if _, err := io.ReadFull(cr, sect); err != nil {
+		return nil, fmt.Errorf("%w: reading impact-section/footer magic: %w", ErrCorrupt, err)
 	}
-	if string(footer) != footerMagic {
-		return nil, fmt.Errorf("%w: bad footer magic %q (truncated file?)", ErrCorrupt, footer)
+	if string(sect) == impactMagic {
+		for _, term := range idx.Terms() {
+			pl := idx.Lists[term]
+			var step int32
+			read(&step)
+			read(&pl.MaxImpact)
+			if err != nil {
+				return nil, fmt.Errorf("%w: impact section: list %q header: %w", ErrCorrupt, term, err)
+			}
+			pl.ImpactStep = score.Fixed(step)
+			for bi := range pl.Blocks {
+				read(&pl.Blocks[bi].MaxImpact)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("%w: impact section: list %q block maxima: %w", ErrCorrupt, term, err)
+			}
+		}
+		// The seal covers the impact section; the footer must follow.
+		sum = cr.crc
+		if _, err := io.ReadFull(cr, sect); err != nil {
+			return nil, fmt.Errorf("%w: reading footer after impact section: %w", ErrCorrupt, err)
+		}
+	}
+	if string(sect) != footerMagic {
+		return nil, fmt.Errorf("%w: bad magic %q after norms: want impact section %q or footer %q (impact section missing or corrupt?)", ErrCorrupt, sect, impactMagic, footerMagic)
 	}
 	var sealed uint32
 	if err := binary.Read(cr, binary.LittleEndian, &sealed); err != nil {

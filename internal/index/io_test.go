@@ -3,6 +3,7 @@ package index
 import (
 	"bytes"
 	"errors"
+	"strings"
 	"testing"
 
 	"boss/internal/compress"
@@ -136,5 +137,111 @@ func TestCursorStopsOnCorruptBlock(t *testing.T) {
 	}
 	if want := int(pl.Blocks[0].Count); seen != want {
 		t.Fatalf("cursor consumed %d postings, want exactly the %d intact ones", seen, want)
+	}
+}
+
+// serializedImpacts is serialized with quantized impacts in the payloads
+// and the "BOSSIMP1" section between norms and footer.
+func serializedImpacts(t *testing.T) ([]byte, *Index) {
+	t.Helper()
+	idx := Build(corpus.Generate(corpus.CCNewsLike(0.003)),
+		BuildOptions{Scheme: compress.SchemeHybrid, Impacts: true})
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	return buf.Bytes(), idx
+}
+
+// TestImpactSectionRoundTrip: quantization steps, list maxima and
+// per-block maxima survive serialization, and the impact bytes riding the
+// block payload tails come back with them.
+func TestImpactSectionRoundTrip(t *testing.T) {
+	data, idx := serializedImpacts(t)
+	got, err := Read(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	for _, term := range idx.Terms() {
+		want, have := idx.Lists[term], got.Lists[term]
+		if !want.HasImpacts() {
+			t.Fatalf("list %q built without impacts despite Impacts: true", term)
+		}
+		if have.ImpactStep != want.ImpactStep || have.MaxImpact != want.MaxImpact {
+			t.Fatalf("list %q impact header not preserved: step %v/%v max %d/%d",
+				term, have.ImpactStep, want.ImpactStep, have.MaxImpact, want.MaxImpact)
+		}
+		for b := range want.Blocks {
+			if have.Blocks[b].MaxImpact != want.Blocks[b].MaxImpact {
+				t.Fatalf("list %q block %d max impact not preserved", term, b)
+			}
+			imps := have.BlockImpacts(b)
+			if len(imps) != int(have.Blocks[b].Count) {
+				t.Fatalf("list %q block %d carries %d impact bytes, want %d",
+					term, b, len(imps), have.Blocks[b].Count)
+			}
+			if !bytes.Equal(imps, want.BlockImpacts(b)) {
+				t.Fatalf("list %q block %d impact bytes diverged", term, b)
+			}
+		}
+	}
+}
+
+// TestReadOldFormatWithoutImpacts: an index serialized without impacts —
+// the exact byte stream every pre-impact writer produced — still loads,
+// and reports no impact capability rather than garbage steps.
+func TestReadOldFormatWithoutImpacts(t *testing.T) {
+	data, _ := serialized(t)
+	got, err := Read(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("Read of impact-free file: %v", err)
+	}
+	for _, term := range got.Terms() {
+		if got.Lists[term].HasImpacts() {
+			t.Fatalf("list %q reports impacts in an impact-free file", term)
+		}
+	}
+}
+
+// TestReadBadImpactMagic: corrupting the section magic must fail with
+// ErrCorrupt and an error message naming the impact section, so an
+// operator diffing old and new binaries knows which section to suspect.
+func TestReadBadImpactMagic(t *testing.T) {
+	data, _ := serializedImpacts(t)
+	at := bytes.Index(data, []byte("BOSSIMP1"))
+	if at < 0 {
+		t.Fatal("serialized impact index carries no section magic")
+	}
+	mut := bytes.Clone(data)
+	mut[at] ^= 0x04
+	_, err := Read(bytes.NewReader(mut))
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad section magic: error %v does not wrap ErrCorrupt", err)
+	}
+	if !strings.Contains(err.Error(), "impact section") {
+		t.Fatalf("error %q does not name the impact section", err)
+	}
+}
+
+// TestReadRejectsImpactBitFlips extends the corrupt-file sweep into the
+// impact section: flips in the per-list headers, the per-block maxima and
+// the payload impact tails must all surface as ErrCorrupt.
+func TestReadRejectsImpactBitFlips(t *testing.T) {
+	data, _ := serializedImpacts(t)
+	at := bytes.Index(data, []byte("BOSSIMP1"))
+	if at < 0 {
+		t.Fatal("serialized impact index carries no section magic")
+	}
+	// Sweep the section body (headers + maxima) and a payload tail byte.
+	for _, pos := range []int{at + 8, at + 9, at + 16, (at + len(data)) / 2, len(data) - 24} {
+		mut := bytes.Clone(data)
+		mut[pos] ^= 0x01
+		_, err := Read(bytes.NewReader(mut))
+		if err == nil {
+			t.Fatalf("impact-section byte flip at %d/%d went undetected", pos, len(data))
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("impact-section byte flip at %d: error %v does not wrap ErrCorrupt", pos, err)
+		}
 	}
 }

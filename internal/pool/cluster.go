@@ -264,6 +264,26 @@ func pruneForShard(node *query.Node, has map[string]struct{}) *query.Node {
 			return node
 		}
 		return query.Or(kept...)
+	case query.OpSparse:
+		// Sparse queries drop absent terms per shard (a missing term just
+		// contributes no impact); a shard holding none of them cannot
+		// match anything.
+		kept := make([]*query.Node, 0, len(node.Children))
+		changed := false
+		for _, c := range node.Children {
+			if _, ok := has[c.Term]; ok {
+				kept = append(kept, c)
+			} else {
+				changed = true
+			}
+		}
+		if len(kept) == 0 {
+			return nil
+		}
+		if !changed {
+			return node
+		}
+		return &query.Node{Op: query.OpSparse, Children: kept}
 	default:
 		return nil
 	}
@@ -315,10 +335,15 @@ func (cl *Cluster) validate(expr string) (*query.Node, error) {
 
 // prepare validates the expression and normalizes it to DNF once, so the
 // per-shard runs share one normalization instead of re-deriving it.
+// Sparse queries have no DNF; their shared normalization is the term
+// list, re-extracted per shard only when pruning changed the query.
 func (cl *Cluster) prepare(expr string) (*query.Node, [][]string, error) {
 	node, err := cl.validate(expr)
 	if err != nil {
 		return nil, nil, err
+	}
+	if node.Op == query.OpSparse {
+		return node, nil, nil
 	}
 	return node, node.DNF(), nil
 }
@@ -354,6 +379,13 @@ func (cl *Cluster) runShard(node *query.Node, dnf [][]string, si, k int) shardOu
 	pruned := pruneForShard(node, cl.shardTerms[si])
 	if pruned == nil {
 		return shardOut{}
+	}
+	if pruned.Op == query.OpSparse {
+		out, err := cl.accs[si].RunSparse(pruned.Terms(), k)
+		if err != nil {
+			return shardOut{err: fmt.Errorf("pool: shard %d: %w", si, err)}
+		}
+		return shardOut{m: out.M, topk: out.TopK}
 	}
 	if pruned != node {
 		dnf = pruned.DNF()

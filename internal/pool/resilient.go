@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"boss/internal/core"
 	"boss/internal/mem"
 	"boss/internal/perf"
 	"boss/internal/query"
@@ -324,7 +325,7 @@ func (cl *Cluster) runShardCtx(ctx context.Context, node *query.Node, dnf [][]st
 	if pruned == nil {
 		return shardOut{}
 	}
-	if pruned != node {
+	if pruned.Op != query.OpSparse && pruned != node {
 		dnf = pruned.DNF()
 	}
 	if cl.res.ShardTimeout > 0 {
@@ -332,7 +333,13 @@ func (cl *Cluster) runShardCtx(ctx context.Context, node *query.Node, dnf [][]st
 		ctx, cancel = context.WithTimeout(ctx, cl.res.ShardTimeout)
 		defer cancel()
 	}
-	out, err := cl.accs[si].RunDNFCtx(ctx, dnf, k)
+	var out core.Result
+	var err error
+	if pruned.Op == query.OpSparse {
+		out, err = cl.accs[si].RunSparseCtx(ctx, pruned.Terms(), k)
+	} else {
+		out, err = cl.accs[si].RunDNFCtx(ctx, dnf, k)
+	}
 	if err != nil {
 		return shardOut{err: shardError(si, err)}
 	}

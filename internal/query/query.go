@@ -16,14 +16,17 @@ type Op int
 
 // Node operators.
 const (
-	OpTerm Op = iota // leaf: a single query term
-	OpAnd            // intersection of children
-	OpOr             // union of children
+	OpTerm   Op = iota // leaf: a single query term
+	OpAnd              // intersection of children
+	OpOr               // union of children
+	OpSparse           // sparse-dot family (Q7): sum of quantized impacts
 )
 
 // Node is a parsed query expression node. Term is set only for OpTerm;
 // Children only for OpAnd/OpOr (always ≥ 2 children, same-op children are
-// flattened).
+// flattened) and OpSparse (≥ 1 term leaves). OpSparse is only ever the
+// root: `SPARSE("a", "b")` is a whole query family, not a boolean
+// operand, and the parser rejects it under AND/OR.
 type Node struct {
 	Op       Op
 	Term     string
@@ -32,6 +35,15 @@ type Node struct {
 
 // Term returns a leaf node.
 func Term(name string) *Node { return &Node{Op: OpTerm, Term: name} }
+
+// Sparse returns a sparse-dot (Q7) query over the given terms.
+func Sparse(terms ...string) *Node {
+	children := make([]*Node, len(terms))
+	for i, t := range terms {
+		children[i] = Term(t)
+	}
+	return &Node{Op: OpSparse, Children: children}
+}
 
 // And returns the intersection of nodes, flattening nested ANDs.
 func And(nodes ...*Node) *Node { return combine(OpAnd, nodes) }
@@ -112,6 +124,12 @@ func (n *Node) String() string {
 			parts[i] = c.String()
 		}
 		return strings.Join(parts, " OR ")
+	case OpSparse:
+		parts := make([]string, len(n.Children))
+		for i, c := range n.Children {
+			parts[i] = `"` + c.Term + `"`
+		}
+		return "SPARSE(" + strings.Join(parts, ", ") + ")"
 	default:
 		return "?"
 	}
@@ -182,6 +200,11 @@ func (n *Node) DNF() [][]string {
 			out = next
 		}
 		return out
+	case OpSparse:
+		// Sparse queries are not boolean: they have no disjunctive
+		// normal form. Execution paths dispatch on OpSparse before
+		// normalizing, so reaching here is a programming error.
+		panic("query: sparse node has no DNF")
 	default:
 		panic("query: unknown op")
 	}
@@ -196,7 +219,17 @@ func (n *Node) DNF() [][]string {
 // the front-door singleflight layer dedups concurrent identical queries on.
 // (Absorption is not applied: `"a" OR ("a" AND "b")` keeps both conjuncts.
 // Keys are unambiguous for tokenized terms, which never contain '&'/'|'.)
+//
+// Sparse queries canonicalize to '~' plus their sorted, deduplicated
+// terms joined with '&'. Tokenized terms never contain '~', so sparse
+// keys can never collide with boolean keys: SPARSE("b", "a") → `~a&b`,
+// which the front door dedups exactly like boolean keys.
 func (n *Node) Canonical() string {
+	if n.Op == OpSparse {
+		terms := n.Terms()
+		sort.Strings(terms)
+		return "~" + strings.Join(dedupSorted(terms), "&")
+	}
 	dnf := n.DNF()
 	conjs := make([]string, 0, len(dnf))
 	for _, conj := range dnf {
@@ -228,6 +261,8 @@ const (
 	tokTerm tokenKind = iota
 	tokAnd
 	tokOr
+	tokSparse
+	tokComma
 	tokLParen
 	tokRParen
 	tokEOF
@@ -259,6 +294,9 @@ func (l *lexer) next() (token, error) {
 	case c == ')':
 		l.pos++
 		return token{kind: tokRParen, pos: start}, nil
+	case c == ',':
+		l.pos++
+		return token{kind: tokComma, pos: start}, nil
 	case c == '"':
 		l.pos++
 		termStart := l.pos
@@ -284,6 +322,8 @@ func (l *lexer) next() (token, error) {
 			return token{kind: tokAnd, pos: start}, nil
 		case "OR":
 			return token{kind: tokOr, pos: start}, nil
+		case "SPARSE":
+			return token{kind: tokSparse, pos: start}, nil
 		case "":
 			return token{}, fmt.Errorf("query: unexpected character %q at %d", c, start)
 		default:
@@ -310,13 +350,21 @@ func (p *parser) advance() error {
 	return nil
 }
 
-// Parse parses an expression in the offloading-API syntax.
+// Parse parses an expression in the offloading-API syntax: a boolean
+// expression over quoted terms, or the sparse-dot form
+// `SPARSE("a", "b", ...)` (which must be the whole query).
 func Parse(src string) (*Node, error) {
 	p := &parser{lex: lexer{src: src}}
 	if err := p.advance(); err != nil {
 		return nil, err
 	}
-	n, err := p.parseOr()
+	var n *Node
+	var err error
+	if p.tok.kind == tokSparse {
+		n, err = p.parseSparse()
+	} else {
+		n, err = p.parseOr()
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -324,6 +372,43 @@ func Parse(src string) (*Node, error) {
 		return nil, fmt.Errorf("query: trailing input at %d", p.tok.pos)
 	}
 	return n, nil
+}
+
+// parseSparse parses `SPARSE("a", "b", ...)` with the SPARSE keyword as
+// the current token.
+func (p *parser) parseSparse() (*Node, error) {
+	if err := p.advance(); err != nil { // consume SPARSE
+		return nil, err
+	}
+	if p.tok.kind != tokLParen {
+		return nil, fmt.Errorf("query: SPARSE needs '(' at %d", p.tok.pos)
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	var children []*Node
+	for {
+		if p.tok.kind != tokTerm {
+			return nil, fmt.Errorf("query: SPARSE expects a quoted term at %d", p.tok.pos)
+		}
+		children = append(children, Term(p.tok.text))
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokComma {
+			break
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if p.tok.kind != tokRParen {
+		return nil, fmt.Errorf("query: missing ')' in SPARSE at %d", p.tok.pos)
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	return &Node{Op: OpSparse, Children: children}, nil
 }
 
 // MustParse is Parse that panics on error, for tests and examples.
@@ -396,6 +481,8 @@ func (p *parser) parsePrimary() (*Node, error) {
 			return nil, err
 		}
 		return n, nil
+	case tokSparse:
+		return nil, fmt.Errorf("query: SPARSE cannot appear under boolean operators (at %d); it must be the whole query", p.tok.pos)
 	case tokEOF:
 		return nil, fmt.Errorf("query: unexpected end of expression")
 	default:

@@ -101,3 +101,51 @@ func (p Params) FixedTermScore(idf Fixed, tf uint32, norm Fixed) Fixed {
 	den := f + norm
 	return idf.Mul(num.Div(den))
 }
+
+// Impact quantization (the Q7 "sparse-dot" family). Each posting list
+// quantizes its term scores onto an 8-bit grid scaled to the list's own
+// maximum: code = round(s * 255 / listMax). The dequantization step
+// listMax/255 is stored once per list as a Q16.16 value, so reading a
+// posting's impact at query time is a single integer multiply — no
+// per-posting float math, exactly as an impact-ordered accelerator would
+// read precomputed quantized weights from the payload.
+
+// ImpactStep returns the per-list dequantization step listMax/255 in
+// Q16.16. Lists with any positive score get a positive step (the step is
+// clamped up to the smallest representable increment), so a stored code
+// of 0 is unambiguous: it only ever means "impact quantized to zero".
+func ImpactStep(listMax float64) Fixed {
+	if listMax <= 0 {
+		return 0
+	}
+	step := ToFixed(listMax / 255)
+	if step == 0 {
+		step = 1
+	}
+	return step
+}
+
+// QuantizeImpact maps a term score onto the list's 8-bit impact grid,
+// rounding to nearest and clamping to [0, 255].
+func QuantizeImpact(s, listMax float64) uint8 {
+	if listMax <= 0 || s <= 0 {
+		return 0
+	}
+	q := math.Round(s * 255 / listMax)
+	if q > 255 {
+		return 255
+	}
+	return uint8(q)
+}
+
+// Impact dequantizes an 8-bit impact code: code * step, computed in
+// 64-bit and saturated like the other Q16.16 operations. With step ≤
+// MaxInt32 and code ≤ 255 the product fits easily, so saturation only
+// guards corrupted inputs.
+func Impact(code uint8, step Fixed) Fixed {
+	p := int64(code) * int64(step)
+	if p > math.MaxInt32 {
+		return Fixed(math.MaxInt32)
+	}
+	return Fixed(p)
+}
