@@ -611,6 +611,28 @@ type ShardedIndex struct {
 // number of memory nodes. An unknown corpus kind or an invalid shard
 // count (nodes <= 0, or more nodes than documents) returns an error.
 func Shard(kind SyntheticKind, scale float64, nodes int) (*ShardedIndex, error) {
+	return ShardReplicated(kind, scale, nodes, ReplicaOptions{})
+}
+
+// ReplicaOptions configures shard replication for ShardReplicated. The
+// zero value means single-copy shards with hedging off — exactly Shard.
+type ReplicaOptions struct {
+	// Replicas is the number of independently-faultable copies of every
+	// shard (0 or 1 = single copy).
+	Replicas int
+	// HedgeCutoff, when positive, arms hedged requests: a backup attempt
+	// fires on another replica when the primary has not answered within
+	// the cutoff. Requires Replicas > 1 to have any effect.
+	HedgeCutoff time.Duration
+}
+
+// ShardReplicated is Shard with R-way shard replication: every memory
+// node's shard exists as opt.Replicas independently-faultable copies,
+// queries route to copies deterministically with open-breaker copies
+// skipped, and retries rotate across copies (so even a permanent media
+// error on one copy is served from another). With opt.HedgeCutoff set,
+// tail-latency stragglers are hedged onto a second copy.
+func ShardReplicated(kind SyntheticKind, scale float64, nodes int, opt ReplicaOptions) (*ShardedIndex, error) {
 	var spec corpus.Spec
 	switch kind {
 	case ClueWebLike:
@@ -621,7 +643,22 @@ func Shard(kind SyntheticKind, scale float64, nodes int) (*ShardedIndex, error) 
 		return nil, fmt.Errorf("boss: unknown synthetic corpus kind %d", kind)
 	}
 	c := corpus.Generate(spec)
-	cl, err := pool.NewCluster(pool.DefaultConfig(), c, nodes)
+	cfg := pool.DefaultConfig()
+	if opt.Replicas > 0 {
+		cfg.Replicas = opt.Replicas
+	}
+	if opt.Replicas > 1 {
+		// Replication without retries cannot fail over: a query whose
+		// deterministic draw lands on a dead copy would degrade instead
+		// of rotating onto a survivor. Single-copy deployments keep the
+		// zero-valued (retry-free) resilience Shard always had.
+		cfg.Resilience = pool.DefaultResilience()
+	}
+	if opt.HedgeCutoff > 0 {
+		cfg.Resilience.HedgeEnabled = true
+		cfg.Resilience.HedgeCutoff = opt.HedgeCutoff
+	}
+	cl, err := pool.NewCluster(cfg, c, nodes)
 	if err != nil {
 		return nil, err
 	}
@@ -630,6 +667,9 @@ func Shard(kind SyntheticKind, scale float64, nodes int) (*ShardedIndex, error) 
 
 // Nodes reports how many memory nodes hold shards.
 func (s *ShardedIndex) Nodes() int { return s.cluster.Shards() }
+
+// Replicas reports how many copies of each shard the deployment holds.
+func (s *ShardedIndex) Replicas() int { return s.cluster.Replicas() }
 
 // CacheHitRate reports the fraction of block fetches the cluster served
 // from its cross-query decoded-block cache, across both client classes
@@ -701,19 +741,41 @@ type FaultConfig struct {
 	// UncorrectableRate is the per-access probability of a permanent
 	// media error in [0, 1).
 	UncorrectableRate float64
-	// DeadNodes lists memory nodes that never answer.
+	// DeadNodes lists memory nodes that never answer. On a replicated
+	// deployment a dead node takes down every replica of its shard; to
+	// kill a single copy, use DeadReplicas.
 	DeadNodes []int
+	// DeadReplicas kills individual shard copies on a replicated
+	// deployment, leaving the node's other copies serving.
+	DeadReplicas []NodeReplica
+}
+
+// NodeReplica names one shard copy: replica Replica of the shard on
+// memory node Node.
+type NodeReplica struct {
+	Node    int
+	Replica int
 }
 
 // InjectFaults applies a fault configuration to the deployment's memory
 // nodes (the zero value restores pristine devices). Setup-time only: not
 // safe concurrently with searches.
 func (s *ShardedIndex) InjectFaults(fc FaultConfig) {
+	var dead []int
+	r := s.cluster.Replicas()
+	for _, n := range fc.DeadNodes {
+		for ri := 0; ri < r; ri++ {
+			dead = append(dead, s.cluster.ReplicaDevice(n, ri))
+		}
+	}
+	for _, nr := range fc.DeadReplicas {
+		dead = append(dead, s.cluster.ReplicaDevice(nr.Node, nr.Replica))
+	}
 	s.cluster.SetFaultPlan(&mem.FaultPlan{
 		Seed:              fc.Seed,
 		TransientRate:     fc.TransientRate,
 		UncorrectableRate: fc.UncorrectableRate,
-		DeadDevices:       fc.DeadNodes,
+		DeadDevices:       dead,
 	})
 }
 
@@ -729,6 +791,14 @@ type ShardedResult struct {
 	// requested docID). Documents a degraded node could not serve are
 	// zero-valued apart from their position. Nil on search-only paths.
 	Docs []Doc
+	// Hedged counts shard attempts that fired a hedged backup, and
+	// HedgeWins how many of those backups beat the primary. Always zero
+	// on single-copy or hedging-off deployments.
+	Hedged    int
+	HedgeWins int
+	// ServedBy names the replica that served each node's shard (-1 for a
+	// degraded node). Nil on single-copy deployments.
+	ServedBy []int
 }
 
 // shardedResult converts a cluster result into the facade form.
@@ -740,9 +810,12 @@ func shardedResult(res *pool.ClusterResult, withDocs bool) *ShardedResult {
 		}
 	}
 	out := &ShardedResult{
-		Hits:     make([]Hit, len(res.TopK)),
-		Stats:    simStats(agg, mem.SCM(), 8),
-		Degraded: res.Degraded,
+		Hits:      make([]Hit, len(res.TopK)),
+		Stats:     simStats(agg, mem.SCM(), 8),
+		Degraded:  res.Degraded,
+		Hedged:    res.Hedged,
+		HedgeWins: res.HedgeWins,
+		ServedBy:  res.ServedBy,
 	}
 	for i, e := range res.TopK {
 		out.Hits[i] = Hit{Doc: fmt.Sprintf("doc%d", e.DocID), DocID: e.DocID, Score: e.Score}

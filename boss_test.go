@@ -376,3 +376,60 @@ func TestShardedIndexInjectFaults(t *testing.T) {
 		t.Fatalf("degraded mask after clearing plan = %b", res.Degraded)
 	}
 }
+
+func TestShardReplicatedFailsOver(t *testing.T) {
+	single, err := Shard(CCNewsLike, 0.006, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expr := `"t1" AND "t3"`
+	want, _, err := single.Search(expr, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	repl, err := ShardReplicated(CCNewsLike, 0.006, 4, ReplicaOptions{Replicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := repl.SearchCtx(context.Background(), expr, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Hits, want) {
+		t.Fatalf("replicated hits diverge from single-copy:\n%v\n%v", res.Hits, want)
+	}
+	if len(res.ServedBy) != 4 {
+		t.Fatalf("ServedBy = %v, want 4 entries", res.ServedBy)
+	}
+
+	// Kill copy 0 of every node: the deployment must fail over to copy 1
+	// on every shard with no degraded bits (this exercises the facade
+	// arming retries for replicated deployments — without retries a query
+	// routed to a dead copy degrades instead of rotating).
+	repl.InjectFaults(FaultConfig{Seed: 42, DeadReplicas: []NodeReplica{
+		{Node: 0, Replica: 0}, {Node: 1, Replica: 0}, {Node: 2, Replica: 0}, {Node: 3, Replica: 0},
+	}})
+	res, err = repl.SearchCtx(context.Background(), expr, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degraded != 0 {
+		t.Fatalf("degraded mask with surviving copies = %b, want 0", res.Degraded)
+	}
+	for si, ri := range res.ServedBy {
+		if ri != 1 {
+			t.Fatalf("node %d served by copy %d, want 1", si, ri)
+		}
+	}
+	if !reflect.DeepEqual(res.Hits, want) {
+		t.Fatalf("failover hits diverge from single-copy")
+	}
+
+	// The single-copy control with every node dead has nothing to fail
+	// over to.
+	single.InjectFaults(FaultConfig{Seed: 42, DeadNodes: []int{0, 1, 2, 3}})
+	if _, err := single.SearchCtx(context.Background(), expr, 20); err == nil {
+		t.Fatal("single-copy all-dead search unexpectedly succeeded")
+	}
+}

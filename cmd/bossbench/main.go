@@ -11,6 +11,7 @@
 //	bossbench -wallclock           # real host QPS (serial vs batch/parallel)
 //	bossbench -wallclock -json     # same, machine-readable
 //	bossbench -chaos               # availability/QPS under fault injection
+//	bossbench -chaos -replicas 2 -replicakill  # replica failover: copy 0 of every shard dead
 //	bossbench -overload            # front-door goodput/tail-latency under overload
 //	bossbench -fetch               # document fetch phase: decode GB/s cold vs cached, search+fetch QPS
 //	bossbench -sparse              # Q7 sparse-dot: MaxScore pruning vs exhaustive, Q7 vs conjunctive QPS
@@ -45,6 +46,8 @@ func main() {
 		fetch   = flag.Bool("fetch", false, "measure the document fetch phase: decode GB/s cold vs cached, search+fetch QPS")
 		sparse  = flag.Bool("sparse", false, "measure the Q7 sparse-dot family: MaxScore pruning vs exhaustive, Q7 QPS vs conjunctive baseline")
 		shards  = flag.Int("shards", 4, "cluster shard count for -wallclock, -chaos, -overload, and -fetch")
+		reps    = flag.Int("replicas", 1, "with -chaos, copies of every shard (replication + hedging when > 1)")
+		repKill = flag.Bool("replicakill", false, "with -chaos, kill copy 0 of every shard at each point (requires -replicas >= 2)")
 		jsonOut = flag.Bool("json", false, "with -wallclock, -chaos, -overload, or -fetch, emit the report as JSON")
 		profile = flag.String("profile", "", "write <prefix>.cpu.pprof and <prefix>.heap.pprof covering the run")
 	)
@@ -161,7 +164,11 @@ func main() {
 	}
 
 	if *chaos {
-		rep := harness.Chaos(ctx, *shards)
+		if *repKill && *reps < 2 {
+			fmt.Fprintln(os.Stderr, "bossbench: -replicakill requires -replicas >= 2 (with one copy a whole-replica kill is just an outage)")
+			os.Exit(1)
+		}
+		rep := harness.Chaos(ctx, *shards, *reps, *repKill)
 		rep.Created = time.Now().UTC().Format(time.RFC3339)
 		if *jsonOut {
 			enc := json.NewEncoder(os.Stdout)

@@ -107,3 +107,52 @@ func boundedLoop(ctx context.Context, m *Model, q string) int {
 	}
 	return total
 }
+
+// hedged is the hedged-dispatch shape done right: both attempts derive
+// from the caller's context via WithCancel, the loser is cancelled, and
+// results travel over cap-1 buffered channels. No findings.
+func hedged(ctx context.Context, m *Model, q string) int {
+	pctx, pcancel := context.WithCancel(ctx)
+	defer pcancel()
+	pch := make(chan int, 1)
+	go func() { pch <- m.SearchCtx(pctx, q) }()
+	bctx, bcancel := context.WithCancel(ctx)
+	defer bcancel()
+	bch := make(chan int, 1)
+	go func() { bch <- m.SearchCtx(bctx, q) }()
+	select {
+	case r := <-pch:
+		bcancel()
+		return r
+	case r := <-bch:
+		pcancel()
+		return r
+	}
+}
+
+// hedgedSevered spawns its backup from a fresh root: cancelling the
+// request no longer cancels the backup, which keeps charging the
+// backend after the caller has gone.
+func hedgedSevered(ctx context.Context, m *Model, q string) int {
+	pch := make(chan int, 1)
+	go func() { pch <- m.SearchCtx(ctx, q) }()
+	bctx := context.Background() // want `context\.Background severs the caller's deadline in a serving path`
+	bch := make(chan int, 1)
+	go func() { bch <- m.SearchCtx(bctx, q) }()
+	select {
+	case r := <-pch:
+		return r
+	case r := <-bch:
+		return r
+	}
+}
+
+// hedgedBlindWait drains hedge results forever without ever observing
+// cancellation: a runner that never delivers wedges the wait.
+func hedgedBlindWait(ctx context.Context, results chan int) int {
+	for { // want `unbounded loop in hedgedBlindWait cannot observe cancellation`
+		if r := <-results; r > 0 {
+			return r
+		}
+	}
+}

@@ -115,3 +115,54 @@ func runDynamic(fn func()) {
 func runForeign(d time.Duration) {
 	go time.Sleep(d) // want `goroutine runs Sleep, which is declared outside the analyzed packages`
 }
+
+// hedgeResult / hedgeRun model the hedged-request dispatch shape: each
+// runner delivers into a cap-1 buffered channel, so the losing runner's
+// send never blocks and its goroutine provably exits after cancellation.
+type hedgeResult struct{ err error }
+
+func hedgeRun(ctx context.Context, ch chan<- hedgeResult) {
+	ch <- hedgeResult{err: ctx.Err()}
+}
+
+// hedgedDispatch spawns primary and backup runners by name, adopts the
+// first arrival, and cancels the loser: both spawns resolve statically
+// and contain no loops, so there are no findings.
+func hedgedDispatch(ctx context.Context) hedgeResult {
+	pctx, pcancel := context.WithCancel(ctx)
+	defer pcancel()
+	pch := make(chan hedgeResult, 1)
+	go hedgeRun(pctx, pch)
+	bctx, bcancel := context.WithCancel(ctx)
+	defer bcancel()
+	bch := make(chan hedgeResult, 1)
+	go hedgeRun(bctx, bch)
+	select {
+	case r := <-pch:
+		bcancel()
+		return r
+	case r := <-bch:
+		pcancel()
+		return r
+	}
+}
+
+// hedgedCollector is the leaked twin: it fans hedge results into a
+// range over a channel nothing in the package ever closes, so the
+// collector outlives every dispatch.
+func hedgedCollector(results chan hedgeResult) {
+	go func() { // want `ranges over channel results, which is never closed in this package`
+		for range results {
+		}
+	}()
+}
+
+// hedgedDynamic is the other leaked twin: the runner arrives as a
+// function value, so the hedge spawn's exit cannot be proven.
+func hedgedDynamic(attempt func() hedgeResult, ch chan<- hedgeResult) {
+	go func() { // want `its unconditional for loop has no select receive case that returns or breaks`
+		for {
+			ch <- attempt()
+		}
+	}()
+}

@@ -22,6 +22,11 @@ type ChaosPoint struct {
 	// uncorrectable media errors (non-retryable; these are what degrade
 	// results).
 	FaultRate float64 `json:"fault_rate"`
+	// Replicas is how many copies of each shard served the point, and
+	// DeadReplicas how many whole shard copies the fault plan killed
+	// (replica-kill mode takes down copy 0 of every shard).
+	Replicas     int `json:"replicas"`
+	DeadReplicas int `json:"dead_replicas"`
 	// Queries is how many query executions the point measured.
 	Queries int `json:"queries"`
 	// FullyOK counts executions whose every shard answered.
@@ -39,9 +44,12 @@ type ChaosPoint struct {
 	TransientRetries int64 `json:"transient_retries"`
 	// ShardRetries counts pool-level shard re-attempts (backoff events),
 	// and BreakerOpens counts circuit-breaker opens, both summed across
-	// shards from the resilience event logs.
+	// shard replicas from the resilience event logs.
 	ShardRetries int `json:"shard_retries"`
 	BreakerOpens int `json:"breaker_opens"`
+	// Hedged counts shard attempts that fired a hedged backup replica
+	// (always zero on single-copy sweeps, where hedging is off).
+	Hedged int `json:"hedged"`
 	// QPS is real host-side throughput over the measured executions.
 	QPS float64 `json:"qps"`
 	// P50LatencyUS / P99LatencyUS are per-query wall-clock latency
@@ -53,17 +61,22 @@ type ChaosPoint struct {
 // ChaosReport is the -chaos benchmark: availability and throughput of the
 // resilient cluster serving path at increasing fault-injection rates. Rate
 // zero is the control — it runs with a nil fault plan, i.e. the exact
-// fault-free fast path every simulated figure uses.
+// fault-free fast path every simulated figure uses. With Replicas > 1 the
+// sweep serves from replicated shards (hedging armed); with ReplicaKill
+// the fault plan additionally takes copy 0 of every shard down, so
+// availability measures pure replica failover.
 type ChaosReport struct {
-	Schema  string       `json:"schema"`
-	PR      int          `json:"pr"`
-	Corpus  string       `json:"corpus"`
-	Shards  int          `json:"shards"`
-	K       int          `json:"k"`
-	Batch   int          `json:"batch"`
-	Seed    int64        `json:"seed"`
-	Points  []ChaosPoint `json:"points"`
-	Created string       `json:"created,omitempty"`
+	Schema      string       `json:"schema"`
+	PR          int          `json:"pr"`
+	Corpus      string       `json:"corpus"`
+	Shards      int          `json:"shards"`
+	Replicas    int          `json:"replicas"`
+	ReplicaKill bool         `json:"replica_kill"`
+	K           int          `json:"k"`
+	Batch       int          `json:"batch"`
+	Seed        int64        `json:"seed"`
+	Points      []ChaosPoint `json:"points"`
+	Created     string       `json:"created,omitempty"`
 }
 
 // chaosRates are the sweep's operating points: clean, 0.1%, 1%.
@@ -72,6 +85,11 @@ var chaosRates = []float64{0, 0.001, 0.01}
 // chaosBatch is how many Zipfian queries each operating point serves per
 // measurement pass.
 const chaosBatch = 200
+
+// chaosHedgeCutoff arms hedged requests on replicated sweeps: generous
+// against simulated-device service times, so hedges fire only on real
+// stragglers rather than doubling the whole workload.
+const chaosHedgeCutoff = 2 * time.Millisecond
 
 // chaosExprs samples the conjunctive Zipfian serving mix (Q2/Q4, the
 // decode-bound shapes) cycled up to n queries.
@@ -90,32 +108,57 @@ func chaosExprs(c *corpus.Corpus, seed int64, n int) []string {
 	return exprs
 }
 
-// chaosPoint measures one fault rate: a fresh cluster (so breaker state
-// and the decoded-block cache never leak across points), the rate's fault
-// plan, and repeated serial passes over the batch until the minimum
-// duration elapses.
+// chaosConfig is the sweep's cluster configuration: cache off (faults are
+// drawn on the decode path, so a warm decoded-block cache would absorb
+// the fault plan after the first pass and every point would trivially
+// report full availability), the requested replica count, and hedging
+// armed on replicated sweeps.
+func chaosConfig(replicas int) pool.Config {
+	cfg := pool.DefaultConfig()
+	cfg.CacheBytes = 0
+	cfg.Replicas = replicas
+	if replicas > 1 {
+		// Replicated sweeps arm the full failover stack: retries (so a
+		// failed attempt rotates onto another copy instead of degrading)
+		// and hedged requests. Single-copy sweeps keep the historical
+		// BENCH_pr5 configuration for comparability.
+		cfg.Resilience = pool.DefaultResilience()
+		cfg.Resilience.HedgeEnabled = true
+		cfg.Resilience.HedgeCutoff = chaosHedgeCutoff
+	}
+	return cfg
+}
+
+// chaosPoint measures one fault rate on a fresh serving state derived
+// from the base cluster (so breaker state and the decoded-block cache
+// never leak across points, while the expensive shard corpora and index
+// builds are shared), the rate's fault plan, and repeated serial passes
+// over the batch until the minimum duration elapses.
 //
 //boss:wallclock this report intentionally measures real host-side latency.
-func chaosPoint(ctx *Context, shards int, seed int64, exprs []string, k int, rate float64) ChaosPoint {
-	s := ctx.ClueWeb()
-	cfg := pool.DefaultConfig()
-	// Cache off: faults are drawn on the decode path, so a warm decoded-block
-	// cache would absorb the fault plan after the first pass and every point
-	// would trivially report full availability.
-	cfg.CacheBytes = 0
-	cl, err := pool.NewCluster(cfg, s.Corpus, shards)
+func chaosPoint(base *pool.Cluster, seed int64, exprs []string, k int, rate float64, replicaKill bool) ChaosPoint {
+	cl, err := base.Fresh(chaosConfig(base.Replicas()))
 	if err != nil {
 		panic(err)
 	}
-	if rate > 0 {
-		cl.SetFaultPlan(&mem.FaultPlan{
-			Seed:              seed,
-			TransientRate:     rate,
-			UncorrectableRate: rate,
-		})
+	pt := ChaosPoint{FaultRate: rate, Replicas: cl.Replicas()}
+	if rate > 0 || replicaKill {
+		plan := &mem.FaultPlan{Seed: seed}
+		if rate > 0 {
+			plan.TransientRate = rate
+			plan.UncorrectableRate = rate
+		}
+		if replicaKill {
+			// Whole-replica kill: copy 0 of every shard never answers, so
+			// every query must fail over to a surviving copy.
+			for si := 0; si < cl.Shards(); si++ {
+				plan.DeadDevices = append(plan.DeadDevices, cl.ReplicaDevice(si, 0))
+			}
+			pt.DeadReplicas = cl.Shards()
+		}
+		cl.SetFaultPlan(plan)
 	}
 
-	pt := ChaosPoint{FaultRate: rate}
 	var lat []time.Duration
 	start := time.Now()
 	for {
@@ -133,6 +176,7 @@ func chaosPoint(ctx *Context, shards int, seed int64, exprs []string, k int, rat
 				pt.FullyOK++
 			}
 			if err == nil {
+				pt.Hedged += res.Hedged
 				for _, m := range res.PerShard {
 					if m != nil {
 						pt.TransientRetries += m.TransientRetries
@@ -148,7 +192,7 @@ func chaosPoint(ctx *Context, shards int, seed int64, exprs []string, k int, rat
 
 	pt.Availability = float64(pt.FullyOK+pt.Degraded) / float64(pt.Queries)
 	pt.QPS = float64(pt.Queries) / elapsed.Seconds()
-	for si := 0; si < shards; si++ {
+	for si := 0; si < cl.Shards(); si++ {
 		for _, ev := range cl.Events(si) {
 			switch ev.Kind {
 			case pool.EvBackoff:
@@ -179,27 +223,46 @@ func percentileIdx(n, pct int) int {
 // Chaos sweeps the resilient serving path across fault-injection rates and
 // reports availability, retry/breaker activity, and wall-clock throughput
 // at each point. Rate zero serves as the control: it must report full
-// availability and zero resilience events.
-func Chaos(ctx *Context, shards int) *ChaosReport {
+// availability and zero resilience events. replicas > 1 serves every
+// point from replicated shards with hedging armed; replicaKill
+// additionally takes copy 0 of every shard down at every point (requires
+// replicas >= 2 — with one copy a whole-replica kill is just an outage).
+// The shard corpora and index builds are constructed once and shared
+// across points; only serving state (cache, breakers, fault plan) is
+// rebuilt per point.
+func Chaos(ctx *Context, shards, replicas int, replicaKill bool) *ChaosReport {
 	if shards <= 0 {
 		shards = 4
+	}
+	if replicas <= 0 {
+		replicas = 1
+	}
+	if replicaKill && replicas < 2 {
+		panic("harness: -replicakill requires at least 2 replicas")
 	}
 	s := ctx.ClueWeb()
 	k := ctx.Cfg.K
 	seed := ctx.Cfg.Seed
 	exprs := chaosExprs(s.Corpus, seed, chaosBatch)
 
+	base, err := pool.NewCluster(chaosConfig(replicas), s.Corpus, shards)
+	if err != nil {
+		panic(err)
+	}
+
 	rep := &ChaosReport{
-		Schema: BenchSchema,
-		PR:     BenchPR,
-		Corpus: s.Spec.Name,
-		Shards: shards,
-		K:      k,
-		Batch:  len(exprs),
-		Seed:   seed,
+		Schema:      BenchSchema,
+		PR:          BenchPR,
+		Corpus:      s.Spec.Name,
+		Shards:      shards,
+		Replicas:    replicas,
+		ReplicaKill: replicaKill,
+		K:           k,
+		Batch:       len(exprs),
+		Seed:        seed,
 	}
 	for _, rate := range chaosRates {
-		rep.Points = append(rep.Points, chaosPoint(ctx, shards, seed, exprs, k, rate))
+		rep.Points = append(rep.Points, chaosPoint(base, seed, exprs, k, rate, replicaKill))
 	}
 	return rep
 }
@@ -211,6 +274,8 @@ func (r *ChaosReport) Table() *Table {
 	for _, p := range r.Points {
 		rows = append(rows, []string{
 			fmt.Sprintf("%.2f%%", 100*p.FaultRate),
+			fmt.Sprintf("%d", p.Replicas),
+			fmt.Sprintf("%d", p.DeadReplicas),
 			fmt.Sprintf("%d", p.Queries),
 			fmt.Sprintf("%d", p.FullyOK),
 			fmt.Sprintf("%d", p.Degraded),
@@ -219,22 +284,24 @@ func (r *ChaosReport) Table() *Table {
 			fmt.Sprintf("%d", p.TransientRetries),
 			fmt.Sprintf("%d", p.ShardRetries),
 			fmt.Sprintf("%d", p.BreakerOpens),
+			fmt.Sprintf("%d", p.Hedged),
 			fmt.Sprintf("%.0f", p.QPS),
 			fmt.Sprintf("%.0f", p.P99LatencyUS),
 		})
 	}
 	return &Table{
 		ID:    "chaos",
-		Title: fmt.Sprintf("Availability under fault injection on %s (%d shards, %d-query batch, k=%d)", r.Corpus, r.Shards, r.Batch, r.K),
+		Title: fmt.Sprintf("Availability under fault injection on %s (%d shards x %d replicas, %d-query batch, k=%d)", r.Corpus, r.Shards, r.Replicas, r.Batch, r.K),
 		Header: []string{
-			"fault-rate", "queries", "ok", "degraded", "failed",
+			"fault-rate", "replicas", "dead", "queries", "ok", "degraded", "failed",
 			"availability", "dev-retries", "shard-retries", "breaker-opens",
-			"qps", "p99-us",
+			"hedged", "qps", "p99-us",
 		},
 		Rows: rows,
 		Notes: []string{
 			"fault-rate is the per-access probability of both transient and uncorrectable errors",
 			"availability counts degraded (partial) results as available",
+			"dead is whole shard copies killed by the plan (replica-kill mode: copy 0 of every shard)",
 			"wall-clock host throughput/latency (not simulated device latency)",
 		},
 	}

@@ -22,9 +22,11 @@ import (
 const (
 	// v2 adds the -fetch report (document fetch phase) alongside the
 	// overload and chaos envelopes, and later the -sparse report (Q7
-	// impact-ordered retrieval); existing fields are unchanged.
+	// impact-ordered retrieval) and the chaos envelope's replica fields
+	// (replicas/replica_kill, per-point dead_replicas/hedged); existing
+	// fields are unchanged.
 	BenchSchema = "bossbench/v2"
-	BenchPR     = 9
+	BenchPR     = 10
 )
 
 // overloadDeadline is each request's latency budget: a completion after

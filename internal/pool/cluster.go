@@ -32,7 +32,15 @@ type Cluster struct {
 	cfg     Config
 	shards  []*index.Index
 	offsets []uint32 // global docID of each shard's local doc 0
-	accs    []*core.Accelerator
+	// accs[si][ri] is the wall-clock accelerator of replica ri of shard
+	// si. Replica 0 serves the base index; replicas 1..R-1 serve
+	// index.ReplicaView copies, so every replica shares one decoded-block
+	// cache budget with replica-disjoint keys and owns its own
+	// fault-injection domain. The deterministic plain paths
+	// (Search/SearchSerial/SearchBatch) always run replica 0 —
+	// byte-identical to single-copy serving; only the resilient paths
+	// route across replicas.
+	accs [][]*core.Accelerator
 	// present is the cluster-level term-presence set, built once so query
 	// validation does not rescan every shard's dictionary per term.
 	present map[string]struct{}
@@ -49,21 +57,30 @@ type Cluster struct {
 	// statistics; spec and docLens are everything the builder needs, so
 	// clusters that never fetch pay nothing beyond the two retained
 	// fields.
-	spec      corpus.Spec
-	docLens   []uint32
-	docsOnce  sync.Once
-	docsErr   error
-	docs      []*docstore.Store
-	fetchers  []*core.FetchEngine
+	spec     corpus.Spec
+	docLens  []uint32
+	docsOnce sync.Once
+	docsErr  error
+	docs     []*docstore.Store
+	// fetchers[si][ri] is replica ri's fetch engine over a
+	// docstore.ReplicaView of the shard's store (replica 0 serves the
+	// base store), mirroring accs' replica layout.
+	fetchers  [][]*core.FetchEngine
 	faultPlan *mem.FaultPlan
 
 	// Resilience machinery (see resilient.go): normalized policy, one
-	// breaker + event log per shard, and injectable clock/sleep hooks so
-	// breaker tests run on a fake clock.
+	// breaker + event log per shard replica, and injectable clock/sleep/
+	// timer hooks so breaker and hedge tests run on a fake clock.
 	res     Resilience
-	states  []*shardState
+	states  [][]*shardState
 	now     func() time.Time                                 //boss:wallclock serving-path breaker clock
 	sleepFn func(ctx context.Context, d time.Duration) error //boss:wallclock retry backoff
+	// timerFn arms the hedge-cutoff timer, returning the fire channel
+	// and a stop function; tests substitute a hand-fired channel.
+	timerFn func(d time.Duration) (<-chan time.Time, func() bool) //boss:wallclock hedge cutoff timer
+	// runFn issues one replica attempt on the hedged path; tests
+	// substitute it to script replica latencies deterministically.
+	runFn func(ctx context.Context, node *query.Node, dnf [][]string, si, ri, k int) shardOut
 }
 
 // ErrBadConfig reports an invalid cluster construction request. All
@@ -86,6 +103,12 @@ func validateConfig(cfg Config) error {
 	}
 	if cfg.Workers < 0 {
 		return fmt.Errorf("%w: negative Workers %d", ErrBadConfig, cfg.Workers)
+	}
+	if cfg.Replicas < 1 {
+		return fmt.Errorf("%w: Replicas %d (every shard needs at least one copy; DefaultConfig sets 1)", ErrBadConfig, cfg.Replicas)
+	}
+	if cfg.Resilience.HedgeEnabled && cfg.Resilience.HedgeCutoff <= 0 {
+		return fmt.Errorf("%w: hedging enabled with non-positive HedgeCutoff %v", ErrBadConfig, cfg.Resilience.HedgeCutoff)
 	}
 	return nil
 }
@@ -142,10 +165,11 @@ func NewCluster(cfg Config, c *corpus.Corpus, shards int) (*Cluster, error) {
 		idx := index.Build(sc, index.BuildOptions{Scheme: compress.SchemeHybrid, Global: gs})
 		cl.shards = append(cl.shards, idx)
 		cl.offsets = append(cl.offsets, uint32(lo))
-		// All shards share one cache: posting-list identities are process-
-		// wide, so keys never collide across shards, and a shared budget
+		// All shards and replicas share one cache: posting-list identities
+		// are process-wide (replicas get fresh ones via ReplicaView), so
+		// keys never collide across shards or copies, and a shared budget
 		// follows the workload's skew instead of splitting it evenly.
-		cl.accs = append(cl.accs, core.NewCached(idx, cfg.Opts, cl.cache))
+		cl.accs = append(cl.accs, cl.buildReplicas(idx))
 	}
 	cl.present = make(map[string]struct{}, len(c.Terms))
 	cl.shardTerms = make([]map[string]struct{}, len(cl.shards))
@@ -161,6 +185,62 @@ func NewCluster(cfg Config, c *corpus.Corpus, shards int) (*Cluster, error) {
 	return cl, nil
 }
 
+// buildReplicas constructs one shard's replica accelerators: replica 0
+// over the base index, replicas 1..R-1 over fresh ReplicaViews, all
+// sharing the cluster cache.
+func (cl *Cluster) buildReplicas(idx *index.Index) []*core.Accelerator {
+	reps := make([]*core.Accelerator, cl.Replicas())
+	reps[0] = core.NewCached(idx, cl.cfg.Opts, cl.cache)
+	for ri := 1; ri < len(reps); ri++ {
+		reps[ri] = core.NewCached(idx.ReplicaView(), cl.cfg.Opts, cl.cache)
+	}
+	return reps
+}
+
+// Fresh returns a new cluster over the same built shard indexes with
+// fresh serving state: its own decoded-block cache, accelerators,
+// breaker/event state, no fault plan, and an unbuilt fetch phase. The
+// expensive immutable artifacts — shard corpora, index builds, presence
+// sets — are shared with the receiver, so sweeps that need per-point
+// state isolation (the chaos harness) pay index construction once
+// instead of once per sweep point. cfg may differ from the receiver's
+// (a different cache budget, replica count, or resilience policy).
+func (cl *Cluster) Fresh(cfg Config) (*Cluster, error) {
+	if err := validateConfig(cfg); err != nil {
+		return nil, err
+	}
+	nc := &Cluster{
+		cfg:        cfg,
+		shards:     cl.shards,
+		offsets:    cl.offsets,
+		present:    cl.present,
+		shardTerms: cl.shardTerms,
+		cache:      cache.New(cfg.CacheBytes),
+		spec:       cl.spec,
+		docLens:    cl.docLens,
+	}
+	for _, idx := range nc.shards {
+		nc.accs = append(nc.accs, nc.buildReplicas(idx))
+	}
+	nc.initResilience(cfg.Resilience)
+	return nc, nil
+}
+
+// Replicas reports the number of independently-faultable copies each
+// shard keeps (1 = single-copy serving).
+func (cl *Cluster) Replicas() int {
+	if cl.cfg.Replicas < 1 {
+		return 1
+	}
+	return cl.cfg.Replicas
+}
+
+// ReplicaDevice maps (shard, replica) to its fault-plan device index:
+// replica ri of shard si plays device si*Replicas+ri. With single-copy
+// shards that is device si, the historical single-copy layout, so
+// existing fault plans keep their meaning.
+func (cl *Cluster) ReplicaDevice(si, ri int) int { return si*cl.Replicas() + ri }
+
 // Cache returns the cluster's decoded-block cache, or nil when disabled.
 func (cl *Cluster) Cache() *cache.Cache { return cl.cache }
 
@@ -174,11 +254,15 @@ func (cl *Cluster) CacheStats() cache.Stats { return cl.cache.Stats() }
 func (cl *Cluster) SetCacheBytes(budget int64) {
 	cl.cfg.CacheBytes = budget
 	cl.cache = cache.New(budget)
-	for _, acc := range cl.accs {
-		acc.SetCache(cl.cache)
+	for _, reps := range cl.accs {
+		for _, acc := range reps {
+			acc.SetCache(cl.cache)
+		}
 	}
-	for _, eng := range cl.fetchers {
-		eng.SetCache(cl.cache)
+	for _, reps := range cl.fetchers {
+		for _, eng := range reps {
+			eng.SetCache(cl.cache)
+		}
 	}
 }
 
@@ -311,6 +395,17 @@ type ClusterResult struct {
 	// requested docID for FetchBatch, one per TopK entry for the
 	// search+fetch paths. Entries from degraded shards are zero-valued.
 	Docs []FetchedDoc
+	// Hedged counts backup replica attempts this query fired (hedged
+	// requests past the cutoff); HedgeWins counts the backups whose
+	// result was adopted over the primary's. Both stay zero with
+	// hedging disabled or single-copy shards.
+	Hedged    int
+	HedgeWins int
+	// ServedBy, non-nil only on replicated clusters (Replicas > 1),
+	// records which replica produced each shard's contribution (-1 for
+	// shards that failed or could not match). Single-copy clusters leave
+	// it nil so the default serving path allocates nothing extra.
+	ServedBy []int
 }
 
 // validate parses the expression and rejects terms entirely absent from the
@@ -369,6 +464,12 @@ type shardOut struct {
 	m    *perf.Metrics
 	topk []topk.Entry
 	err  error
+	// ri is the replica that produced the result (resilient paths only;
+	// the plain paths always run replica 0). hedged/hedgeWin count the
+	// backup attempts fired and adopted while producing it.
+	ri       int
+	hedged   int
+	hedgeWin bool
 }
 
 // runShard executes the query on one shard, pruning terms the shard does
@@ -381,7 +482,7 @@ func (cl *Cluster) runShard(node *query.Node, dnf [][]string, si, k int) shardOu
 		return shardOut{}
 	}
 	if pruned.Op == query.OpSparse {
-		out, err := cl.accs[si].RunSparse(pruned.Terms(), k)
+		out, err := cl.accs[si][0].RunSparse(pruned.Terms(), k)
 		if err != nil {
 			return shardOut{err: fmt.Errorf("pool: shard %d: %w", si, err)}
 		}
@@ -390,7 +491,7 @@ func (cl *Cluster) runShard(node *query.Node, dnf [][]string, si, k int) shardOu
 	if pruned != node {
 		dnf = pruned.DNF()
 	}
-	out, err := cl.accs[si].RunDNF(dnf, k)
+	out, err := cl.accs[si][0].RunDNF(dnf, k)
 	if err != nil {
 		return shardOut{err: fmt.Errorf("pool: shard %d: %w", si, err)}
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"testing"
+	"time"
 
 	"boss/internal/corpus"
 )
@@ -21,6 +22,21 @@ func TestNewClusterRejectsBadConfig(t *testing.T) {
 		{"negative Cores", func() Config { c := DefaultConfig(); c.Cores = -4; return c }()},
 		{"negative K", func() Config { c := DefaultConfig(); c.K = -10; return c }()},
 		{"negative Workers", func() Config { c := DefaultConfig(); c.Workers = -2; return c }()},
+		{"zero Replicas", func() Config { c := DefaultConfig(); c.Replicas = 0; return c }()},
+		{"negative Replicas", func() Config { c := DefaultConfig(); c.Replicas = -2; return c }()},
+		{"hedging without cutoff", func() Config {
+			c := DefaultConfig()
+			c.Replicas = 2
+			c.Resilience.HedgeEnabled = true // HedgeCutoff left zero
+			return c
+		}()},
+		{"hedging with negative cutoff", func() Config {
+			c := DefaultConfig()
+			c.Replicas = 2
+			c.Resilience.HedgeEnabled = true
+			c.Resilience.HedgeCutoff = -time.Millisecond
+			return c
+		}()},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -33,6 +49,13 @@ func TestNewClusterRejectsBadConfig(t *testing.T) {
 		if _, err := NewCluster(DefaultConfig(), c, shards); !errors.Is(err, ErrBadConfig) {
 			t.Fatalf("NewCluster(shards=%d): err = %v, want ErrBadConfig", shards, err)
 		}
+	}
+	// Replication over zero shards is as nonsensical as zero shards alone:
+	// the shard-count check must fire before any replica is built.
+	repl := DefaultConfig()
+	repl.Replicas = 2
+	if _, err := NewCluster(repl, c, 0); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("NewCluster(replicas=2, shards=0): err = %v, want ErrBadConfig", err)
 	}
 }
 

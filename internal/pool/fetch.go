@@ -54,10 +54,14 @@ func (cl *Cluster) EnsureDocs() error {
 }
 
 // buildDocs synthesizes one document store per shard over the shard's
-// global docID interval. Runs under docsOnce.
+// global docID interval, then one fetch engine per replica of the shard.
+// Replica 0 serves the base store; higher replicas serve ReplicaViews
+// (shared payload bytes, fresh cache identity) and draw faults from
+// their own injector domain, mirroring buildReplicas. Runs under
+// docsOnce.
 func (cl *Cluster) buildDocs() {
 	cl.docs = make([]*docstore.Store, len(cl.shards))
-	cl.fetchers = make([]*core.FetchEngine, len(cl.shards))
+	cl.fetchers = make([][]*core.FetchEngine, len(cl.shards))
 	var name, text []byte
 	for si := range cl.shards {
 		lo := cl.offsets[si]
@@ -75,11 +79,19 @@ func (cl *Cluster) buildDocs() {
 			}
 		}
 		cl.docs[si] = b.Build()
-		eng := core.NewFetchEngine(cl.docs[si], cl.cache)
-		if cl.faultPlan != nil {
-			eng.SetFault(cl.faultPlan.InjectorFor(si))
+		reps := make([]*core.FetchEngine, cl.Replicas())
+		for ri := range reps {
+			store := cl.docs[si]
+			if ri > 0 {
+				store = store.ReplicaView()
+			}
+			eng := core.NewFetchEngine(store, cl.cache)
+			if cl.faultPlan != nil {
+				eng.SetFault(cl.faultPlan.InjectorFor(cl.ReplicaDevice(si, ri)))
+			}
+			reps[ri] = eng
 		}
-		cl.fetchers[si] = eng
+		cl.fetchers[si] = reps
 	}
 }
 
@@ -213,52 +225,66 @@ func (cl *Cluster) fetchBatchMask(ctx context.Context, ids []uint32, mask uint64
 	return res, nil
 }
 
-// fetchShardResilient drives one shard's fetch attempt loop: breaker
-// gate, bounded retry with jittered backoff, parent-context awareness —
-// the fetch twin of runShardResilient, sharing its breaker state so a
-// shard that fails searches also sheds fetches.
+// fetchQueryKey folds a fetch's docID set into the stable query key the
+// replica rotation hashes on, so a given fetch routes to the same copy
+// across replays just like a search expression does.
+func fetchQueryKey(ids []uint32) uint64 {
+	var key uint64
+	for _, id := range ids {
+		key = splitmix64(key ^ uint64(id))
+	}
+	return key
+}
+
+// fetchShardResilient drives one shard's fetch attempt loop:
+// breaker-aware replica selection, bounded retry with jittered backoff,
+// parent-context awareness — the fetch twin of runShardResilient,
+// sharing its per-replica breaker state so a copy that fails searches
+// also sheds fetches. Fetches are never hedged: a fetch attempt writes
+// payloads into the caller's docs slice in place, and two racing
+// attempts would tear those writes.
 func (cl *Cluster) fetchShardResilient(ctx context.Context, si int, ids []uint32, pos []int, docs []FetchedDoc) (*perf.Metrics, error) {
-	st := cl.states[si]
+	qkey := fetchQueryKey(ids)
 	for attempt := 0; ; attempt++ {
 		if cause := ctx.Err(); cause != nil {
 			return nil, shardError(si, cause)
 		}
-		if !st.allow(si, cl.now(), cl.res.BreakerCooldown) {
+		st, ri, ok := cl.pickReplica(si, qkey, attempt)
+		if !ok {
 			return nil, breakerError(si)
 		}
-		recordAttempt(st, si, attempt)
-		m, err := cl.fetchShardAttempt(ctx, si, ids, pos, docs)
+		recordAttempt(st, attempt)
+		m, err := cl.fetchShardAttempt(ctx, si, ri, ids, pos, docs)
+		cl.settle(st, err, attempt)
 		if err == nil {
-			st.success(si)
 			return m, nil
 		}
-		st.failure(si, attempt, cl.now(), cl.res.BreakerThreshold, err)
-		if attempt >= cl.res.MaxRetries || !retryable(err) {
+		if attempt >= cl.res.MaxRetries || !cl.retryableOn(err, si) {
 			return nil, err
 		}
 		if ctx.Err() != nil {
 			return nil, err
 		}
 		d := cl.res.backoffDelay(si, attempt)
-		recordBackoff(st, si, attempt, d)
+		recordBackoff(st, attempt, d)
 		if cl.sleepFn(ctx, d) != nil {
 			return nil, err // context died during backoff: report the last failure
 		}
 	}
 }
 
-// fetchShardAttempt issues one shard fetch attempt under the per-attempt
-// deadline: every requested document streams through the shard's fetch
-// engine, and the payloads are copied into docs at their input
-// positions. A fresh Metrics per attempt keeps retried attempts from
-// double-charging the recorded shard work.
-func (cl *Cluster) fetchShardAttempt(ctx context.Context, si int, ids []uint32, pos []int, docs []FetchedDoc) (*perf.Metrics, error) {
+// fetchShardAttempt issues one fetch attempt on replica ri of shard si
+// under the per-attempt deadline: every requested document streams
+// through the replica's fetch engine, and the payloads are copied into
+// docs at their input positions. A fresh Metrics per attempt keeps
+// retried attempts from double-charging the recorded shard work.
+func (cl *Cluster) fetchShardAttempt(ctx context.Context, si, ri int, ids []uint32, pos []int, docs []FetchedDoc) (*perf.Metrics, error) {
 	if cl.res.ShardTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, cl.res.ShardTimeout)
 		defer cancel()
 	}
-	eng := cl.fetchers[si]
+	eng := cl.fetchers[si][ri]
 	off := cl.offsets[si]
 	m := perf.NewMetrics()
 	var buf core.DocBuf

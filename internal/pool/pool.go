@@ -45,6 +45,15 @@ type Config struct {
 	// event-driven simulated Device (RunBatch), whose modeled figures
 	// must not depend on host-side caching.
 	CacheBytes int64
+	// Replicas is the number of independently-faultable copies of each
+	// shard the cluster keeps (R-way replication). Each replica has its
+	// own accelerator, fault-injection domain, circuit breaker, and
+	// cache-key space; the resilient serving paths route across replicas
+	// with deterministic seeded selection and skip replicas whose
+	// breakers are open. 1 (the DefaultConfig value) is single-copy
+	// serving, byte-identical to the pre-replication code path; values
+	// below 1 are rejected by NewCluster with ErrBadConfig.
+	Replicas int
 	// Resilience configures the cluster's serving-path fault handling
 	// (SearchCtx/SearchBatchCtx). Zero fields take DefaultResilience
 	// values.
@@ -70,6 +79,7 @@ func DefaultConfig() Config {
 		K:          core.DefaultK,
 		Opts:       core.DefaultOptions(),
 		CacheBytes: DefaultCacheBytes,
+		Replicas:   1,
 	}
 }
 

@@ -1,0 +1,454 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"boss/internal/corpus"
+	"boss/internal/mem"
+	"boss/internal/query"
+)
+
+// replicaTestCorpus is shared across the replica tests; generation and
+// index builds dominate their runtime.
+func replicaTestCorpus(t *testing.T) *corpus.Corpus {
+	t.Helper()
+	return corpus.Generate(corpus.ClueWebLike(0.005))
+}
+
+// replicatedConfig is the tests' replicated-cluster base: R copies,
+// retries armed so rotation can fail over, serial shard sweep for
+// deterministic event logs.
+func replicatedConfig(r int) Config {
+	cfg := DefaultConfig()
+	cfg.Replicas = r
+	cfg.Resilience = DefaultResilience()
+	cfg.Workers = 1
+	return cfg
+}
+
+// TestReplicatedMatchesSingleCopy: a pristine replicated cluster must
+// return byte-identical rankings to a single-copy cluster — replicas
+// serve the same blocks, and the plain paths pin to replica 0.
+func TestReplicatedMatchesSingleCopy(t *testing.T) {
+	c := replicaTestCorpus(t)
+	single, err := NewCluster(DefaultConfig(), c, 3)
+	if err != nil {
+		t.Fatalf("NewCluster(R=1): %v", err)
+	}
+	repl, err := NewCluster(replicatedConfig(3), c, 3)
+	if err != nil {
+		t.Fatalf("NewCluster(R=3): %v", err)
+	}
+	if got := repl.Replicas(); got != 3 {
+		t.Fatalf("Replicas() = %d, want 3", got)
+	}
+	for _, expr := range []string{`"t1"`, `"t2" AND "t3"`, `"t1" OR "t5"`} {
+		want, err := single.SearchCtx(context.Background(), expr, 40)
+		if err != nil {
+			t.Fatalf("single %q: %v", expr, err)
+		}
+		got, err := repl.SearchCtx(context.Background(), expr, 40)
+		if err != nil {
+			t.Fatalf("replicated %q: %v", expr, err)
+		}
+		if len(got.TopK) != len(want.TopK) {
+			t.Fatalf("%q: %d vs %d hits", expr, len(got.TopK), len(want.TopK))
+		}
+		for i := range got.TopK {
+			if got.TopK[i] != want.TopK[i] {
+				t.Fatalf("%q hit %d: %+v vs %+v", expr, i, got.TopK[i], want.TopK[i])
+			}
+		}
+		if got.ServedBy == nil {
+			t.Fatalf("%q: replicated result carries no ServedBy", expr)
+		}
+	}
+	if res, err := single.SearchCtx(context.Background(), `"t1"`, 10); err != nil || res.ServedBy != nil {
+		t.Fatalf("single-copy result allocated ServedBy: %v %v", res.ServedBy, err)
+	}
+}
+
+// TestReplicaSelectionDeterministic: replica routing is a pure function
+// of (seed, query, shard, attempt) — two identically-configured clusters
+// serving the same query stream must pick byte-identical replicas.
+func TestReplicaSelectionDeterministic(t *testing.T) {
+	c := replicaTestCorpus(t)
+	exprs := []string{`"t1"`, `"t2"`, `"t3" AND "t4"`, `"t1" OR "t6"`, `"t5"`}
+	route := func() [][]int {
+		cl, err := NewCluster(replicatedConfig(3), c, 4)
+		if err != nil {
+			t.Fatalf("NewCluster: %v", err)
+		}
+		var out [][]int
+		for _, e := range exprs {
+			res, err := cl.SearchCtx(context.Background(), e, 20)
+			if err != nil {
+				t.Fatalf("SearchCtx(%q): %v", e, err)
+			}
+			out = append(out, res.ServedBy)
+		}
+		return out
+	}
+	a, b := route(), route()
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("replica routing diverged across identical runs:\n%v\n%v", a, b)
+	}
+	// The stream must actually spread across copies — a constant pick
+	// would pass the determinism check while hiding a broken draw.
+	seen := map[int]bool{}
+	for _, q := range a {
+		for _, ri := range q {
+			seen[ri] = true
+		}
+	}
+	if len(seen) < 2 {
+		t.Fatalf("5 queries x 4 shards landed on a single replica: %v", a)
+	}
+}
+
+// TestReplicaFailoverUncorrectable: with R=2 and copy 0 of every shard
+// dead, retries rotate onto the surviving copy, so queries complete
+// fully served with no degradation — where the same plan on a
+// single-copy cluster degrades.
+func TestReplicaFailoverUncorrectable(t *testing.T) {
+	c := replicaTestCorpus(t)
+	cl, err := NewCluster(replicatedConfig(2), c, 3)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	plan := &mem.FaultPlan{Seed: 7}
+	for si := 0; si < cl.Shards(); si++ {
+		plan.DeadDevices = append(plan.DeadDevices, cl.ReplicaDevice(si, 0))
+	}
+	cl.SetFaultPlan(plan)
+	res, err := cl.SearchCtx(context.Background(), `"t1" AND "t2"`, 30)
+	if err != nil {
+		t.Fatalf("SearchCtx with copy 0 dead: %v", err)
+	}
+	if res.Degraded != 0 {
+		t.Fatalf("Degraded = %b, want 0 (copy 1 holds every shard)", res.Degraded)
+	}
+	for si, ri := range res.ServedBy {
+		if ri != 1 {
+			t.Fatalf("shard %d served by replica %d, want 1 (replica 0 is dead)", si, ri)
+		}
+	}
+
+	// Control: the same outage on a single-copy cluster loses the shards.
+	single, err := NewCluster(func() Config { c := DefaultConfig(); c.Resilience = DefaultResilience(); return c }(), c, 3)
+	if err != nil {
+		t.Fatalf("NewCluster(R=1): %v", err)
+	}
+	single.SetFaultPlan(&mem.FaultPlan{Seed: 7, DeadDevices: []int{0, 1, 2}})
+	if _, err := single.SearchCtx(context.Background(), `"t1" AND "t2"`, 30); err == nil {
+		t.Fatal("single-copy cluster with every device dead returned a result")
+	}
+}
+
+// TestFetchReplicaFailover: the fetch phase rides the same rotation — a
+// dead copy 0 must not cost a single document.
+func TestFetchReplicaFailover(t *testing.T) {
+	c := replicaTestCorpus(t)
+	cl, err := NewCluster(replicatedConfig(2), c, 2)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	plan := &mem.FaultPlan{Seed: 3}
+	for si := 0; si < cl.Shards(); si++ {
+		plan.DeadDevices = append(plan.DeadDevices, cl.ReplicaDevice(si, 0))
+	}
+	cl.SetFaultPlan(plan)
+	ids := []uint32{0, 5, uint32(c.Spec.NumDocs - 1)}
+	res, err := cl.FetchBatch(context.Background(), ids)
+	if err != nil {
+		t.Fatalf("FetchBatch with copy 0 dead: %v", err)
+	}
+	if res.Degraded != 0 {
+		t.Fatalf("fetch Degraded = %b, want 0", res.Degraded)
+	}
+	for i, d := range res.Docs {
+		if d.DocID != ids[i] || len(d.Fields) == 0 {
+			t.Fatalf("doc %d came back empty: %+v", ids[i], d)
+		}
+	}
+}
+
+// TestFreshSharesArtifactsMatchesResults: Fresh must produce a cluster
+// that answers identically to its receiver while owning fresh serving
+// state, and must reject a bad config.
+func TestFreshSharesArtifactsMatchesResults(t *testing.T) {
+	c := replicaTestCorpus(t)
+	base, err := NewCluster(DefaultConfig(), c, 3)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	fr, err := base.Fresh(replicatedConfig(2))
+	if err != nil {
+		t.Fatalf("Fresh: %v", err)
+	}
+	if fr.Replicas() != 2 {
+		t.Fatalf("Fresh Replicas() = %d, want 2", fr.Replicas())
+	}
+	want, err := base.SearchCtx(context.Background(), `"t1" OR "t3"`, 25)
+	if err != nil {
+		t.Fatalf("base search: %v", err)
+	}
+	got, err := fr.SearchCtx(context.Background(), `"t1" OR "t3"`, 25)
+	if err != nil {
+		t.Fatalf("fresh search: %v", err)
+	}
+	if len(got.TopK) != len(want.TopK) {
+		t.Fatalf("%d vs %d hits", len(got.TopK), len(want.TopK))
+	}
+	for i := range got.TopK {
+		if got.TopK[i] != want.TopK[i] {
+			t.Fatalf("hit %d: %+v vs %+v", i, got.TopK[i], want.TopK[i])
+		}
+	}
+	bad := DefaultConfig()
+	bad.Replicas = 0
+	if _, err := base.Fresh(bad); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("Fresh(zero Replicas): err = %v, want ErrBadConfig", err)
+	}
+}
+
+// hedgedCluster builds a 1-shard, 2-replica cluster with hedging armed
+// and a timer the test controls.
+func hedgedCluster(t *testing.T, c *corpus.Corpus) *Cluster {
+	t.Helper()
+	cfg := replicatedConfig(2)
+	cfg.Resilience.HedgeEnabled = true
+	cfg.Resilience.HedgeCutoff = time.Millisecond
+	cl, err := NewCluster(cfg, c, 1)
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	return cl
+}
+
+// neverFire is a hedge timer that never fires.
+func neverFire(time.Duration) (<-chan time.Time, func() bool) {
+	return make(chan time.Time), func() bool { return true }
+}
+
+// firedTimer is a hedge timer that has already fired.
+func firedTimer(time.Duration) (<-chan time.Time, func() bool) {
+	ch := make(chan time.Time, 1)
+	ch <- time.Time{}
+	return ch, func() bool { return false }
+}
+
+// eventTrace renders a shard's event log without wall-clock fields so
+// two runs can be compared byte for byte.
+func eventTrace(cl *Cluster, si int) string {
+	var s string
+	for ri := 0; ri < cl.Replicas(); ri++ {
+		for _, ev := range cl.ReplicaEvents(si, ri) {
+			s += fmt.Sprintf("r%d:%s:a%d ", ev.Replica, ev.Kind, ev.Attempt)
+		}
+	}
+	return s
+}
+
+// TestHedgePrimaryWinsBeforeCutoff: when the primary answers before the
+// timer fires, no backup is spawned and the result is unhedged.
+func TestHedgePrimaryWinsBeforeCutoff(t *testing.T) {
+	c := replicaTestCorpus(t)
+	cl := hedgedCluster(t, c)
+	cl.timerFn = neverFire
+	res, err := cl.SearchCtx(context.Background(), `"t1"`, 15)
+	if err != nil {
+		t.Fatalf("SearchCtx: %v", err)
+	}
+	if res.Hedged != 0 || res.HedgeWins != 0 {
+		t.Fatalf("Hedged=%d HedgeWins=%d, want 0/0 (primary beat the cutoff)", res.Hedged, res.HedgeWins)
+	}
+	for si := 0; si < cl.Shards(); si++ {
+		for _, ev := range cl.Events(si) {
+			if ev.Kind == EvHedge {
+				t.Fatalf("EvHedge recorded with the timer never firing: %+v", ev)
+			}
+		}
+	}
+}
+
+// hedgePrimary computes which replica the rotation will pick as the
+// attempt-0 primary for expr on shard 0 — the same pure draw
+// pickReplica makes — so the tests can pin their straggler to it.
+func hedgePrimary(cl *Cluster, expr string) int {
+	return int(replicaDraw(uint64(cl.res.Seed), mem.StableKey(expr), 0) % uint64(cl.Replicas()))
+}
+
+// stragglerRun returns a runFn that blocks the given replica until its
+// context dies (the straggling primary) and delegates every other call
+// to the real attempt path (the hedged backup).
+func stragglerRun(cl *Cluster, straggler int) (runFn func(context.Context, *query.Node, [][]string, int, int, int) shardOut, stalled *atomic.Int32) {
+	stalled = new(atomic.Int32)
+	return func(ctx context.Context, node *query.Node, dnf [][]string, si, ri, k int) shardOut {
+		if ri == straggler {
+			<-ctx.Done()
+			stalled.Add(1)
+			return shardOut{err: shardError(si, ctx.Err())}
+		}
+		return cl.runReplicaCtx(ctx, node, dnf, si, ri, k)
+	}, stalled
+}
+
+// TestHedgeBackupWins: a straggling primary is hedged; the backup's
+// result is adopted, the loser is cancelled, and — critically — the
+// abandoned primary never counts against its breaker.
+func TestHedgeBackupWins(t *testing.T) {
+	c := replicaTestCorpus(t)
+	cl := hedgedCluster(t, c)
+	cl.timerFn = firedTimer
+	const expr = `"t1" AND "t2"`
+	run, stalled := stragglerRun(cl, hedgePrimary(cl, expr))
+	cl.runFn = run
+
+	node, dnf, err := cl.prepare(expr)
+	if err != nil {
+		t.Fatalf("prepare: %v", err)
+	}
+	want := cl.runReplicaCtx(context.Background(), node, dnf, 0, 0, 15)
+	if want.err != nil {
+		t.Fatalf("direct attempt: %v", want.err)
+	}
+	res, err := cl.SearchCtx(context.Background(), expr, 15)
+	if err != nil {
+		t.Fatalf("SearchCtx: %v", err)
+	}
+	if res.Hedged != 1 || res.HedgeWins != 1 {
+		t.Fatalf("Hedged=%d HedgeWins=%d, want 1/1", res.Hedged, res.HedgeWins)
+	}
+	if len(res.TopK) != len(want.topk) {
+		t.Fatalf("hedged result lost hits: %d vs %d", len(res.TopK), len(want.topk))
+	}
+	for i := range res.TopK {
+		if res.TopK[i] != want.topk[i] {
+			t.Fatalf("hedged hit %d: %+v vs %+v", i, res.TopK[i], want.topk[i])
+		}
+	}
+	// The cancelled primary must actually have been cancelled.
+	deadline := time.Now().Add(2 * time.Second)
+	for stalled.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("straggling primary was never cancelled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Loser accounting: no replica may carry a failure event — the
+	// abandoned primary's outcome never reaches a breaker.
+	for ri := 0; ri < cl.Replicas(); ri++ {
+		for _, ev := range cl.ReplicaEvents(0, ri) {
+			if ev.Kind == EvFailure || ev.Kind == EvBreakerOpen {
+				t.Fatalf("hedge loser settled a breaker: %+v", ev)
+			}
+		}
+	}
+	// Exactly one EvHedge, on the backup.
+	hedges := 0
+	for ri := 0; ri < cl.Replicas(); ri++ {
+		for _, ev := range cl.ReplicaEvents(0, ri) {
+			if ev.Kind == EvHedge {
+				hedges++
+			}
+		}
+	}
+	if hedges != 1 {
+		t.Fatalf("EvHedge count = %d, want 1", hedges)
+	}
+}
+
+// TestHedgeOrderingDeterministic: the scripted straggler scenario must
+// produce a byte-identical resilience event trace across two fresh runs
+// (and, under -race, with the race detector watching the hedge spawn).
+func TestHedgeOrderingDeterministic(t *testing.T) {
+	c := replicaTestCorpus(t)
+	trace := func() string {
+		cl := hedgedCluster(t, c)
+		cl.timerFn = firedTimer
+		run, _ := stragglerRun(cl, hedgePrimary(cl, `"t2"`))
+		cl.runFn = run
+		if _, err := cl.SearchCtx(context.Background(), `"t2"`, 10); err != nil {
+			t.Fatalf("SearchCtx: %v", err)
+		}
+		// The loser's goroutine records nothing, but wait for it anyway so
+		// the trace can't race a late event append.
+		time.Sleep(5 * time.Millisecond)
+		return eventTrace(cl, 0)
+	}
+	a, b := trace(), trace()
+	if a != b {
+		t.Fatalf("hedge event traces diverged:\n%q\n%q", a, b)
+	}
+	if a == "" {
+		t.Fatal("hedge scenario recorded no events")
+	}
+}
+
+// TestHedgeLoserGoroutineExits: the cancelled-loser path must not leak —
+// after the hedged query completes and the loser is cancelled, the
+// goroutine count returns to its baseline.
+func TestHedgeLoserGoroutineExits(t *testing.T) {
+	c := replicaTestCorpus(t)
+	cl := hedgedCluster(t, c)
+	cl.timerFn = firedTimer
+	run, stalled := stragglerRun(cl, hedgePrimary(cl, `"t1"`))
+	cl.runFn = run
+
+	before := runtime.NumGoroutine()
+	if _, err := cl.SearchCtx(context.Background(), `"t1"`, 10); err != nil {
+		t.Fatalf("SearchCtx: %v", err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if stalled.Load() > 0 && runtime.NumGoroutine() <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines did not drain: before=%d now=%d stalled=%d",
+				before, runtime.NumGoroutine(), stalled.Load())
+		}
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestHedgeRidesPrimaryWhenBackupSick: when every other copy's breaker
+// rejects at hedge-fire time, the attempt rides the primary instead of
+// failing, and nothing is recorded as hedged.
+func TestHedgeRidesPrimaryWhenBackupSick(t *testing.T) {
+	c := replicaTestCorpus(t)
+	cl := hedgedCluster(t, c)
+	cl.timerFn = firedTimer
+	// Open every non-primary breaker by failing it past the threshold,
+	// with a cooldown long enough that no half-open probe can sneak in.
+	cl.res.BreakerCooldown = time.Hour
+	now := time.Now()
+	primary := hedgePrimary(cl, `"t1"`)
+	for ri := 0; ri < cl.Replicas(); ri++ {
+		if ri == primary {
+			continue
+		}
+		st := cl.states[0][ri]
+		for i := 0; i < cl.res.BreakerThreshold; i++ {
+			st.failure(0, now, cl.res.BreakerThreshold, errors.New("seeded failure"))
+		}
+	}
+	res, err := cl.SearchCtx(context.Background(), `"t1"`, 10)
+	if err != nil {
+		t.Fatalf("SearchCtx: %v", err)
+	}
+	if res.Hedged != 0 {
+		t.Fatalf("Hedged = %d, want 0 (no healthy backup to hedge onto)", res.Hedged)
+	}
+	if len(res.TopK) == 0 {
+		t.Fatal("query with sick backups returned no hits")
+	}
+}

@@ -41,6 +41,17 @@ type Resilience struct {
 	// BreakerCooldown is how long an open breaker rejects attempts
 	// before letting a half-open probe through.
 	BreakerCooldown time.Duration
+	// HedgeEnabled arms hedged requests on replicated clusters
+	// (Config.Replicas > 1): when the primary replica has not answered
+	// HedgeCutoff after dispatch, a backup attempt fires on the next
+	// healthy replica and the first result to arrive wins; the loser is
+	// cancelled and never counts against any breaker. Requires a
+	// positive HedgeCutoff (NewCluster rejects the combination
+	// otherwise) and does nothing on single-copy shards.
+	HedgeEnabled bool
+	// HedgeCutoff is the backup-fire latency. Set it near the serving
+	// path's p99 so only tail stragglers pay the duplicated work.
+	HedgeCutoff time.Duration
 }
 
 // DefaultResilience is the serving default: two retries with 1–16 ms
@@ -98,6 +109,9 @@ const (
 	EvBreakerHalfOpen
 	EvBreakerClose
 	EvBreakerReject
+	// EvHedge marks a hedged backup attempt fired on this replica after
+	// the primary missed the cutoff.
+	EvHedge
 )
 
 func (k EventKind) String() string {
@@ -116,14 +130,18 @@ func (k EventKind) String() string {
 		return "breaker-close"
 	case EvBreakerReject:
 		return "breaker-reject"
+	case EvHedge:
+		return "hedge"
 	}
 	return "unknown"
 }
 
-// Event is one retry/breaker transition on one shard. The per-shard
-// sequence is deterministic given a fault plan and a query order.
+// Event is one retry/breaker transition on one shard replica. The
+// per-replica sequence is deterministic given a fault plan and a query
+// order.
 type Event struct {
 	Shard   int
+	Replica int
 	Kind    EventKind
 	Attempt int
 	Backoff time.Duration
@@ -137,9 +155,10 @@ const (
 	brHalfOpen
 )
 
-// shardState is one shard's breaker plus its resilience event log, under
-// one mutex so log order matches breaker-transition order.
+// shardState is one shard replica's breaker plus its resilience event
+// log, under one mutex so log order matches breaker-transition order.
 type shardState struct {
+	si, ri   int // owning shard and replica, stamped on every event
 	mu       sync.Mutex
 	state    int
 	fails    int
@@ -149,13 +168,13 @@ type shardState struct {
 }
 
 // record appends an event while holding s.mu.
-func (s *shardState) record(si int, kind EventKind, attempt int, backoff time.Duration, err error) {
-	s.events = append(s.events, Event{Shard: si, Kind: kind, Attempt: attempt, Backoff: backoff, Err: err})
+func (s *shardState) record(kind EventKind, attempt int, backoff time.Duration, err error) {
+	s.events = append(s.events, Event{Shard: s.si, Replica: s.ri, Kind: kind, Attempt: attempt, Backoff: backoff, Err: err})
 }
 
 // allow reports whether an attempt may be issued, applying the
 // open → half-open transition after the cooldown.
-func (s *shardState) allow(si int, now time.Time, cooldown time.Duration) bool {
+func (s *shardState) allow(now time.Time, cooldown time.Duration) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	switch s.state {
@@ -163,16 +182,16 @@ func (s *shardState) allow(si int, now time.Time, cooldown time.Duration) bool {
 		return true
 	case brOpen:
 		if now.Sub(s.openedAt) < cooldown {
-			s.record(si, EvBreakerReject, 0, 0, nil)
+			s.record(EvBreakerReject, 0, 0, nil)
 			return false
 		}
 		s.state = brHalfOpen
 		s.probing = true
-		s.record(si, EvBreakerHalfOpen, 0, 0, nil)
+		s.record(EvBreakerHalfOpen, 0, 0, nil)
 		return true
 	default: // half-open: one probe in flight at a time
 		if s.probing {
-			s.record(si, EvBreakerReject, 0, 0, nil)
+			s.record(EvBreakerReject, 0, 0, nil)
 			return false
 		}
 		s.probing = true
@@ -181,11 +200,11 @@ func (s *shardState) allow(si int, now time.Time, cooldown time.Duration) bool {
 }
 
 // success closes the breaker.
-func (s *shardState) success(si int) {
+func (s *shardState) success() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.state != brClosed {
-		s.record(si, EvBreakerClose, 0, 0, nil)
+		s.record(EvBreakerClose, 0, 0, nil)
 	}
 	s.state = brClosed
 	s.fails = 0
@@ -194,52 +213,91 @@ func (s *shardState) success(si int) {
 
 // failure records a failed attempt and opens the breaker when the
 // consecutive-failure threshold is reached (immediately in half-open).
-func (s *shardState) failure(si, attempt int, now time.Time, threshold int, err error) {
+func (s *shardState) failure(attempt int, now time.Time, threshold int, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.record(si, EvFailure, attempt, 0, err)
+	s.record(EvFailure, attempt, 0, err)
 	if s.state == brHalfOpen {
 		s.state = brOpen
 		s.openedAt = now
 		s.probing = false
-		s.record(si, EvBreakerOpen, attempt, 0, nil)
+		s.record(EvBreakerOpen, attempt, 0, nil)
 		return
 	}
 	s.fails++
 	if s.state == brClosed && s.fails >= threshold {
 		s.state = brOpen
 		s.openedAt = now
-		s.record(si, EvBreakerOpen, attempt, 0, nil)
+		s.record(EvBreakerOpen, attempt, 0, nil)
 	}
 }
 
-// Events snapshots one shard's resilience event log.
+// abandon releases a hedge loser's claim on the breaker without
+// recording an outcome: losers never count against breakers, but a
+// half-open probe slot the loser claimed at selection time must be
+// freed or the replica's breaker would wedge half-open forever.
+func (s *shardState) abandon() {
+	s.mu.Lock()
+	s.probing = false
+	s.mu.Unlock()
+}
+
+// Events snapshots one shard's resilience event log: every replica's
+// events concatenated in replica order (identical to the lone replica's
+// log on single-copy clusters). ReplicaEvents narrows to one copy.
 func (cl *Cluster) Events(si int) []Event {
-	s := cl.states[si]
+	var out []Event
+	for _, s := range cl.states[si] {
+		s.mu.Lock()
+		out = append(out, s.events...)
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// ReplicaEvents snapshots one shard replica's resilience event log.
+func (cl *Cluster) ReplicaEvents(si, ri int) []Event {
+	s := cl.states[si][ri]
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return append([]Event(nil), s.events...)
 }
 
-// ResetEvents clears every shard's event log (test/benchmark setup).
+// ResetEvents clears every replica's event log (test/benchmark setup).
 func (cl *Cluster) ResetEvents() {
-	for _, s := range cl.states {
-		s.mu.Lock()
-		s.events = nil
-		s.mu.Unlock()
+	for _, reps := range cl.states {
+		for _, s := range reps {
+			s.mu.Lock()
+			s.events = nil
+			s.mu.Unlock()
+		}
 	}
 }
 
 // initResilience wires the cluster's resilience machinery; called from
-// NewCluster.
+// NewCluster and Fresh.
 func (cl *Cluster) initResilience(r Resilience) {
 	cl.res = r.normalize()
-	cl.states = make([]*shardState, len(cl.shards))
-	for i := range cl.states {
-		cl.states[i] = &shardState{}
+	cl.states = make([][]*shardState, len(cl.shards))
+	for si := range cl.states {
+		reps := make([]*shardState, cl.Replicas())
+		for ri := range reps {
+			reps[ri] = &shardState{si: si, ri: ri}
+		}
+		cl.states[si] = reps
 	}
 	cl.now = time.Now
 	cl.sleepFn = sleepCtx
+	cl.timerFn = hedgeTimer
+	cl.runFn = cl.runReplicaCtx
+}
+
+// hedgeTimer arms the production hedge-cutoff timer.
+//
+//boss:wallclock hedging claws back wall-clock tail latency by design.
+func hedgeTimer(d time.Duration) (<-chan time.Time, func() bool) {
+	t := time.NewTimer(d)
+	return t.C, t.Stop
 }
 
 // sleepCtx waits d or until the context is done, whichever comes first.
@@ -288,24 +346,33 @@ func splitmix64(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
-// SetFaultPlan applies a fault plan across the cluster: shard si plays
-// the role of device si. A nil or empty plan restores pristine shards.
-// Not safe concurrently with queries; meant for setup time.
+// SetFaultPlan applies a fault plan across the cluster: replica ri of
+// shard si plays the role of device si*Replicas+ri (with single-copy
+// shards that is device si, the historical layout, so existing plans
+// keep their meaning). Replicas are independent fault domains — each
+// draws from its own injector stream, so one copy's media errors never
+// shadow another's. A nil or empty plan restores pristine shards. Not
+// safe concurrently with queries; meant for setup time.
 func (cl *Cluster) SetFaultPlan(plan *mem.FaultPlan) {
 	cl.faultPlan = plan
-	for si, acc := range cl.accs {
-		acc.SetFault(plan.InjectorFor(si))
+	for si, reps := range cl.accs {
+		for ri, acc := range reps {
+			acc.SetFault(plan.InjectorFor(cl.ReplicaDevice(si, ri)))
+		}
 	}
 	// Fetch engines are built lazily; wire the ones that exist and retain
 	// the plan so EnsureDocs wires the rest at build time.
-	for si, eng := range cl.fetchers {
-		eng.SetFault(plan.InjectorFor(si))
+	for si, reps := range cl.fetchers {
+		for ri, eng := range reps {
+			eng.SetFault(plan.InjectorFor(cl.ReplicaDevice(si, ri)))
+		}
 	}
 }
 
-// retryable reports whether a shard failure is worth retrying:
-// transient read errors and per-attempt timeouts are; permanent media
-// errors, dead devices, and parent-context cancellation are not.
+// retryable reports whether a shard failure is worth retrying on the
+// same copy: transient read errors and per-attempt timeouts are;
+// permanent media errors, dead devices, and parent-context cancellation
+// are not.
 func retryable(err error) bool {
 	switch {
 	case errors.Is(err, mem.ErrMediaUncorrectable):
@@ -319,8 +386,21 @@ func retryable(err error) bool {
 	}
 }
 
-// runShardCtx issues one shard attempt under the per-attempt deadline.
-func (cl *Cluster) runShardCtx(ctx context.Context, node *query.Node, dnf [][]string, si, k int) shardOut {
+// retryableOn is retryable under replication: failures that are
+// permanent for one copy (uncorrectable media, dead device) stay
+// retryable on replicated shards, because the attempt rotation lands
+// the retry on a different copy holding the same blocks. Context
+// cancellation is never retryable.
+func (cl *Cluster) retryableOn(err error, si int) bool {
+	if retryable(err) {
+		return true
+	}
+	return len(cl.states[si]) > 1 && !errors.Is(err, context.Canceled)
+}
+
+// runReplicaCtx issues one attempt on replica ri of shard si under the
+// per-attempt deadline.
+func (cl *Cluster) runReplicaCtx(ctx context.Context, node *query.Node, dnf [][]string, si, ri, k int) shardOut {
 	pruned := pruneForShard(node, cl.shardTerms[si])
 	if pruned == nil {
 		return shardOut{}
@@ -336,9 +416,9 @@ func (cl *Cluster) runShardCtx(ctx context.Context, node *query.Node, dnf [][]st
 	var out core.Result
 	var err error
 	if pruned.Op == query.OpSparse {
-		out, err = cl.accs[si].RunSparseCtx(ctx, pruned.Terms(), k)
+		out, err = cl.accs[si][ri].RunSparseCtx(ctx, pruned.Terms(), k)
 	} else {
-		out, err = cl.accs[si].RunDNFCtx(ctx, dnf, k)
+		out, err = cl.accs[si][ri].RunDNFCtx(ctx, dnf, k)
 	}
 	if err != nil {
 		return shardOut{err: shardError(si, err)}
@@ -352,53 +432,197 @@ func shardError(si int, err error) error {
 	return fmt.Errorf("pool: shard %d: %w", si, err)
 }
 
-// runShardResilient drives one shard's attempt loop: breaker gate,
-// bounded retry with jittered backoff, parent-context awareness.
+// pickReplica chooses the replica serving (query, shard, attempt). The
+// rotation start is a pure function of (Resilience.Seed, the query's
+// stable key, the shard); the attempt index advances the rotation so
+// consecutive attempts land on different copies; and replicas whose
+// breakers reject are skipped at selection time, not after a failed
+// attempt. ok is false only when every replica rejected — the
+// all-copies-sick case, which degrades the query through the existing
+// breaker error path.
 //
-// event recording is outlined.
+//boss:hotpath one call per (query, shard, attempt).
+func (cl *Cluster) pickReplica(si int, qkey uint64, attempt int) (*shardState, int, bool) {
+	sts := cl.states[si]
+	if len(sts) == 1 { // single copy: the breaker gate is the whole decision
+		st := sts[0]
+		if !st.allow(cl.now(), cl.res.BreakerCooldown) {
+			return nil, 0, false
+		}
+		return st, 0, true
+	}
+	start := int(replicaDraw(uint64(cl.res.Seed), qkey, si) % uint64(len(sts)))
+	for p := 0; p < len(sts); p++ {
+		ri := (start + attempt + p) % len(sts)
+		if sts[ri].allow(cl.now(), cl.res.BreakerCooldown) {
+			return sts[ri], ri, true
+		}
+	}
+	return nil, 0, false
+}
+
+// replicaDraw is the deterministic replica-selection hash: a pure
+// function of (seed, query key, shard), so replays route identically
+// and no two shards share a rotation stream.
+func replicaDraw(seed, qkey uint64, si int) uint64 {
+	return splitmix64(seed ^ qkey ^ (uint64(si)+1)*0x94d049bb133111eb)
+}
+
+// pickBackup selects a hedge's backup copy: the next replica after the
+// primary in rotation order whose breaker admits an attempt.
+func (cl *Cluster) pickBackup(si, primary int) (*shardState, int, bool) {
+	sts := cl.states[si]
+	for p := 1; p < len(sts); p++ {
+		ri := (primary + p) % len(sts)
+		if sts[ri].allow(cl.now(), cl.res.BreakerCooldown) {
+			return sts[ri], ri, true
+		}
+	}
+	return nil, 0, false
+}
+
+// runShardResilient drives one shard's attempt loop: breaker-aware
+// replica selection, bounded retry with jittered backoff, hedged
+// dispatch on replicated clusters, parent-context awareness.
 //
-//boss:hotpath one call per (query, shard); all error construction and
-func (cl *Cluster) runShardResilient(ctx context.Context, node *query.Node, dnf [][]string, si, k int) shardOut {
-	st := cl.states[si]
+// event recording and error construction are outlined.
+//
+//boss:hotpath one call per (query, shard).
+func (cl *Cluster) runShardResilient(ctx context.Context, node *query.Node, dnf [][]string, si, k int, qkey uint64) shardOut {
 	for attempt := 0; ; attempt++ {
 		if cause := ctx.Err(); cause != nil {
 			return shardOut{err: shardError(si, cause)} //boss:escape-ok cold cancellation error path
 		}
-		if !st.allow(si, cl.now(), cl.res.BreakerCooldown) {
+		st, ri, ok := cl.pickReplica(si, qkey, attempt)
+		if !ok {
 			return shardOut{err: breakerError(si)} //boss:escape-ok cold breaker-open error path
 		}
-		recordAttempt(st, si, attempt)
-		out := cl.runShardCtx(ctx, node, dnf, si, k)
+		recordAttempt(st, attempt)
+		var out shardOut
+		if cl.res.HedgeEnabled && len(cl.states[si]) > 1 {
+			out = cl.runShardHedged(ctx, node, dnf, si, ri, k, attempt, st)
+		} else {
+			out = cl.runReplicaCtx(ctx, node, dnf, si, ri, k)
+			out.ri = ri
+			cl.settle(st, out.err, attempt)
+		}
 		if out.err == nil {
-			st.success(si)
 			return out
 		}
-		st.failure(si, attempt, cl.now(), cl.res.BreakerThreshold, out.err)
-		if attempt >= cl.res.MaxRetries || !retryable(out.err) {
+		if attempt >= cl.res.MaxRetries || !cl.retryableOn(out.err, si) {
 			return out
 		}
 		if cause := ctx.Err(); cause != nil {
 			return out
 		}
 		d := cl.res.backoffDelay(si, attempt)
-		recordBackoff(st, si, attempt, d)
+		recordBackoff(st, attempt, d)
 		if cl.sleepFn(ctx, d) != nil {
 			return out // context died during backoff: report the last failure
 		}
 	}
 }
 
-// recordAttempt / recordBackoff / breakerError are outlined from the
-// retry loop so the hot path stays free of composite construction.
-func recordAttempt(st *shardState, si, attempt int) {
+// settle records an attempt's adopted outcome against the replica that
+// produced it (outlined from the retry loop).
+func (cl *Cluster) settle(st *shardState, err error, attempt int) {
+	if err == nil {
+		st.success()
+		return
+	}
+	st.failure(attempt, cl.now(), cl.res.BreakerThreshold, err)
+}
+
+// runShardHedged issues the attempt on the primary replica and arms the
+// hedge timer: if the primary has not answered at the cutoff, a backup
+// attempt fires on the next healthy replica and the first result to
+// arrive wins (a first arrival carrying an error waits for the other
+// runner before giving up). The loser is cancelled, its outcome never
+// reaches any breaker — only the adopted result settles its replica —
+// and its claim on a half-open probe slot is released. Both runners
+// deliver into cap-1 buffered channels, so a cancelled loser's
+// goroutine always exits.
+func (cl *Cluster) runShardHedged(ctx context.Context, node *query.Node, dnf [][]string, si, primary, k, attempt int, st *shardState) shardOut {
+	pctx, pcancel := context.WithCancel(ctx)
+	defer pcancel()
+	pch := make(chan shardOut, 1)
+	go cl.hedgeRun(pctx, node, dnf, si, primary, k, pch)
+	fire, stop := cl.timerFn(cl.res.HedgeCutoff)
+	var pout shardOut
+	select {
+	case pout = <-pch: // primary answered before the cutoff: no hedge
+		stop()
+		pout.ri = primary
+		cl.settle(st, pout.err, attempt)
+		return pout
+	case <-fire:
+	}
+	bst, bri, ok := cl.pickBackup(si, primary)
+	if !ok {
+		// Every other copy is sick: ride the primary to completion.
+		pout = <-pch
+		pout.ri = primary
+		cl.settle(st, pout.err, attempt)
+		return pout
+	}
+	recordHedge(bst, attempt)
+	bctx, bcancel := context.WithCancel(ctx)
+	defer bcancel()
+	bch := make(chan shardOut, 1)
+	go cl.hedgeRun(bctx, node, dnf, si, bri, k, bch)
+	var bout shardOut
+	var pdone bool
+	select {
+	case pout = <-pch:
+		pdone = true
+	case bout = <-bch:
+	}
+	if pdone && pout.err != nil {
+		bout = <-bch // primary lost its own race; let the backup finish
+		pdone = false
+	} else if !pdone && bout.err != nil {
+		pout = <-pch // backup failed first; fall back to the primary
+		pdone = true
+	}
+	if pdone {
+		bcancel()
+		bst.abandon()
+		pout.ri, pout.hedged = primary, 1
+		cl.settle(st, pout.err, attempt)
+		return pout
+	}
+	pcancel()
+	st.abandon()
+	bout.ri, bout.hedged, bout.hedgeWin = bri, 1, bout.err == nil
+	cl.settle(bst, bout.err, attempt)
+	return bout
+}
+
+// hedgeRun executes one replica attempt and delivers its result on a
+// cap-1 buffered channel: the send never blocks, so a cancelled loser's
+// goroutine always exits.
+func (cl *Cluster) hedgeRun(ctx context.Context, node *query.Node, dnf [][]string, si, ri, k int, ch chan<- shardOut) {
+	ch <- cl.runFn(ctx, node, dnf, si, ri, k)
+}
+
+// recordAttempt / recordBackoff / recordHedge / breakerError are
+// outlined from the retry loop so the hot path stays free of composite
+// construction.
+func recordAttempt(st *shardState, attempt int) {
 	st.mu.Lock()
-	st.record(si, EvAttempt, attempt, 0, nil)
+	st.record(EvAttempt, attempt, 0, nil)
 	st.mu.Unlock()
 }
 
-func recordBackoff(st *shardState, si, attempt int, d time.Duration) {
+func recordBackoff(st *shardState, attempt int, d time.Duration) {
 	st.mu.Lock()
-	st.record(si, EvBackoff, attempt, d, nil)
+	st.record(EvBackoff, attempt, d, nil)
+	st.mu.Unlock()
+}
+
+func recordHedge(st *shardState, attempt int) {
+	st.mu.Lock()
+	st.record(EvHedge, attempt, 0, nil)
 	st.mu.Unlock()
 }
 
@@ -412,10 +636,26 @@ func breakerError(si int) error {
 // populated shard failed does the query itself error.
 func (cl *Cluster) mergePartial(outs []shardOut, k int) (*ClusterResult, error) {
 	res := &ClusterResult{PerShard: make([]*perf.Metrics, len(outs))}
+	if cl.Replicas() > 1 {
+		// Replica attribution is allocated only on replicated clusters so
+		// single-copy serving pays nothing new.
+		res.ServedBy = make([]int, len(outs))
+	}
 	merged := topk.NewHeap(k)
 	failed := 0
 	var firstErr error
 	for si, out := range outs {
+		res.Hedged += out.hedged
+		if out.hedgeWin {
+			res.HedgeWins++
+		}
+		if res.ServedBy != nil {
+			if out.err != nil || out.m == nil {
+				res.ServedBy[si] = -1
+			} else {
+				res.ServedBy[si] = out.ri
+			}
+		}
 		if out.err != nil {
 			failed++
 			if firstErr == nil {
@@ -461,11 +701,12 @@ func (cl *Cluster) SearchCtx(ctx context.Context, expr string, k int) (*ClusterR
 	if err != nil {
 		return nil, err
 	}
+	qkey := mem.StableKey(expr)
 	outs := make([]shardOut, len(cl.shards))
 	workers := cl.workers(len(cl.shards))
 	if workers == 1 {
 		for si := range cl.shards {
-			outs[si] = cl.runShardResilient(ctx, node, dnf, si, k)
+			outs[si] = cl.runShardResilient(ctx, node, dnf, si, k, qkey)
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -475,7 +716,7 @@ func (cl *Cluster) SearchCtx(ctx context.Context, expr string, k int) (*ClusterR
 			go func() {
 				defer wg.Done()
 				for si := range next {
-					outs[si] = cl.runShardResilient(ctx, node, dnf, si, k)
+					outs[si] = cl.runShardResilient(ctx, node, dnf, si, k, qkey)
 				}
 			}()
 		}
@@ -534,13 +775,14 @@ func (cl *Cluster) searchSerialCtxMask(ctx context.Context, expr string, k int, 
 	if err != nil {
 		return nil, err
 	}
+	qkey := mem.StableKey(expr)
 	outs := make([]shardOut, len(cl.shards))
 	for si := range cl.shards {
 		if !maskHas(mask, si) {
 			outs[si] = shardOut{err: shedShardError(si)}
 			continue
 		}
-		outs[si] = cl.runShardResilient(ctx, node, dnf, si, k)
+		outs[si] = cl.runShardResilient(ctx, node, dnf, si, k, qkey)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
